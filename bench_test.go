@@ -1,0 +1,220 @@
+// Package repro's root benchmark harness regenerates every table and figure
+// of the paper's evaluation section. Each benchmark runs the corresponding
+// experiment at QuickScale (reduced size, same structure); the
+// cmd/experiments binary runs the same experiments at FullScale (43,200
+// jobs, 6 sites × 40 hosts). Benchmarks report the experiment wall time;
+// the rendered rows are printed once per benchmark via -v style logging.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchScale() experiments.Scale { return experiments.QuickScale() }
+
+// render logs a report through the benchmark's logger on the first
+// iteration only.
+func render(b *testing.B, i int, r *experiments.Report, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if i == 0 && testing.Verbose() {
+		var sink logWriter
+		sink.b = b
+		_ = r.Render(&sink)
+	}
+}
+
+type logWriter struct{ b *testing.B }
+
+func (w *logWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*logWriter)(nil)
+
+// BenchmarkTableI regenerates the projection property matrix.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableI()
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkTableII regenerates the job-arrival fitting table (18-family
+// BIC selection per data set).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableII(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkTableIII regenerates the job-duration fitting table.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableIII(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkPeriodicity regenerates the autocorrelation/periodicity analysis.
+func BenchmarkPeriodicity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Periodicity(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigure4 regenerates the jobs-per-day arrival curves.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigure5 regenerates the U65 arrival density vs Equation-1 model.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigure6 regenerates the fitted-vs-empirical arrival CDFs.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigure7 regenerates the per-user duration ECDFs.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigure10 runs the baseline convergence testbed experiment.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, _, err := experiments.Figure10Baseline(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigure11 runs the update-delay (10x time-scale) experiment.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11UpdateDelay(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigure12 runs the non-optimal-policy experiment.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, _, err := experiments.Figure12NonOptimalPolicy(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigurePartial runs the partial-cluster-participation experiment.
+func BenchmarkFigurePartial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, _, err := experiments.FigurePartial(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkFigure13 runs the bursty-usage experiment.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, _, err := experiments.Figure13Bursty(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkProduction runs the month-scale single-cluster production
+// reproduction.
+func BenchmarkProduction(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 4000 // month-scale run stays tractable per iteration
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ProductionStats(sc)
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkAblationProjection compares the three projections.
+func BenchmarkAblationProjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationProjection(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkAblationDistanceWeight sweeps the distance weight k.
+func BenchmarkAblationDistanceWeight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDistanceWeight(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkAblationDecay sweeps the usage decay half-life.
+func BenchmarkAblationDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDecay(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkAblationCacheTTL sweeps the update-delay components.
+func BenchmarkAblationCacheTTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationCacheTTL(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkAblationDispatch compares stochastic vs round-robin dispatch.
+func BenchmarkAblationDispatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDispatch(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkAblationRM compares the SLURM- and Maui-like substrates.
+func BenchmarkAblationRM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationRM(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkAblationHierarchy runs the two-VO hierarchical-policy experiment.
+func BenchmarkAblationHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationHierarchy(benchScale())
+		render(b, i, r, err)
+	}
+}
+
+// BenchmarkAblationBackfill compares strict priority order vs first-fit
+// backfill.
+func BenchmarkAblationBackfill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationBackfill(benchScale())
+		render(b, i, r, err)
+	}
+}

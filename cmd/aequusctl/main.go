@@ -1,0 +1,155 @@
+// Command aequusctl is the control client for a running aequusd: it queries
+// fairshare priorities, policies and usage, stores identity mappings,
+// triggers exchanges and switches the projection algorithm at run time.
+//
+// Usage:
+//
+//	aequusctl -addr http://localhost:7470 fairshare [user]
+//	aequusctl -addr ... policy
+//	aequusctl -addr ... resolve <site> <localUser>
+//	aequusctl -addr ... map <gridID> <site> <localUser>
+//	aequusctl -addr ... report <gridUser> <durationSeconds> [procs]
+//	aequusctl -addr ... exchange
+//	aequusctl -addr ... projection <dictionary|bitwise|percental>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/services/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:7470", "aequusd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := httpapi.NewClient(*addr, "aequusctl")
+
+	var err error
+	switch args[0] {
+	case "fairshare":
+		err = cmdFairshare(c, args[1:])
+	case "policy":
+		err = cmdPolicy(c)
+	case "resolve":
+		err = cmdResolve(c, args[1:])
+	case "map":
+		err = cmdMap(c, args[1:])
+	case "report":
+		err = cmdReport(c, args[1:])
+	case "exchange":
+		err = c.TriggerExchange()
+	case "projection":
+		err = cmdProjection(c, args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatalf("aequusctl: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: aequusctl [-addr URL] <fairshare|policy|resolve|map|report|exchange|projection> [args]")
+	os.Exit(2)
+}
+
+func cmdFairshare(c *httpapi.Client, args []string) error {
+	if len(args) == 1 {
+		resp, err := c.Priority(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("user=%s value=%.6f priority=%.6f vector=%v computed=%s\n",
+			resp.User, resp.Value, resp.Priority, resp.Vector, resp.ComputedAt.Format(time.RFC3339))
+		return nil
+	}
+	tab, err := c.Table()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "USER\tVALUE\tPRIORITY\tVECTOR")
+	for _, e := range tab.Entries {
+		fmt.Fprintf(tw, "%s\t%.6f\t%.6f\t%v\n", e.User, e.Value, e.Priority, e.Vector)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("projection=%s computed=%s\n", tab.Projection, tab.ComputedAt.Format(time.RFC3339))
+	return nil
+}
+
+func cmdPolicy(c *httpapi.Client) error {
+	t, err := c.Policy()
+	if err != nil {
+		return err
+	}
+	return policy.WriteText(os.Stdout, t)
+}
+
+func cmdResolve(c *httpapi.Client, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("resolve needs <site> <localUser>")
+	}
+	g, err := c.Resolve(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Println(g)
+	return nil
+}
+
+func cmdMap(c *httpapi.Client, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("map needs <gridID> <site> <localUser>")
+	}
+	return c.StoreMapping(args[0], args[1], args[2])
+}
+
+func cmdReport(c *httpapi.Client, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("report needs <gridUser> <durationSeconds> [procs]")
+	}
+	dur, err := strconv.ParseFloat(args[1], 64)
+	if err != nil || dur < 0 {
+		return fmt.Errorf("bad duration %q", args[1])
+	}
+	procs := 1
+	if len(args) >= 3 {
+		procs, err = strconv.Atoi(args[2])
+		if err != nil || procs < 1 {
+			return fmt.Errorf("bad procs %q", args[2])
+		}
+	}
+	start := time.Now().Add(-time.Duration(dur * float64(time.Second)))
+	return c.ReportJobErr(args[0], start, time.Duration(dur*float64(time.Second)), procs)
+}
+
+func cmdProjection(c *httpapi.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("projection needs a name")
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/fairshare/projection", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"name":%q}`, args[0])))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("projection switch failed: %s", resp.Status)
+	}
+	fmt.Printf("projection set to %s\n", args[0])
+	return nil
+}

@@ -1,0 +1,126 @@
+// Command aequusd runs one site's full Aequus service stack (PDS, USS, UMS,
+// FCS, IRS) over HTTP — the deployment unit installed alongside each
+// cluster's resource manager. Peers are other aequusd instances; usage is
+// exchanged periodically through the USS layer.
+//
+// Example:
+//
+//	aequusd -site hpc2n -listen :7470 -policy policy.txt \
+//	        -peers http://other-site:7470 -half-life 168h
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fairshare"
+	"repro/internal/policy"
+	"repro/internal/services/httpapi"
+	"repro/internal/usage"
+	"repro/internal/vector"
+)
+
+func main() {
+	var (
+		site          = flag.String("site", "local", "site name")
+		listen        = flag.String("listen", ":7470", "HTTP listen address")
+		policyFile    = flag.String("policy", "", "policy file (text format: 'path share' lines)")
+		peers         = flag.String("peers", "", "comma-separated base URLs of peer aequusd instances")
+		contribute    = flag.Bool("contribute", true, "serve usage records to peers")
+		useGlobal     = flag.Bool("use-global", true, "consider global usage for prioritization")
+		projection    = flag.String("projection", "percental", "vector projection: dictionary|bitwise|percental")
+		halfLife      = flag.Duration("half-life", 7*24*time.Hour, "usage decay half-life")
+		binWidth      = flag.Duration("bin-width", time.Hour, "usage histogram interval")
+		exchangeEvery = flag.Duration("exchange-interval", time.Minute, "peer usage exchange period")
+		refreshEvery  = flag.Duration("refresh-interval", time.Minute, "fairshare pre-calculation period")
+		libTTL        = flag.Duration("cache-ttl", 30*time.Second, "libaequus cache TTL")
+		k             = flag.Float64("distance-weight", 0.5, "fairshare distance weight k")
+		resolution    = flag.Float64("resolution", 10000, "fairshare value resolution")
+	)
+	flag.Parse()
+
+	pol := policy.NewTree()
+	if *policyFile != "" {
+		f, err := os.Open(*policyFile)
+		if err != nil {
+			log.Fatalf("aequusd: %v", err)
+		}
+		pol, err = policy.ReadText(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("aequusd: parsing policy: %v", err)
+		}
+	}
+
+	proj, ok := vector.ByName(*projection)
+	if !ok {
+		log.Fatalf("aequusd: unknown projection %q", *projection)
+	}
+
+	s, err := core.NewSite(core.SiteConfig{
+		Name:          *site,
+		Policy:        pol,
+		BinWidth:      *binWidth,
+		Decay:         usage.ExponentialHalfLife{HalfLife: *halfLife},
+		Contribute:    *contribute,
+		UseGlobal:     *useGlobal,
+		Projection:    proj,
+		Fairshare:     fairshare.Config{DistanceWeight: *k, Resolution: *resolution},
+		UMSCacheTTL:   *refreshEvery,
+		FCSCacheTTL:   *refreshEvery,
+		LibCacheTTL:   *libTTL,
+		PolicyFetcher: httpapi.PolicyFetcher(nil),
+	})
+	if err != nil {
+		log.Fatalf("aequusd: %v", err)
+	}
+
+	for _, peer := range splitList(*peers) {
+		s.ConnectPeer(httpapi.NewClient(peer, peer))
+		log.Printf("aequusd: peering with %s", peer)
+	}
+
+	go periodic(*exchangeEvery, func() {
+		if err := s.Exchange(); err != nil {
+			log.Printf("aequusd: exchange: %v", err)
+		}
+	})
+	go periodic(*refreshEvery, func() {
+		if err := s.Refresh(); err != nil {
+			log.Printf("aequusd: refresh: %v", err)
+		}
+	})
+
+	srv := httpapi.NewServer(s.PDS, s.USS, s.UMS, s.FCS, s.IRS)
+	log.Printf("aequusd: site %s serving on %s (contribute=%v use-global=%v projection=%s)",
+		*site, *listen, *contribute, *useGlobal, proj.Name())
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		log.Fatalf("aequusd: %v", err)
+	}
+}
+
+func periodic(every time.Duration, fn func()) {
+	if every <= 0 {
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		fn()
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Command testbed runs the emulated nation-wide environment: N virtual
+// clusters, each with a full Aequus stack and a SLURM- or Maui-like local
+// scheduler, driven by a synthetic workload (generated in-process or read
+// from a trace file). It prints the usage-share and priority series plus
+// summary statistics.
+//
+// Example (the paper's baseline configuration):
+//
+//	testbed -sites 6 -cores 40 -jobs 43200 -duration 6h -load 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/trace"
+	"repro/internal/vector"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		sites     = flag.Int("sites", 6, "number of clusters")
+		cores     = flag.Int("cores", 40, "cores per cluster")
+		jobs      = flag.Int("jobs", 43200, "synthetic trace size (ignored with -trace)")
+		duration  = flag.Duration("duration", 6*time.Hour, "test length")
+		load      = flag.Float64("load", 0.95, "offered load fraction")
+		traceFile = flag.String("trace", "", "read workload from a trace file instead of generating")
+		model     = flag.String("model", "baseline", "workload model: baseline|bursty")
+		policyArg = flag.String("policy", "trace", "policy targets: trace|nonoptimal")
+		rm        = flag.String("rm", "slurm", "resource manager substrate: slurm|maui")
+		proj      = flag.String("projection", "percental", "vector projection")
+		k         = flag.Float64("distance-weight", 0.5, "fairshare distance weight k")
+		seed      = flag.Int64("seed", 42, "random seed")
+		partial   = flag.Bool("partial", false, "run the partial-participation site modes")
+	)
+	flag.Parse()
+
+	start := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	var m workload.Model
+	switch *model {
+	case "baseline":
+		m = workload.NationalGrid2012(*duration)
+	case "bursty":
+		m = workload.Bursty2012(*duration)
+	default:
+		log.Fatalf("testbed: unknown model %q", *model)
+	}
+
+	var tr *trace.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatalf("testbed: %v", err)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("testbed: reading trace: %v", err)
+		}
+	} else {
+		var err error
+		tr, err = m.Generate(workload.GenerateOptions{
+			TotalJobs: *jobs, Start: start, Span: *duration, Seed: *seed,
+			CalibrateUsage: true, MaxDuration: *duration / 4,
+		})
+		if err != nil {
+			log.Fatalf("testbed: %v", err)
+		}
+		tr = workload.ScaleToLoad(tr, *sites**cores, *load, *duration)
+	}
+
+	targets := map[string]float64{}
+	switch *policyArg {
+	case "trace":
+		for _, u := range m.Users {
+			targets[u.Name] = u.UsageFraction
+		}
+	case "nonoptimal":
+		targets = workload.NonOptimalShares()
+	default:
+		log.Fatalf("testbed: unknown policy %q", *policyArg)
+	}
+
+	projection, ok := vector.ByName(*proj)
+	if !ok {
+		log.Fatalf("testbed: unknown projection %q", *proj)
+	}
+
+	cfg := testbed.Config{
+		Sites: *sites, CoresPerSite: *cores, Start: start, Duration: *duration,
+		PolicyShares: targets, Trace: tr, Seed: *seed,
+		DistanceWeight: *k, Projection: projection, RM: testbed.RMKind(*rm),
+	}
+	if *partial {
+		modes := make([]testbed.SiteMode, *sites)
+		for i := range modes {
+			modes[i] = testbed.SiteMode{Contribute: true, UseGlobal: true}
+		}
+		if *sites >= 2 {
+			modes[*sites-2] = testbed.SiteMode{Contribute: false, UseGlobal: true}
+			modes[*sites-1] = testbed.SiteMode{Contribute: true, UseGlobal: false}
+		}
+		cfg.SiteModes = modes
+	}
+
+	res, err := testbed.Run(cfg)
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+
+	users := res.UsageShares.Users()
+	sort.Strings(users)
+	fmt.Println("minute  " + header(users))
+	if len(users) > 0 && res.UsageShares[users[0]] != nil {
+		ref := res.UsageShares[users[0]]
+		step := ref.Len() / 36
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < ref.Len(); i += step {
+			at := ref.Times[i]
+			fmt.Printf("%6.0f  ", at.Sub(start).Minutes())
+			for _, u := range users {
+				fmt.Printf("%7.3f", res.UsageShares[u].Values[i])
+			}
+			for _, u := range users {
+				if p := res.Priorities[u]; p != nil {
+					fmt.Printf("%8.3f", p.At(at))
+				}
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\nsubmitted=%d completed=%d queued=%d utilization=%.3f sustained=%.0f/min peak=%.0f/min\n",
+		res.Submitted, res.Completed, res.QueuedAtEnd, res.Utilization, res.SustainedRate, res.PeakRate)
+}
+
+func header(users []string) string {
+	s := ""
+	for _, u := range users {
+		s += fmt.Sprintf("%7s", u+"↑")
+	}
+	for _, u := range users {
+		s += fmt.Sprintf("%8s", u+"ᵖ")
+	}
+	return s
+}

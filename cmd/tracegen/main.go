@@ -1,0 +1,92 @@
+// Command tracegen generates synthetic workload traces from the paper's
+// statistical models: the baseline 2012 national-grid model or the
+// bursty-usage variant, optionally calibrated to the target usage shares and
+// scaled to a desired load.
+//
+// Example:
+//
+//	tracegen -jobs 43200 -span 6h -model baseline -calibrate \
+//	         -cores 240 -load 0.95 -out trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		jobs      = flag.Int("jobs", 43200, "number of jobs to generate")
+		span      = flag.Duration("span", 6*time.Hour, "trace time span")
+		start     = flag.String("start", "2013-01-01T00:00:00Z", "trace start time (RFC3339)")
+		model     = flag.String("model", "baseline", "workload model: baseline|bursty")
+		seed      = flag.Int64("seed", 42, "random seed")
+		calibrate = flag.Bool("calibrate", true, "calibrate per-user usage shares to the model targets")
+		cores     = flag.Int("cores", 0, "total cores for load scaling (0 = no scaling)")
+		load      = flag.Float64("load", 0.95, "target load fraction for -cores scaling")
+		maxDur    = flag.Duration("max-duration", 0, "clamp job durations (0 = span/4)")
+		out       = flag.String("out", "", "output file (default stdout)")
+		stats     = flag.Bool("stats", false, "print per-user statistics to stderr")
+	)
+	flag.Parse()
+
+	startAt, err := time.Parse(time.RFC3339, *start)
+	if err != nil {
+		log.Fatalf("tracegen: bad -start: %v", err)
+	}
+
+	var m workload.Model
+	switch *model {
+	case "baseline":
+		m = workload.NationalGrid2012(*span)
+	case "bursty":
+		m = workload.Bursty2012(*span)
+	default:
+		log.Fatalf("tracegen: unknown model %q", *model)
+	}
+
+	clamp := *maxDur
+	if clamp <= 0 {
+		clamp = *span / 4
+	}
+	tr, err := m.Generate(workload.GenerateOptions{
+		TotalJobs:      *jobs,
+		Start:          startAt,
+		Span:           *span,
+		Seed:           *seed,
+		CalibrateUsage: *calibrate,
+		MaxDuration:    clamp,
+	})
+	if err != nil {
+		log.Fatalf("tracegen: %v", err)
+	}
+	if *cores > 0 {
+		tr = workload.ScaleToLoad(tr, *cores, *load, *span)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		log.Fatalf("tracegen: writing trace: %v", err)
+	}
+
+	if *stats {
+		for _, s := range trace.UserStats(tr) {
+			fmt.Fprintf(os.Stderr, "%-8s jobs=%6d (%.2f%%)  usage=%.4g core-s (%.2f%%)\n",
+				s.User, s.Jobs, 100*s.JobShare, s.Usage, 100*s.UsageShare)
+		}
+	}
+}

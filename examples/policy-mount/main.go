@@ -1,0 +1,108 @@
+// Policy mounting: the PDS feature that lets "local administrators assign
+// parts of the resources to one or more grids while retaining full control
+// over the infrastructure" (Section II-A).
+//
+// A national PDS serves the grid-wide policy (how the grid's share divides
+// among virtual organizations). Two sites mount that policy under their own
+// roots with different local shares, over HTTP. When the national policy
+// changes, a refresh propagates it — without the sites ever editing their
+// local trees.
+//
+// Run with: go run ./examples/policy-mount
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/services/httpapi"
+	"repro/internal/services/pds"
+)
+
+func main() {
+	// The nationally managed grid policy: two VOs with their users.
+	national := policy.NewTree()
+	must(national.Add("", "vo-atlas", 3))
+	must(national.Add("", "vo-alice", 1))
+	must(national.Add("/vo-atlas", "u-atlas-1", 1))
+	must(national.Add("/vo-atlas", "u-atlas-2", 1))
+	must(national.Add("/vo-alice", "u-alice-1", 1))
+	nationalPDS := pds.New(national, nil)
+	nationalURL := serve(nationalPDS)
+	fmt.Printf("national PDS serving on %s\n\n", nationalURL)
+
+	// Two sites with their own local users; each grants the grid a
+	// different slice of its resources.
+	siteA := newSitePDS("site-a", 40)
+	siteB := newSitePDS("site-b", 80)
+	if err := siteA.Mount("", "grid", 60, nationalURL+"|/"); err != nil {
+		log.Fatal(err)
+	}
+	if err := siteB.Mount("", "grid", 20, nationalURL+"|/"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("site-a policy (grid granted 60%):")
+	print(siteA)
+	fmt.Println("site-b policy (grid granted 20%):")
+	print(siteB)
+
+	// The national administration rebalances the VOs; the sites refresh.
+	fmt.Println("national policy change: vo-alice share raised to equal vo-atlas")
+	updated := policy.NewTree()
+	must(updated.Add("", "vo-atlas", 1))
+	must(updated.Add("", "vo-alice", 1))
+	must(updated.Add("/vo-atlas", "u-atlas-1", 1))
+	must(updated.Add("/vo-atlas", "u-atlas-2", 1))
+	must(updated.Add("/vo-alice", "u-alice-1", 1))
+	if err := nationalPDS.SetPolicy(updated); err != nil {
+		log.Fatal(err)
+	}
+	if err := siteA.RefreshMounts(); err != nil {
+		log.Fatal(err)
+	}
+	if err := siteB.RefreshMounts(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter refresh, site-a:")
+	print(siteA)
+
+	fmt.Println("each site kept its own local/grid split; only the grid-internal")
+	fmt.Println("subdivision — managed nationally — changed under the mount point.")
+}
+
+func newSitePDS(name string, localShare float64) *pds.Service {
+	local := policy.NewTree()
+	if _, err := local.Add("", "local-"+name, localShare); err != nil {
+		log.Fatal(err)
+	}
+	return pds.New(local, httpapi.PolicyFetcher(nil))
+}
+
+// serve exposes a PDS over HTTP (only the policy endpoints are registered).
+func serve(p *pds.Service) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httpapi.NewServer(p, nil, nil, nil, nil)
+	go func() { _ = http.Serve(ln, srv) }()
+	return "http://" + ln.Addr().String()
+}
+
+func print(p *pds.Service) {
+	if err := policy.WriteText(os.Stdout, p.Policy().Normalize()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+func must(_ string, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package core assembles the Aequus system: a Site bundles one
+// installation's five services (PDS, USS, UMS, FCS, IRS) plus a local
+// libaequus client, wired the way the paper deploys them — one full stack
+// per cluster, exchanging only compact usage data with other sites through
+// the USS layer.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/fairshare"
+	"repro/internal/libaequus"
+	"repro/internal/policy"
+	"repro/internal/services/fcs"
+	"repro/internal/services/irs"
+	"repro/internal/services/pds"
+	"repro/internal/services/ums"
+	"repro/internal/services/uss"
+	"repro/internal/simclock"
+	"repro/internal/usage"
+	"repro/internal/vector"
+)
+
+// SiteConfig configures one Aequus installation.
+type SiteConfig struct {
+	// Name is the site name (used in usage records and identity mapping).
+	Name string
+	// Policy is the site's usage policy (required).
+	Policy *policy.Tree
+	// Clock provides time for every service (default wall clock).
+	Clock simclock.Clock
+	// BinWidth is the USS histogram interval (default 1h).
+	BinWidth time.Duration
+	// Decay is the usage decay function (default none).
+	Decay usage.Decay
+	// Contribute controls whether this site serves usage to peers.
+	Contribute bool
+	// UseGlobal controls whether prioritization considers global usage
+	// (local + exchanged) or local only — the partial-participation knob.
+	UseGlobal bool
+	// Projection selects the vector projection (default percental).
+	Projection vector.Projection
+	// Fairshare parameterizes the calculation (default k=0.5, res=10000).
+	Fairshare fairshare.Config
+	// UMSCacheTTL / FCSCacheTTL / LibCacheTTL are the update-delay
+	// components (II) and (III).
+	UMSCacheTTL, FCSCacheTTL, LibCacheTTL time.Duration
+	// PolicyFetcher resolves PDS mount origins (optional).
+	PolicyFetcher pds.Fetcher
+	// ResolveEndpoint is the custom identity-resolution endpoint (optional;
+	// without it, only explicitly stored mappings resolve).
+	ResolveEndpoint irs.Endpoint
+}
+
+// Site is a complete Aequus installation.
+type Site struct {
+	Name string
+	PDS  *pds.Service
+	USS  *uss.Service
+	UMS  *ums.Service
+	FCS  *fcs.Service
+	IRS  *irs.Service
+	// Lib is a libaequus client wired to this site's services, ready for a
+	// co-located resource manager.
+	Lib *libaequus.Client
+}
+
+// NewSite builds and wires a site.
+func NewSite(cfg SiteConfig) (*Site, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("core: site name required")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("core: policy required")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+
+	p := pds.New(cfg.Policy, cfg.PolicyFetcher)
+	u := uss.New(uss.Config{
+		Site:       cfg.Name,
+		BinWidth:   cfg.BinWidth,
+		Contribute: cfg.Contribute,
+		Clock:      cfg.Clock,
+	})
+
+	source := ums.SourceFunc(func(now time.Time, d usage.Decay) (map[string]float64, error) {
+		if cfg.UseGlobal {
+			return u.GlobalTotals(now, d), nil
+		}
+		return u.LocalTotals(now, d), nil
+	})
+	m := ums.New(ums.Config{
+		Decay:    cfg.Decay,
+		CacheTTL: cfg.UMSCacheTTL,
+		Clock:    cfg.Clock,
+	}, source)
+
+	f := fcs.New(fcs.Config{
+		Fairshare:  cfg.Fairshare,
+		Projection: cfg.Projection,
+		CacheTTL:   cfg.FCSCacheTTL,
+		Clock:      cfg.Clock,
+	}, p, m)
+
+	i := irs.New()
+	if cfg.ResolveEndpoint != nil {
+		i.SetEndpoint(cfg.ResolveEndpoint)
+	}
+
+	lib := libaequus.New(libaequus.Config{
+		Site:     cfg.Name,
+		CacheTTL: cfg.LibCacheTTL,
+		Clock:    cfg.Clock,
+	}, f, irsAdapter{i}, ussAdapter{u})
+
+	return &Site{Name: cfg.Name, PDS: p, USS: u, UMS: m, FCS: f, IRS: i, Lib: lib}, nil
+}
+
+// irsAdapter exposes the IRS as a libaequus.IdentitySource.
+type irsAdapter struct{ s *irs.Service }
+
+func (a irsAdapter) Resolve(site, local string) (string, error) { return a.s.Resolve(site, local) }
+
+// ussAdapter exposes the USS as a libaequus.UsageSink.
+type ussAdapter struct{ s *uss.Service }
+
+func (a ussAdapter) ReportJob(user string, start time.Time, dur time.Duration, procs int) {
+	a.s.ReportJob(user, start, dur, procs)
+}
+
+// ConnectPeer registers a remote USS to pull usage from.
+func (s *Site) ConnectPeer(p uss.Peer) { s.USS.AddPeer(p) }
+
+// Exchange pulls usage from all connected peers.
+func (s *Site) Exchange() error {
+	_, err := s.USS.Exchange()
+	return err
+}
+
+// Refresh invalidates the UMS cache and recomputes the fairshare tree —
+// the periodic pre-calculation pass.
+func (s *Site) Refresh() error {
+	s.UMS.Invalidate()
+	return s.FCS.Refresh()
+}
+
+// FullMesh connects every pair of sites for in-process usage exchange.
+func FullMesh(sites []*Site) {
+	for _, a := range sites {
+		for _, b := range sites {
+			if a != b {
+				a.ConnectPeer(b.USS)
+			}
+		}
+	}
+}

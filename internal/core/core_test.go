@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/policy"
+	"repro/internal/services/irs"
+	"repro/internal/simclock"
+	"repro/internal/usage"
+)
+
+var t0 = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestSite(t *testing.T, name string, clock simclock.Clock, contribute, useGlobal bool) *Site {
+	t.Helper()
+	p, err := policy.FromShares(map[string]float64{"alice": 0.5, "bob": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSite(SiteConfig{
+		Name:       name,
+		Policy:     p,
+		Clock:      clock,
+		BinWidth:   time.Minute,
+		Contribute: contribute,
+		UseGlobal:  useGlobal,
+		ResolveEndpoint: irs.EndpointFunc(func(site, local string) (string, error) {
+			return local, nil // identity mapping for tests
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSiteValidation(t *testing.T) {
+	p, _ := policy.FromShares(map[string]float64{"a": 1})
+	if _, err := NewSite(SiteConfig{Policy: p}); err == nil {
+		t.Error("missing name accepted")
+	}
+	if _, err := NewSite(SiteConfig{Name: "s"}); err == nil {
+		t.Error("missing policy accepted")
+	}
+	bad := policy.NewTree()
+	bad.Root.Children = []*policy.Node{{Name: "x", Share: -1}}
+	if _, err := NewSite(SiteConfig{Name: "s", Policy: bad}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestEndToEndSingleSite(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	s := newTestSite(t, "s", clock, true, true)
+
+	// Both users start balanced.
+	pa, err := s.Lib.PriorityForLocalUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := s.Lib.PriorityForLocalUser("bob")
+	if pa != pb {
+		t.Errorf("initial priorities differ: %g vs %g", pa, pb)
+	}
+
+	// bob consumes; after refresh alice outranks bob.
+	if err := s.Lib.JobComplete("bob", t0, time.Hour, 1); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Hour)
+	if err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ = s.Lib.PriorityForLocalUser("alice")
+	pb, _ = s.Lib.PriorityForLocalUser("bob")
+	if pa <= pb {
+		t.Errorf("alice=%g should outrank bob=%g after bob's usage", pa, pb)
+	}
+}
+
+func TestGlobalVsLocalPrioritization(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	global := newTestSite(t, "global", clock, true, true)
+	localOnly := newTestSite(t, "localonly", clock, true, false)
+	remote := newTestSite(t, "remote", clock, true, true)
+	FullMesh([]*Site{global, localOnly, remote})
+
+	// bob consumes heavily on the remote site only.
+	remote.USS.ReportJob("bob", t0, 10*time.Hour, 4)
+	clock.Advance(time.Hour)
+	for _, s := range []*Site{global, localOnly, remote} {
+		if err := s.Exchange(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The globally-aware site discounts bob; the local-only site sees no
+	// usage at all and keeps them equal.
+	ga, _ := global.Lib.PriorityForLocalUser("alice")
+	gb, _ := global.Lib.PriorityForLocalUser("bob")
+	if ga <= gb {
+		t.Errorf("global site: alice=%g should outrank bob=%g", ga, gb)
+	}
+	la, _ := localOnly.Lib.PriorityForLocalUser("alice")
+	lb, _ := localOnly.Lib.PriorityForLocalUser("bob")
+	if la != lb {
+		t.Errorf("local-only site should be blind to remote usage: %g vs %g", la, lb)
+	}
+}
+
+func TestFullMeshExchange(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	sites := []*Site{
+		newTestSite(t, "a", clock, true, true),
+		newTestSite(t, "b", clock, true, true),
+		newTestSite(t, "c", clock, true, true),
+	}
+	FullMesh(sites)
+	sites[0].USS.ReportJob("alice", t0, time.Hour, 1)
+	clock.Advance(2 * time.Hour)
+	for _, s := range sites {
+		if err := s.Exchange(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range sites {
+		got := s.USS.GlobalTotals(clock.Now(), usage.None{})
+		if got["alice"] < 3599 {
+			t.Errorf("site %s global alice = %g", s.Name, got["alice"])
+		}
+	}
+}
+
+func TestExplicitMappingsViaIRS(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	p, _ := policy.FromShares(map[string]float64{"grid-alice": 1})
+	s, err := NewSite(SiteConfig{Name: "s", Policy: p, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without endpoint or mapping, resolution fails.
+	if _, err := s.Lib.PriorityForLocalUser("gx01"); err == nil {
+		t.Error("unmapped account resolved")
+	}
+	s.IRS.Store(identity.Mapping{GridID: "grid-alice", Site: "s", LocalUser: "gx01"})
+	s.Lib.FlushCaches()
+	v, err := s.Lib.PriorityForLocalUser("gx01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Errorf("priority = %g", v)
+	}
+}

@@ -1,0 +1,134 @@
+package dist
+
+import "math"
+
+// BirnbaumSaunders is the Birnbaum-Saunders (fatigue-life) distribution with
+// scale Beta and shape Gamma, the family the paper fits to the job durations
+// of U65 (BS(β=1.76e4, γ=3.53)) and Uoth in Table III. The CDF is
+//
+//	F(x) = Φ( (sqrt(x/β) - sqrt(β/x)) / γ ).
+type BirnbaumSaunders struct {
+	Beta, Gamma float64
+}
+
+// NewBirnbaumSaunders returns a BS distribution; both parameters must be
+// positive.
+func NewBirnbaumSaunders(beta, gamma float64) (BirnbaumSaunders, error) {
+	if !(beta > 0) || !(gamma > 0) || !finite(beta, gamma) {
+		return BirnbaumSaunders{}, ErrBadParams
+	}
+	return BirnbaumSaunders{Beta: beta, Gamma: gamma}, nil
+}
+
+// Name implements Dist.
+func (d BirnbaumSaunders) Name() string { return "BirnbaumSaunders" }
+
+// Params implements Dist.
+func (d BirnbaumSaunders) Params() []float64 { return []float64{d.Beta, d.Gamma} }
+
+func (d BirnbaumSaunders) xi(x float64) float64 {
+	return (math.Sqrt(x/d.Beta) - math.Sqrt(d.Beta/x)) / d.Gamma
+}
+
+// PDF implements Dist.
+func (d BirnbaumSaunders) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// dξ/dx = (1/(2γ)) * (1/sqrt(xβ) + sqrt(β)/x^{3/2})
+	dxi := (1/math.Sqrt(x*d.Beta) + math.Sqrt(d.Beta)/math.Pow(x, 1.5)) / (2 * d.Gamma)
+	return stdNormPDF(d.xi(x)) * dxi
+}
+
+// LogPDF implements Dist.
+func (d BirnbaumSaunders) LogPDF(x float64) float64 { return logPDFviaPDF(d, x) }
+
+// CDF implements Dist.
+func (d BirnbaumSaunders) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return stdNormCDF(d.xi(x))
+}
+
+// Quantile implements Dist.
+func (d BirnbaumSaunders) Quantile(p float64) float64 {
+	z := stdNormQuantile(clampP(p))
+	t := d.Gamma*z + math.Sqrt(d.Gamma*d.Gamma*z*z+4)
+	return d.Beta / 4 * t * t
+}
+
+// Support implements Dist.
+func (d BirnbaumSaunders) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Mean implements Dist.
+func (d BirnbaumSaunders) Mean() float64 {
+	return d.Beta * (1 + d.Gamma*d.Gamma/2)
+}
+
+// InverseGaussian is the inverse Gaussian (Wald) distribution with mean Mu
+// and shape Lambda.
+type InverseGaussian struct {
+	Mu, Lambda float64
+}
+
+// NewInverseGaussian returns an InverseGaussian distribution; both parameters
+// must be positive.
+func NewInverseGaussian(mu, lambda float64) (InverseGaussian, error) {
+	if !(mu > 0) || !(lambda > 0) || !finite(mu, lambda) {
+		return InverseGaussian{}, ErrBadParams
+	}
+	return InverseGaussian{Mu: mu, Lambda: lambda}, nil
+}
+
+// Name implements Dist.
+func (d InverseGaussian) Name() string { return "InverseGaussian" }
+
+// Params implements Dist.
+func (d InverseGaussian) Params() []float64 { return []float64{d.Mu, d.Lambda} }
+
+// PDF implements Dist.
+func (d InverseGaussian) PDF(x float64) float64 {
+	lp := d.LogPDF(x)
+	if math.IsInf(lp, -1) {
+		return 0
+	}
+	return math.Exp(lp)
+}
+
+// LogPDF implements Dist.
+func (d InverseGaussian) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	dev := x - d.Mu
+	return 0.5*math.Log(d.Lambda/(2*math.Pi*x*x*x)) -
+		d.Lambda*dev*dev/(2*d.Mu*d.Mu*x)
+}
+
+// CDF implements Dist.
+func (d InverseGaussian) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	s := math.Sqrt(d.Lambda / x)
+	a := stdNormCDF(s * (x/d.Mu - 1))
+	b := math.Exp(2*d.Lambda/d.Mu) * stdNormCDF(-s*(x/d.Mu+1))
+	v := a + b
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Quantile implements Dist.
+func (d InverseGaussian) Quantile(p float64) float64 {
+	p = clampP(p)
+	return quantileBisect(d.CDF, p, 0, 4*d.Mu+10*d.Mu*d.Mu/d.Lambda)
+}
+
+// Support implements Dist.
+func (d InverseGaussian) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Mean implements Dist.
+func (d InverseGaussian) Mean() float64 { return d.Mu }

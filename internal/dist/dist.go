@@ -1,0 +1,98 @@
+// Package dist implements the continuous probability distributions used by
+// the workload-modeling pipeline of the Aequus evaluation: probability
+// density, cumulative distribution, quantile (inverse CDF) and sampling for
+// 18 families, including the Generalized Extreme Value, Burr XII,
+// Birnbaum-Saunders and Weibull fits the paper reports in Tables II and III.
+//
+// All distributions are immutable value types constructed through their
+// New... constructors (which validate parameters) or through the generic
+// Family registry used by the fitting code in internal/fit.
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Dist is a continuous univariate distribution.
+type Dist interface {
+	// Name returns the family name, e.g. "GEV".
+	Name() string
+	// Params returns the parameter vector in the family's canonical order.
+	Params() []float64
+	// PDF returns the probability density at x (0 outside the support).
+	PDF(x float64) float64
+	// LogPDF returns log(PDF(x)); -Inf outside the support.
+	LogPDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile for p in (0,1). Behaviour outside
+	// (0,1) is clamped to the support endpoints.
+	Quantile(p float64) float64
+	// Support returns the interval on which the density is positive.
+	Support() (lo, hi float64)
+	// Mean returns the distribution mean; NaN or Inf when undefined.
+	Mean() float64
+}
+
+// ErrBadParams is returned by constructors for out-of-domain parameters.
+var ErrBadParams = errors.New("dist: invalid parameters")
+
+// Sample draws one variate from d by inverse-transform sampling.
+func Sample(d Dist, rng *rand.Rand) float64 {
+	return d.Quantile(openUnit(rng))
+}
+
+// SampleN draws n variates from d.
+func SampleN(d Dist, rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = Sample(d, rng)
+	}
+	return out
+}
+
+// openUnit returns a uniform variate strictly inside (0,1) so quantile
+// functions never see 0 or 1 exactly.
+func openUnit(rng *rand.Rand) float64 {
+	for {
+		u := rng.Float64()
+		if u > 0 && u < 1 {
+			return u
+		}
+	}
+}
+
+// clampP clips a probability to the open unit interval; out-of-range values
+// map to the nearest representable interior point so quantiles stay finite
+// where the support is finite.
+func clampP(p float64) float64 {
+	const eps = 1e-300
+	if p <= 0 {
+		return eps
+	}
+	if p >= 1 {
+		return 1 - 1e-16
+	}
+	return p
+}
+
+// logPDFviaPDF is a fallback for families whose density has a simple form.
+func logPDFviaPDF(d Dist, x float64) float64 {
+	p := d.PDF(x)
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// finite reports whether all values are finite (no NaN/Inf).
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

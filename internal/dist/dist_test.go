@@ -1,0 +1,385 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testDists returns one instance per family, with parameters echoing those
+// the paper reports where applicable.
+func testDists(t *testing.T) []Dist {
+	t.Helper()
+	mk := func(d Dist, err error) Dist {
+		if err != nil {
+			t.Fatalf("constructing %T: %v", d, err)
+		}
+		return d
+	}
+	gevNeg := mk(NewGEV(-0.386, 19.5, 100)) // Table II U65 p1 shape/scale
+	gevPos := mk(NewGEV(0.195, 29.1, 100))  // Table II U3
+	burr := mk(NewBurr(2.07, 11.0, 0.8))    // Table III U3-like (k raised for finite quantiles)
+	bs := mk(NewBirnbaumSaunders(1.76e4, 3.53))
+	weib := mk(NewWeibull(5.49e4, 0.637))
+	return []Dist{
+		mk(NewNormal(3, 2)),
+		mk(NewLogNormal(1, 0.5)),
+		mk(NewExponential(0.25)),
+		weib,
+		mk(NewGamma(2.5, 3)),
+		gevNeg,
+		gevPos,
+		mk(NewGumbel(5, 2)),
+		mk(NewPareto(1.5, 2.5)),
+		mk(NewGeneralizedPareto(0.2, 2, 1)),
+		mk(NewGeneralizedPareto(-0.3, 2, 1)),
+		burr,
+		bs,
+		mk(NewRayleigh(3)),
+		mk(NewLogistic(-1, 2)),
+		mk(NewLogLogistic(4, 3)),
+		mk(NewUniform(-2, 7)),
+		mk(NewInverseGaussian(3, 9)),
+		mk(NewLaplace(0, 1.5)),
+		mk(NewCauchy(1, 2)),
+	}
+}
+
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	ps := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}
+	for _, d := range testDists(t) {
+		for _, p := range ps {
+			x := d.Quantile(p)
+			if math.IsNaN(x) {
+				t.Errorf("%s.Quantile(%g) = NaN", d.Name(), p)
+				continue
+			}
+			got := d.CDF(x)
+			if math.Abs(got-p) > 1e-6 {
+				t.Errorf("%s: CDF(Quantile(%g)) = %g (x=%g)", d.Name(), p, got, x)
+			}
+		}
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	for _, d := range testDists(t) {
+		lo := d.Quantile(0.0005)
+		hi := d.Quantile(0.9995)
+		prev := math.Inf(-1)
+		for i := 0; i <= 200; i++ {
+			x := lo + float64(i)*(hi-lo)/200
+			c := d.CDF(x)
+			if c < 0 || c > 1 || math.IsNaN(c) {
+				t.Fatalf("%s.CDF(%g) = %g out of [0,1]", d.Name(), x, c)
+			}
+			if c < prev-1e-12 {
+				t.Fatalf("%s.CDF not monotone at %g: %g < %g", d.Name(), x, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestPDFMatchesLogPDF(t *testing.T) {
+	for _, d := range testDists(t) {
+		for _, p := range []float64{0.05, 0.3, 0.5, 0.7, 0.95} {
+			x := d.Quantile(p)
+			pdf := d.PDF(x)
+			lp := d.LogPDF(x)
+			if pdf <= 0 {
+				if !math.IsInf(lp, -1) {
+					t.Errorf("%s: PDF(%g)=0 but LogPDF=%g", d.Name(), x, lp)
+				}
+				continue
+			}
+			if math.Abs(math.Log(pdf)-lp) > 1e-8*math.Max(1, math.Abs(lp)) {
+				t.Errorf("%s: log(PDF(%g))=%g, LogPDF=%g", d.Name(), x, math.Log(pdf), lp)
+			}
+		}
+	}
+}
+
+func TestPDFIntegratesToCDFDifference(t *testing.T) {
+	// Trapezoid-integrate the density between the 10% and 90% quantiles and
+	// compare with the CDF mass over the same interval.
+	for _, d := range testDists(t) {
+		a := d.Quantile(0.1)
+		b := d.Quantile(0.9)
+		const n = 20000
+		h := (b - a) / n
+		sum := 0.5 * (d.PDF(a) + d.PDF(b))
+		for i := 1; i < n; i++ {
+			sum += d.PDF(a + float64(i)*h)
+		}
+		integral := sum * h
+		want := d.CDF(b) - d.CDF(a)
+		if math.Abs(integral-want) > 5e-3 {
+			t.Errorf("%s: ∫pdf=%g over [q10,q90], CDF mass=%g", d.Name(), integral, want)
+		}
+	}
+}
+
+func TestPDFZeroOutsideSupport(t *testing.T) {
+	for _, d := range testDists(t) {
+		lo, hi := d.Support()
+		if !math.IsInf(lo, -1) {
+			x := lo - math.Max(1, math.Abs(lo))*0.5
+			if p := d.PDF(x); p != 0 {
+				t.Errorf("%s.PDF(%g) = %g below support [%g,%g]", d.Name(), x, p, lo, hi)
+			}
+		}
+		if !math.IsInf(hi, 1) {
+			x := hi + math.Max(1, math.Abs(hi))*0.5
+			if p := d.PDF(x); p != 0 {
+				t.Errorf("%s.PDF(%g) = %g above support", d.Name(), x, p)
+			}
+			if c := d.CDF(x); c != 1 {
+				t.Errorf("%s.CDF(%g) = %g above support, want 1", d.Name(), x, c)
+			}
+		}
+	}
+}
+
+func TestSampleMeanMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range testDists(t) {
+		mu := d.Mean()
+		if math.IsNaN(mu) || math.IsInf(mu, 0) {
+			continue // Cauchy, heavy-tailed Burr etc.
+		}
+		// Skip extremely heavy-tailed cases where 20k samples cannot settle.
+		if d.Name() == "BirnbaumSaunders" && d.Params()[1] > 2 {
+			continue
+		}
+		xs := SampleN(d, rng, 20000)
+		var m float64
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		scale := math.Max(math.Abs(mu), 1)
+		if math.Abs(m-mu) > 0.15*scale {
+			t.Errorf("%s: sample mean %g, theory %g", d.Name(), m, mu)
+		}
+	}
+}
+
+func TestSamplesInsideSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range testDists(t) {
+		lo, hi := d.Support()
+		for i := 0; i < 1000; i++ {
+			x := Sample(d, rng)
+			if x < lo-1e-9 || x > hi+1e-9 || math.IsNaN(x) {
+				t.Fatalf("%s: sample %g outside support [%g, %g]", d.Name(), x, lo, hi)
+			}
+		}
+	}
+}
+
+func TestConstructorsRejectBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"Normal sigma=0", errOf(NewNormal(0, 0))},
+		{"Normal sigma<0", errOf(NewNormal(0, -1))},
+		{"LogNormal sigma=0", errOf(NewLogNormal(0, 0))},
+		{"Exponential lambda=0", errOf(NewExponential(0))},
+		{"Weibull k=0", errOf(NewWeibull(1, 0))},
+		{"Weibull lambda<0", errOf(NewWeibull(-1, 1))},
+		{"Gamma k=0", errOf(NewGamma(0, 1))},
+		{"GEV sigma=0", errOf(NewGEV(0.1, 0, 0))},
+		{"GEV NaN", errOf(NewGEV(math.NaN(), 1, 0))},
+		{"Gumbel beta=0", errOf(NewGumbel(0, 0))},
+		{"Pareto xm=0", errOf(NewPareto(0, 1))},
+		{"GPD sigma=0", errOf(NewGeneralizedPareto(0, 0, 0))},
+		{"Burr c=0", errOf(NewBurr(1, 0, 1))},
+		{"BS gamma=0", errOf(NewBirnbaumSaunders(1, 0))},
+		{"Rayleigh sigma=0", errOf(NewRayleigh(0))},
+		{"Logistic s=0", errOf(NewLogistic(0, 0))},
+		{"LogLogistic beta=0", errOf(NewLogLogistic(1, 0))},
+		{"Uniform a=b", errOf(NewUniform(1, 1))},
+		{"Uniform a>b", errOf(NewUniform(2, 1))},
+		{"InvGauss mu=0", errOf(NewInverseGaussian(0, 1))},
+		{"Laplace b=0", errOf(NewLaplace(0, 0))},
+		{"Cauchy gamma=0", errOf(NewCauchy(0, 0))},
+	}
+	for _, c := range cases {
+		if c.err != ErrBadParams {
+			t.Errorf("%s: err = %v, want ErrBadParams", c.name, c.err)
+		}
+	}
+}
+
+func errOf(_ interface{}, err error) error { return err }
+
+func TestGEVNegativeShapeHasUpperBound(t *testing.T) {
+	// Table II fits negative shapes for U65; the support must be bounded
+	// above at mu - sigma/k.
+	d, err := NewGEV(-0.386, 19.5, 7.35e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := d.Support()
+	if !math.IsInf(lo, -1) {
+		t.Errorf("lower support = %g, want -Inf", lo)
+	}
+	wantHi := 7.35e4 + 19.5/0.386
+	if math.Abs(hi-wantHi) > 1e-6 {
+		t.Errorf("upper support = %g, want %g", hi, wantHi)
+	}
+	if c := d.CDF(hi + 1); c != 1 {
+		t.Errorf("CDF above upper endpoint = %g, want 1", c)
+	}
+	if p := d.PDF(hi + 1); p != 0 {
+		t.Errorf("PDF above upper endpoint = %g, want 0", p)
+	}
+}
+
+func TestGEVZeroShapeEqualsGumbel(t *testing.T) {
+	gev, _ := NewGEV(0, 2, 5)
+	gum, _ := NewGumbel(5, 2)
+	for _, x := range []float64{-3, 0, 2, 5, 8, 20} {
+		if math.Abs(gev.CDF(x)-gum.CDF(x)) > 1e-12 {
+			t.Errorf("CDF mismatch at %g: GEV %g vs Gumbel %g", x, gev.CDF(x), gum.CDF(x))
+		}
+		if math.Abs(gev.PDF(x)-gum.PDF(x)) > 1e-12 {
+			t.Errorf("PDF mismatch at %g", x)
+		}
+	}
+}
+
+func TestNormalKnownValues(t *testing.T) {
+	d, _ := NewNormal(0, 1)
+	if got := d.CDF(0); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("Φ(0) = %g", got)
+	}
+	if got := d.CDF(1.959963985); math.Abs(got-0.975) > 1e-8 {
+		t.Errorf("Φ(1.96) = %g, want 0.975", got)
+	}
+	if got := d.Quantile(0.975); math.Abs(got-1.959963985) > 1e-8 {
+		t.Errorf("Φ⁻¹(0.975) = %g", got)
+	}
+	if got := d.PDF(0); math.Abs(got-0.3989422804) > 1e-9 {
+		t.Errorf("φ(0) = %g", got)
+	}
+}
+
+func TestExponentialKnownValues(t *testing.T) {
+	d, _ := NewExponential(2)
+	if got := d.CDF(math.Ln2 / 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("median CDF = %g", got)
+	}
+	if got := d.Mean(); got != 0.5 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+func TestBirnbaumSaundersMedianIsBeta(t *testing.T) {
+	// The BS median equals the scale parameter β, which is how the paper's
+	// Table III medians relate to its fits.
+	d, _ := NewBirnbaumSaunders(1.76e4, 3.53)
+	if got := d.Quantile(0.5); math.Abs(got-1.76e4) > 1 {
+		t.Errorf("BS median = %g, want β = 1.76e4", got)
+	}
+	if got := d.CDF(1.76e4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(β) = %g, want 0.5", got)
+	}
+}
+
+func TestParetoSupportStartsAtXm(t *testing.T) {
+	d, _ := NewPareto(3, 2)
+	if got := d.CDF(3); got != 0 {
+		t.Errorf("CDF(xm) = %g, want 0", got)
+	}
+	if got := d.CDF(2.9); got != 0 {
+		t.Errorf("CDF below xm = %g", got)
+	}
+	if got := d.Mean(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("mean = %g, want 6", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	for _, d := range testDists(t) {
+		d := d
+		f := func(a, b uint32) bool {
+			p1 := (float64(a%100000) + 0.5) / 100001
+			p2 := (float64(b%100000) + 0.5) / 100001
+			if p1 > p2 {
+				p1, p2 = p2, p1
+			}
+			return d.Quantile(p1) <= d.Quantile(p2)+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s quantile monotonicity: %v", d.Name(), err)
+		}
+	}
+}
+
+func TestMixtureMatchesEquationOne(t *testing.T) {
+	// Equation (1): PDF_U65(x) = Σ (phase usage / total) · PDF_pn(x).
+	c1, _ := NewNormal(10, 2)
+	c2, _ := NewNormal(30, 5)
+	m, err := NewMixture([]Dist{c1, c2}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{5, 10, 20, 30, 40} {
+		want := 0.75*c1.PDF(x) + 0.25*c2.PDF(x)
+		if got := m.PDF(x); math.Abs(got-want) > 1e-15 {
+			t.Errorf("mixture PDF(%g) = %g, want %g", x, got, want)
+		}
+		wantC := 0.75*c1.CDF(x) + 0.25*c2.CDF(x)
+		if got := m.CDF(x); math.Abs(got-wantC) > 1e-15 {
+			t.Errorf("mixture CDF(%g) = %g, want %g", x, got, wantC)
+		}
+	}
+	if got, want := m.Mean(), 0.75*10+0.25*30; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixture mean = %g, want %g", got, want)
+	}
+}
+
+func TestMixtureQuantileRoundTrip(t *testing.T) {
+	c1, _ := NewGEV(-0.3, 20, 100)
+	c2, _ := NewGEV(0.2, 30, 400)
+	m, err := NewMixture([]Dist{c1, c2}, []float64{0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := m.Quantile(p)
+		if got := m.CDF(x); math.Abs(got-p) > 1e-6 {
+			t.Errorf("mixture CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+}
+
+func TestMixtureRejectsBadInput(t *testing.T) {
+	c, _ := NewNormal(0, 1)
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewMixture([]Dist{c}, []float64{0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewMixture([]Dist{c}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewMixture([]Dist{c}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestMixtureWeightsNormalized(t *testing.T) {
+	c1, _ := NewNormal(0, 1)
+	c2, _ := NewNormal(5, 1)
+	m, _ := NewMixture([]Dist{c1, c2}, []float64{2, 6})
+	w := m.Weights()
+	if math.Abs(w[0]-0.25) > 1e-15 || math.Abs(w[1]-0.75) > 1e-15 {
+		t.Errorf("weights = %v, want [0.25 0.75]", w)
+	}
+}

@@ -1,0 +1,109 @@
+package dist
+
+import "math"
+
+// Exponential is the exponential distribution with rate Lambda.
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponential returns an Exponential distribution; Lambda must be positive.
+func NewExponential(lambda float64) (Exponential, error) {
+	if !(lambda > 0) || !finite(lambda) {
+		return Exponential{}, ErrBadParams
+	}
+	return Exponential{Lambda: lambda}, nil
+}
+
+// Name implements Dist.
+func (d Exponential) Name() string { return "Exponential" }
+
+// Params implements Dist.
+func (d Exponential) Params() []float64 { return []float64{d.Lambda} }
+
+// PDF implements Dist.
+func (d Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return d.Lambda * math.Exp(-d.Lambda*x)
+}
+
+// LogPDF implements Dist.
+func (d Exponential) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Lambda) - d.Lambda*x
+}
+
+// CDF implements Dist.
+func (d Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Lambda * x)
+}
+
+// Quantile implements Dist.
+func (d Exponential) Quantile(p float64) float64 {
+	p = clampP(p)
+	return -math.Log1p(-p) / d.Lambda
+}
+
+// Support implements Dist.
+func (d Exponential) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Mean implements Dist.
+func (d Exponential) Mean() float64 { return 1 / d.Lambda }
+
+// Rayleigh is the Rayleigh distribution with scale Sigma.
+type Rayleigh struct {
+	Sigma float64
+}
+
+// NewRayleigh returns a Rayleigh distribution; Sigma must be positive.
+func NewRayleigh(sigma float64) (Rayleigh, error) {
+	if !(sigma > 0) || !finite(sigma) {
+		return Rayleigh{}, ErrBadParams
+	}
+	return Rayleigh{Sigma: sigma}, nil
+}
+
+// Name implements Dist.
+func (d Rayleigh) Name() string { return "Rayleigh" }
+
+// Params implements Dist.
+func (d Rayleigh) Params() []float64 { return []float64{d.Sigma} }
+
+// PDF implements Dist.
+func (d Rayleigh) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	s2 := d.Sigma * d.Sigma
+	return x / s2 * math.Exp(-x*x/(2*s2))
+}
+
+// LogPDF implements Dist.
+func (d Rayleigh) LogPDF(x float64) float64 { return logPDFviaPDF(d, x) }
+
+// CDF implements Dist.
+func (d Rayleigh) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return -math.Expm1(-x * x / (2 * d.Sigma * d.Sigma))
+}
+
+// Quantile implements Dist.
+func (d Rayleigh) Quantile(p float64) float64 {
+	p = clampP(p)
+	return d.Sigma * math.Sqrt(-2*math.Log1p(-p))
+}
+
+// Support implements Dist.
+func (d Rayleigh) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Mean implements Dist.
+func (d Rayleigh) Mean() float64 { return d.Sigma * math.Sqrt(math.Pi/2) }

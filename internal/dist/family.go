@@ -1,0 +1,230 @@
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// Family describes a parametric distribution family generically so the
+// fitting code can construct candidate distributions from raw parameter
+// vectors. The paper fits "a set of 18 different distributions" and selects
+// the best by the Bayesian information criterion; AllFamilies returns those
+// 18 families.
+type Family struct {
+	// Name is the family name, matching Dist.Name of its members.
+	Name string
+	// NParams is the length of the parameter vector.
+	NParams int
+	// New constructs a member from a parameter vector, validating it.
+	New func(params []float64) (Dist, error)
+	// Guess produces a starting parameter vector from data for MLE.
+	Guess func(data []float64) []float64
+}
+
+// AllFamilies returns the 18 distribution families considered during model
+// selection, mirroring the candidate set described in Section IV of the
+// paper (normal, Weibull, GEV, Birnbaum-Saunders, Pareto, Burr, log-normal,
+// and similar standard continuous families).
+func AllFamilies() []Family {
+	return []Family{
+		{"Normal", 2,
+			func(p []float64) (Dist, error) { return NewNormal(p[0], p[1]) },
+			func(xs []float64) []float64 { m, s := meanStd(xs); return []float64{m, s} }},
+		{"LogNormal", 2,
+			func(p []float64) (Dist, error) { return NewLogNormal(p[0], p[1]) },
+			func(xs []float64) []float64 { m, s := logMeanStd(xs); return []float64{m, s} }},
+		{"Exponential", 1,
+			func(p []float64) (Dist, error) { return NewExponential(p[0]) },
+			func(xs []float64) []float64 {
+				m, _ := meanStd(xs)
+				return []float64{1 / math.Max(m, 1e-12)}
+			}},
+		{"Weibull", 2,
+			func(p []float64) (Dist, error) { return NewWeibull(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				m, _ := meanStd(xs)
+				return []float64{math.Max(m, 1e-9), 1}
+			}},
+		{"Gamma", 2,
+			func(p []float64) (Dist, error) { return NewGamma(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				m, s := meanStd(xs)
+				v := math.Max(s*s, 1e-12)
+				m = math.Max(m, 1e-12)
+				return []float64{m * m / v, v / m}
+			}},
+		{"GEV", 3,
+			func(p []float64) (Dist, error) { return NewGEV(p[0], p[1], p[2]) },
+			func(xs []float64) []float64 {
+				_, s := meanStd(xs)
+				return []float64{0.1, math.Max(s*math.Sqrt(6)/math.Pi, 1e-9), median(xs)}
+			}},
+		{"Gumbel", 2,
+			func(p []float64) (Dist, error) { return NewGumbel(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				m, s := meanStd(xs)
+				beta := math.Max(s*math.Sqrt(6)/math.Pi, 1e-9)
+				return []float64{m - 0.5772156649*beta, beta}
+			}},
+		{"Pareto", 2,
+			func(p []float64) (Dist, error) { return NewPareto(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				lo, _ := minMax(xs)
+				return []float64{math.Max(lo*0.999, 1e-12), 2}
+			}},
+		{"GeneralizedPareto", 3,
+			func(p []float64) (Dist, error) { return NewGeneralizedPareto(p[0], p[1], p[2]) },
+			func(xs []float64) []float64 {
+				lo, _ := minMax(xs)
+				_, s := meanStd(xs)
+				return []float64{0.1, math.Max(s, 1e-9), lo - math.Max(math.Abs(lo)*1e-6, 1e-9)}
+			}},
+		{"Burr", 3,
+			func(p []float64) (Dist, error) { return NewBurr(p[0], p[1], p[2]) },
+			func(xs []float64) []float64 {
+				return []float64{math.Max(median(xs), 1e-9), 1, 1}
+			}},
+		{"BirnbaumSaunders", 2,
+			func(p []float64) (Dist, error) { return NewBirnbaumSaunders(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				m, _ := meanStd(xs)
+				med := math.Max(median(xs), 1e-12)
+				g := math.Sqrt(2 * math.Max(m/med-1, 0.01))
+				return []float64{med, g}
+			}},
+		{"Rayleigh", 1,
+			func(p []float64) (Dist, error) { return NewRayleigh(p[0]) },
+			func(xs []float64) []float64 {
+				m, _ := meanStd(xs)
+				return []float64{math.Max(m/math.Sqrt(math.Pi/2), 1e-12)}
+			}},
+		{"Logistic", 2,
+			func(p []float64) (Dist, error) { return NewLogistic(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				m, s := meanStd(xs)
+				return []float64{m, math.Max(s*math.Sqrt(3)/math.Pi, 1e-9)}
+			}},
+		{"LogLogistic", 2,
+			func(p []float64) (Dist, error) { return NewLogLogistic(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				return []float64{math.Max(median(xs), 1e-9), 1}
+			}},
+		{"Uniform", 2,
+			func(p []float64) (Dist, error) { return NewUniform(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				lo, hi := minMax(xs)
+				pad := math.Max((hi-lo)*1e-6, 1e-9)
+				return []float64{lo - pad, hi + pad}
+			}},
+		{"InverseGaussian", 2,
+			func(p []float64) (Dist, error) { return NewInverseGaussian(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				m, s := meanStd(xs)
+				m = math.Max(m, 1e-12)
+				v := math.Max(s*s, 1e-12)
+				return []float64{m, m * m * m / v}
+			}},
+		{"Laplace", 2,
+			func(p []float64) (Dist, error) { return NewLaplace(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				med := median(xs)
+				mad := 0.0
+				for _, x := range xs {
+					mad += math.Abs(x - med)
+				}
+				if len(xs) > 0 {
+					mad /= float64(len(xs))
+				}
+				return []float64{med, math.Max(mad, 1e-9)}
+			}},
+		{"Cauchy", 2,
+			func(p []float64) (Dist, error) { return NewCauchy(p[0], p[1]) },
+			func(xs []float64) []float64 {
+				med := median(xs)
+				return []float64{med, math.Max(iqr(xs)/2, 1e-9)}
+			}},
+	}
+}
+
+// FamilyByName returns the family with the given name and whether it exists.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range AllFamilies() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	if std == 0 {
+		std = math.Max(math.Abs(mean)*1e-3, 1e-9)
+	}
+	return mean, std
+}
+
+func logMeanStd(xs []float64) (mean, std float64) {
+	ls := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			ls = append(ls, math.Log(x))
+		}
+	}
+	return meanStd(ls)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return 0.5 * (s[n/2-1] + s[n/2])
+}
+
+func iqr(xs []float64) float64 {
+	if len(xs) < 4 {
+		_, s := meanStd(xs)
+		return s
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q1 := s[len(s)/4]
+	q3 := s[3*len(s)/4]
+	return q3 - q1
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

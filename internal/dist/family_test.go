@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAllFamiliesCountIsEighteen(t *testing.T) {
+	// The paper: "the best fit was found by modeling each data set using a
+	// set of 18 different distributions".
+	if got := len(AllFamilies()); got != 18 {
+		t.Fatalf("AllFamilies() has %d entries, want 18", got)
+	}
+}
+
+func TestFamilyNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range AllFamilies() {
+		if seen[f.Name] {
+			t.Errorf("duplicate family %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	for _, name := range []string{"GEV", "Burr", "BirnbaumSaunders", "Weibull"} {
+		f, ok := FamilyByName(name)
+		if !ok || f.Name != name {
+			t.Errorf("FamilyByName(%q) = %v, %v", name, f.Name, ok)
+		}
+	}
+	if _, ok := FamilyByName("NoSuchFamily"); ok {
+		t.Error("FamilyByName accepted an unknown name")
+	}
+}
+
+func TestGuessesProduceValidDistributions(t *testing.T) {
+	// For each family, sample data from a representative member and verify
+	// the initial guess constructs a valid distribution with finite
+	// log-likelihood on that data.
+	rng := rand.New(rand.NewSource(3))
+	source := map[string]Dist{}
+	for _, d := range []Dist{
+		mustDist(NewNormal(5, 2)),
+		mustDist(NewLogNormal(1, 0.7)),
+		mustDist(NewExponential(0.5)),
+		mustDist(NewWeibull(10, 1.4)),
+		mustDist(NewGamma(3, 2)),
+		mustDist(NewGEV(0.1, 5, 50)),
+		mustDist(NewGumbel(10, 3)),
+		mustDist(NewPareto(2, 3)),
+		mustDist(NewGeneralizedPareto(0.1, 2, 0)),
+		mustDist(NewBurr(5, 2, 1.5)),
+		mustDist(NewBirnbaumSaunders(100, 0.8)),
+		mustDist(NewRayleigh(4)),
+		mustDist(NewLogistic(0, 2)),
+		mustDist(NewLogLogistic(6, 2.5)),
+		mustDist(NewUniform(1, 9)),
+		mustDist(NewInverseGaussian(4, 8)),
+		mustDist(NewLaplace(2, 1)),
+		mustDist(NewCauchy(0, 1)),
+	} {
+		source[d.Name()] = d
+	}
+	for _, f := range AllFamilies() {
+		src, ok := source[f.Name]
+		if !ok {
+			t.Fatalf("no source distribution for family %s", f.Name)
+		}
+		data := SampleN(src, rng, 500)
+		guess := f.Guess(data)
+		if len(guess) != f.NParams {
+			t.Errorf("%s: guess has %d params, want %d", f.Name, len(guess), f.NParams)
+			continue
+		}
+		d, err := f.New(guess)
+		if err != nil {
+			t.Errorf("%s: guess %v rejected: %v", f.Name, guess, err)
+			continue
+		}
+		// Log-likelihood should be finite for most points of the sample.
+		finiteCount := 0
+		for _, x := range data {
+			if lp := d.LogPDF(x); !math.IsInf(lp, 0) && !math.IsNaN(lp) {
+				finiteCount++
+			}
+		}
+		if finiteCount < len(data)*9/10 {
+			t.Errorf("%s: guess density finite on only %d/%d points", f.Name, finiteCount, len(data))
+		}
+	}
+}
+
+func TestGuessHandlesDegenerateData(t *testing.T) {
+	// Constant and tiny data sets must not produce invalid parameters.
+	data := []float64{5, 5, 5, 5}
+	for _, f := range AllFamilies() {
+		guess := f.Guess(data)
+		if _, err := f.New(guess); err != nil {
+			t.Errorf("%s: constant-data guess %v rejected: %v", f.Name, guess, err)
+		}
+	}
+	one := []float64{3}
+	for _, f := range AllFamilies() {
+		guess := f.Guess(one)
+		if _, err := f.New(guess); err != nil {
+			t.Errorf("%s: single-point guess %v rejected: %v", f.Name, guess, err)
+		}
+	}
+}
+
+func mustDist(d Dist, err error) Dist {
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestMedianHelper(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median odd = %g", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("median even = %g", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("median empty = %g", got)
+	}
+}
+
+func TestMeanStdHelper(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 {
+		t.Errorf("mean = %g", m)
+	}
+	if math.Abs(s-2.138089935) > 1e-6 {
+		t.Errorf("std = %g", s)
+	}
+	_, s0 := meanStd([]float64{3, 3, 3})
+	if s0 <= 0 {
+		t.Errorf("degenerate std = %g, want positive floor", s0)
+	}
+}

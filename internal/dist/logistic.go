@@ -1,0 +1,151 @@
+package dist
+
+import "math"
+
+// Logistic is the logistic distribution with location Mu and scale S.
+type Logistic struct {
+	Mu, S float64
+}
+
+// NewLogistic returns a Logistic distribution; S must be positive.
+func NewLogistic(mu, s float64) (Logistic, error) {
+	if !(s > 0) || !finite(mu, s) {
+		return Logistic{}, ErrBadParams
+	}
+	return Logistic{Mu: mu, S: s}, nil
+}
+
+// Name implements Dist.
+func (d Logistic) Name() string { return "Logistic" }
+
+// Params implements Dist.
+func (d Logistic) Params() []float64 { return []float64{d.Mu, d.S} }
+
+// PDF implements Dist.
+func (d Logistic) PDF(x float64) float64 {
+	z := math.Abs(x-d.Mu) / d.S
+	e := math.Exp(-z)
+	return e / (d.S * (1 + e) * (1 + e))
+}
+
+// LogPDF implements Dist.
+func (d Logistic) LogPDF(x float64) float64 {
+	z := math.Abs(x-d.Mu) / d.S
+	return -z - math.Log(d.S) - 2*log1pExp(-z)
+}
+
+// CDF implements Dist.
+func (d Logistic) CDF(x float64) float64 {
+	z := (x - d.Mu) / d.S
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Quantile implements Dist.
+func (d Logistic) Quantile(p float64) float64 {
+	p = clampP(p)
+	return d.Mu + d.S*math.Log(p/(1-p))
+}
+
+// Support implements Dist.
+func (d Logistic) Support() (float64, float64) { return math.Inf(-1), math.Inf(1) }
+
+// Mean implements Dist.
+func (d Logistic) Mean() float64 { return d.Mu }
+
+// Laplace is the double-exponential distribution with location Mu and scale B.
+type Laplace struct {
+	Mu, B float64
+}
+
+// NewLaplace returns a Laplace distribution; B must be positive.
+func NewLaplace(mu, b float64) (Laplace, error) {
+	if !(b > 0) || !finite(mu, b) {
+		return Laplace{}, ErrBadParams
+	}
+	return Laplace{Mu: mu, B: b}, nil
+}
+
+// Name implements Dist.
+func (d Laplace) Name() string { return "Laplace" }
+
+// Params implements Dist.
+func (d Laplace) Params() []float64 { return []float64{d.Mu, d.B} }
+
+// PDF implements Dist.
+func (d Laplace) PDF(x float64) float64 {
+	return math.Exp(-math.Abs(x-d.Mu)/d.B) / (2 * d.B)
+}
+
+// LogPDF implements Dist.
+func (d Laplace) LogPDF(x float64) float64 {
+	return -math.Abs(x-d.Mu)/d.B - math.Log(2*d.B)
+}
+
+// CDF implements Dist.
+func (d Laplace) CDF(x float64) float64 {
+	if x < d.Mu {
+		return 0.5 * math.Exp((x-d.Mu)/d.B)
+	}
+	return 1 - 0.5*math.Exp(-(x-d.Mu)/d.B)
+}
+
+// Quantile implements Dist.
+func (d Laplace) Quantile(p float64) float64 {
+	p = clampP(p)
+	if p < 0.5 {
+		return d.Mu + d.B*math.Log(2*p)
+	}
+	return d.Mu - d.B*math.Log(2*(1-p))
+}
+
+// Support implements Dist.
+func (d Laplace) Support() (float64, float64) { return math.Inf(-1), math.Inf(1) }
+
+// Mean implements Dist.
+func (d Laplace) Mean() float64 { return d.Mu }
+
+// Cauchy is the Cauchy distribution with location X0 and scale Gamma. Its
+// mean is undefined (NaN).
+type Cauchy struct {
+	X0, Gamma float64
+}
+
+// NewCauchy returns a Cauchy distribution; Gamma must be positive.
+func NewCauchy(x0, gamma float64) (Cauchy, error) {
+	if !(gamma > 0) || !finite(x0, gamma) {
+		return Cauchy{}, ErrBadParams
+	}
+	return Cauchy{X0: x0, Gamma: gamma}, nil
+}
+
+// Name implements Dist.
+func (d Cauchy) Name() string { return "Cauchy" }
+
+// Params implements Dist.
+func (d Cauchy) Params() []float64 { return []float64{d.X0, d.Gamma} }
+
+// PDF implements Dist.
+func (d Cauchy) PDF(x float64) float64 {
+	z := (x - d.X0) / d.Gamma
+	return 1 / (math.Pi * d.Gamma * (1 + z*z))
+}
+
+// LogPDF implements Dist.
+func (d Cauchy) LogPDF(x float64) float64 { return logPDFviaPDF(d, x) }
+
+// CDF implements Dist.
+func (d Cauchy) CDF(x float64) float64 {
+	return 0.5 + math.Atan((x-d.X0)/d.Gamma)/math.Pi
+}
+
+// Quantile implements Dist.
+func (d Cauchy) Quantile(p float64) float64 {
+	p = clampP(p)
+	return d.X0 + d.Gamma*math.Tan(math.Pi*(p-0.5))
+}
+
+// Support implements Dist.
+func (d Cauchy) Support() (float64, float64) { return math.Inf(-1), math.Inf(1) }
+
+// Mean implements Dist.
+func (d Cauchy) Mean() float64 { return math.NaN() }

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mixture is a finite weighted mixture of component distributions. The paper
+// models the arrival process of U65 as a four-phase composite (Equation 1):
+//
+//	PDF(x) = Σ_n (phase_n usage / total usage) · PDF_n(x)
+//
+// which is exactly a mixture with the per-phase usage fractions as weights.
+type Mixture struct {
+	components []Dist
+	weights    []float64
+}
+
+// NewMixture builds a mixture from parallel component and weight slices.
+// Weights must be positive; they are normalized to sum to one.
+func NewMixture(components []Dist, weights []float64) (*Mixture, error) {
+	if len(components) == 0 || len(components) != len(weights) {
+		return nil, ErrBadParams
+	}
+	var sum float64
+	for _, w := range weights {
+		if !(w > 0) || !finite(w) {
+			return nil, ErrBadParams
+		}
+		sum += w
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	return &Mixture{
+		components: append([]Dist(nil), components...),
+		weights:    norm,
+	}, nil
+}
+
+// Name identifies the mixture and its component families.
+func (m *Mixture) Name() string {
+	names := make([]string, len(m.components))
+	for i, c := range m.components {
+		names[i] = c.Name()
+	}
+	return "Mixture(" + strings.Join(names, "+") + ")"
+}
+
+// Components returns the component distributions (shared, do not mutate).
+func (m *Mixture) Components() []Dist { return m.components }
+
+// Weights returns the normalized mixing weights.
+func (m *Mixture) Weights() []float64 { return append([]float64(nil), m.weights...) }
+
+// Params concatenates the component parameter vectors, weight-first per
+// component: [w1, p1..., w2, p2..., ...].
+func (m *Mixture) Params() []float64 {
+	var out []float64
+	for i, c := range m.components {
+		out = append(out, m.weights[i])
+		out = append(out, c.Params()...)
+	}
+	return out
+}
+
+// PDF implements Dist.
+func (m *Mixture) PDF(x float64) float64 {
+	var p float64
+	for i, c := range m.components {
+		p += m.weights[i] * c.PDF(x)
+	}
+	return p
+}
+
+// LogPDF implements Dist.
+func (m *Mixture) LogPDF(x float64) float64 { return logPDFviaPDF(m, x) }
+
+// CDF implements Dist.
+func (m *Mixture) CDF(x float64) float64 {
+	var p float64
+	for i, c := range m.components {
+		p += m.weights[i] * c.CDF(x)
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Quantile numerically inverts the mixture CDF.
+func (m *Mixture) Quantile(p float64) float64 {
+	p = clampP(p)
+	lo, hi := m.Support()
+	// Build a finite bracket from component quantiles when the support is
+	// unbounded.
+	if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+		qs := make([]float64, 0, 2*len(m.components))
+		for _, c := range m.components {
+			qs = append(qs, c.Quantile(1e-9), c.Quantile(1-1e-9))
+		}
+		sort.Float64s(qs)
+		if math.IsInf(lo, -1) {
+			lo = qs[0]
+		}
+		if math.IsInf(hi, 1) {
+			hi = qs[len(qs)-1]
+		}
+	}
+	return quantileBisect(m.CDF, p, lo, hi)
+}
+
+// Support implements Dist.
+func (m *Mixture) Support() (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.components {
+		l, h := c.Support()
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, h)
+	}
+	return lo, hi
+}
+
+// Mean implements Dist.
+func (m *Mixture) Mean() float64 {
+	var mu float64
+	for i, c := range m.components {
+		mu += m.weights[i] * c.Mean()
+	}
+	return mu
+}

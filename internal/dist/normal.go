@@ -1,0 +1,104 @@
+package dist
+
+import "math"
+
+// Normal is the Gaussian distribution with mean Mu and standard deviation
+// Sigma.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// NewNormal returns a Normal distribution; Sigma must be positive.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if !(sigma > 0) || !finite(mu, sigma) {
+		return Normal{}, ErrBadParams
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Name implements Dist.
+func (d Normal) Name() string { return "Normal" }
+
+// Params implements Dist.
+func (d Normal) Params() []float64 { return []float64{d.Mu, d.Sigma} }
+
+// PDF implements Dist.
+func (d Normal) PDF(x float64) float64 {
+	z := (x - d.Mu) / d.Sigma
+	return stdNormPDF(z) / d.Sigma
+}
+
+// LogPDF implements Dist.
+func (d Normal) LogPDF(x float64) float64 {
+	z := (x - d.Mu) / d.Sigma
+	return -0.5*z*z - math.Log(d.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF implements Dist.
+func (d Normal) CDF(x float64) float64 { return stdNormCDF((x - d.Mu) / d.Sigma) }
+
+// Quantile implements Dist.
+func (d Normal) Quantile(p float64) float64 { return d.Mu + d.Sigma*stdNormQuantile(p) }
+
+// Support implements Dist.
+func (d Normal) Support() (float64, float64) { return math.Inf(-1), math.Inf(1) }
+
+// Mean implements Dist.
+func (d Normal) Mean() float64 { return d.Mu }
+
+// LogNormal is the distribution of exp(N) where N ~ Normal(Mu, Sigma).
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// NewLogNormal returns a LogNormal distribution; Sigma must be positive.
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if !(sigma > 0) || !finite(mu, sigma) {
+		return LogNormal{}, ErrBadParams
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Name implements Dist.
+func (d LogNormal) Name() string { return "LogNormal" }
+
+// Params implements Dist.
+func (d LogNormal) Params() []float64 { return []float64{d.Mu, d.Sigma} }
+
+// PDF implements Dist.
+func (d LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - d.Mu) / d.Sigma
+	return stdNormPDF(z) / (x * d.Sigma)
+}
+
+// LogPDF implements Dist.
+func (d LogNormal) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	lx := math.Log(x)
+	z := (lx - d.Mu) / d.Sigma
+	return -0.5*z*z - lx - math.Log(d.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF implements Dist.
+func (d LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return stdNormCDF((math.Log(x) - d.Mu) / d.Sigma)
+}
+
+// Quantile implements Dist.
+func (d LogNormal) Quantile(p float64) float64 {
+	return math.Exp(d.Mu + d.Sigma*stdNormQuantile(p))
+}
+
+// Support implements Dist.
+func (d LogNormal) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Mean implements Dist.
+func (d LogNormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }

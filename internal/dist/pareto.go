@@ -1,0 +1,150 @@
+package dist
+
+import "math"
+
+// Pareto is the Pareto (type I) distribution with scale Xm (minimum) and
+// shape Alpha.
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+// NewPareto returns a Pareto distribution; both parameters must be positive.
+func NewPareto(xm, alpha float64) (Pareto, error) {
+	if !(xm > 0) || !(alpha > 0) || !finite(xm, alpha) {
+		return Pareto{}, ErrBadParams
+	}
+	return Pareto{Xm: xm, Alpha: alpha}, nil
+}
+
+// Name implements Dist.
+func (d Pareto) Name() string { return "Pareto" }
+
+// Params implements Dist.
+func (d Pareto) Params() []float64 { return []float64{d.Xm, d.Alpha} }
+
+// PDF implements Dist.
+func (d Pareto) PDF(x float64) float64 {
+	if x < d.Xm {
+		return 0
+	}
+	return d.Alpha * math.Pow(d.Xm, d.Alpha) / math.Pow(x, d.Alpha+1)
+}
+
+// LogPDF implements Dist.
+func (d Pareto) LogPDF(x float64) float64 {
+	if x < d.Xm {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Alpha) + d.Alpha*math.Log(d.Xm) - (d.Alpha+1)*math.Log(x)
+}
+
+// CDF implements Dist.
+func (d Pareto) CDF(x float64) float64 {
+	if x < d.Xm {
+		return 0
+	}
+	return 1 - math.Pow(d.Xm/x, d.Alpha)
+}
+
+// Quantile implements Dist.
+func (d Pareto) Quantile(p float64) float64 {
+	p = clampP(p)
+	return d.Xm * math.Pow(1-p, -1/d.Alpha)
+}
+
+// Support implements Dist.
+func (d Pareto) Support() (float64, float64) { return d.Xm, math.Inf(1) }
+
+// Mean implements Dist.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// GeneralizedPareto is the GPD with shape K, scale Sigma and location Theta
+// (Matlab parameterization).
+type GeneralizedPareto struct {
+	K, Sigma, Theta float64
+}
+
+// NewGeneralizedPareto returns a GPD; Sigma must be positive.
+func NewGeneralizedPareto(k, sigma, theta float64) (GeneralizedPareto, error) {
+	if !(sigma > 0) || !finite(k, sigma, theta) {
+		return GeneralizedPareto{}, ErrBadParams
+	}
+	return GeneralizedPareto{K: k, Sigma: sigma, Theta: theta}, nil
+}
+
+// Name implements Dist.
+func (d GeneralizedPareto) Name() string { return "GeneralizedPareto" }
+
+// Params implements Dist.
+func (d GeneralizedPareto) Params() []float64 { return []float64{d.K, d.Sigma, d.Theta} }
+
+func (d GeneralizedPareto) inSupport(x float64) bool {
+	if x < d.Theta {
+		return false
+	}
+	if d.K < 0 && x > d.Theta-d.Sigma/d.K {
+		return false
+	}
+	return true
+}
+
+// PDF implements Dist.
+func (d GeneralizedPareto) PDF(x float64) float64 {
+	if !d.inSupport(x) {
+		return 0
+	}
+	z := (x - d.Theta) / d.Sigma
+	if d.K == 0 {
+		return math.Exp(-z) / d.Sigma
+	}
+	return math.Pow(1+d.K*z, -1/d.K-1) / d.Sigma
+}
+
+// LogPDF implements Dist.
+func (d GeneralizedPareto) LogPDF(x float64) float64 { return logPDFviaPDF(d, x) }
+
+// CDF implements Dist.
+func (d GeneralizedPareto) CDF(x float64) float64 {
+	if x <= d.Theta {
+		return 0
+	}
+	z := (x - d.Theta) / d.Sigma
+	if d.K == 0 {
+		return -math.Expm1(-z)
+	}
+	arg := 1 + d.K*z
+	if arg <= 0 { // beyond the upper endpoint when K < 0
+		return 1
+	}
+	return 1 - math.Pow(arg, -1/d.K)
+}
+
+// Quantile implements Dist.
+func (d GeneralizedPareto) Quantile(p float64) float64 {
+	p = clampP(p)
+	if d.K == 0 {
+		return d.Theta - d.Sigma*math.Log1p(-p)
+	}
+	return d.Theta + d.Sigma*(math.Pow(1-p, -d.K)-1)/d.K
+}
+
+// Support implements Dist.
+func (d GeneralizedPareto) Support() (float64, float64) {
+	if d.K < 0 {
+		return d.Theta, d.Theta - d.Sigma/d.K
+	}
+	return d.Theta, math.Inf(1)
+}
+
+// Mean implements Dist.
+func (d GeneralizedPareto) Mean() float64 {
+	if d.K >= 1 {
+		return math.Inf(1)
+	}
+	return d.Theta + d.Sigma/(1-d.K)
+}

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStdNormQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.15865525393145707, -1},
+		{0.9772498680518208, 2},
+		{0.9986501019683699, 3},
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+	}
+	for _, c := range cases {
+		if got := stdNormQuantile(c.p); math.Abs(got-c.z) > 1e-9 {
+			t.Errorf("stdNormQuantile(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+}
+
+func TestStdNormQuantileExtremeTails(t *testing.T) {
+	for _, p := range []float64{1e-12, 1e-8, 1 - 1e-12} {
+		z := stdNormQuantile(p)
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			t.Errorf("stdNormQuantile(%g) = %g", p, z)
+		}
+		if got := stdNormCDF(z); math.Abs(got-p) > 1e-13+1e-4*p {
+			t.Errorf("round trip at %g: got %g", p, got)
+		}
+	}
+}
+
+func TestRegLowerGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x
+	for _, x := range []float64{0.1, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := regLowerGamma(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x))
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := regLowerGamma(0.5, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(0.5,%g) = %g, want %g", x, got, want)
+		}
+	}
+	if got := regLowerGamma(3, 0); got != 0 {
+		t.Errorf("P(3,0) = %g", got)
+	}
+	if !math.IsNaN(regLowerGamma(-1, 1)) {
+		t.Error("P(-1,1) should be NaN")
+	}
+	if !math.IsNaN(regLowerGamma(1, -1)) {
+		t.Error("P(1,-1) should be NaN")
+	}
+}
+
+func TestRegLowerGammaMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 50; x += 0.25 {
+		v := regLowerGamma(2.5, x)
+		if v < prev-1e-14 {
+			t.Fatalf("P(2.5, ·) not monotone at %g: %g < %g", x, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("P(2.5,%g) = %g out of range", x, v)
+		}
+		prev = v
+	}
+	if prev < 0.999999 {
+		t.Errorf("P(2.5,50) = %g, should be ~1", prev)
+	}
+}
+
+func TestQuantileBisectInvertsMonotoneCDF(t *testing.T) {
+	cdf := func(x float64) float64 { return 1 - math.Exp(-x/3) } // Exp(1/3)
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.999} {
+		want := -3 * math.Log(1-p)
+		got := quantileBisect(cdf, p, 0, 1)
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("bisect(%g) = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestLog1pExpStable(t *testing.T) {
+	if got := log1pExp(1000); got != 1000 {
+		t.Errorf("log1pExp(1000) = %g", got)
+	}
+	if got := log1pExp(-1000); got != math.Exp(-1000) {
+		t.Errorf("log1pExp(-1000) = %g", got)
+	}
+	if got, want := log1pExp(0), math.Ln2; math.Abs(got-want) > 1e-15 {
+		t.Errorf("log1pExp(0) = %g, want ln 2", got)
+	}
+}

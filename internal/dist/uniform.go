@@ -1,0 +1,55 @@
+package dist
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns a Uniform distribution; A must be strictly less than B.
+func NewUniform(a, b float64) (Uniform, error) {
+	if !(a < b) || !finite(a, b) {
+		return Uniform{}, ErrBadParams
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+// Name implements Dist.
+func (d Uniform) Name() string { return "Uniform" }
+
+// Params implements Dist.
+func (d Uniform) Params() []float64 { return []float64{d.A, d.B} }
+
+// PDF implements Dist.
+func (d Uniform) PDF(x float64) float64 {
+	if x < d.A || x > d.B {
+		return 0
+	}
+	return 1 / (d.B - d.A)
+}
+
+// LogPDF implements Dist.
+func (d Uniform) LogPDF(x float64) float64 { return logPDFviaPDF(d, x) }
+
+// CDF implements Dist.
+func (d Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= d.A:
+		return 0
+	case x >= d.B:
+		return 1
+	default:
+		return (x - d.A) / (d.B - d.A)
+	}
+}
+
+// Quantile implements Dist.
+func (d Uniform) Quantile(p float64) float64 {
+	p = clampP(p)
+	return d.A + p*(d.B-d.A)
+}
+
+// Support implements Dist.
+func (d Uniform) Support() (float64, float64) { return d.A, d.B }
+
+// Mean implements Dist.
+func (d Uniform) Mean() float64 { return (d.A + d.B) / 2 }

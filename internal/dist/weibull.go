@@ -1,0 +1,74 @@
+package dist
+
+import "math"
+
+// Weibull is the Weibull distribution with scale Lambda and shape K, the
+// parameterization used by the paper's Table III fit for U30
+// (Weibull(λ=5.49e4, k=0.637)).
+type Weibull struct {
+	Lambda, K float64
+}
+
+// NewWeibull returns a Weibull distribution; both parameters must be positive.
+func NewWeibull(lambda, k float64) (Weibull, error) {
+	if !(lambda > 0) || !(k > 0) || !finite(lambda, k) {
+		return Weibull{}, ErrBadParams
+	}
+	return Weibull{Lambda: lambda, K: k}, nil
+}
+
+// Name implements Dist.
+func (d Weibull) Name() string { return "Weibull" }
+
+// Params implements Dist.
+func (d Weibull) Params() []float64 { return []float64{d.Lambda, d.K} }
+
+// PDF implements Dist.
+func (d Weibull) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x == 0 {
+		if d.K < 1 {
+			return math.Inf(1)
+		}
+		if d.K == 1 {
+			return 1 / d.Lambda
+		}
+		return 0
+	}
+	z := x / d.Lambda
+	return d.K / d.Lambda * math.Pow(z, d.K-1) * math.Exp(-math.Pow(z, d.K))
+}
+
+// LogPDF implements Dist.
+func (d Weibull) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	lz := math.Log(x / d.Lambda)
+	return math.Log(d.K/d.Lambda) + (d.K-1)*lz - math.Exp(d.K*lz)
+}
+
+// CDF implements Dist.
+func (d Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/d.Lambda, d.K))
+}
+
+// Quantile implements Dist.
+func (d Weibull) Quantile(p float64) float64 {
+	p = clampP(p)
+	return d.Lambda * math.Pow(-math.Log1p(-p), 1/d.K)
+}
+
+// Support implements Dist.
+func (d Weibull) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// Mean implements Dist.
+func (d Weibull) Mean() float64 {
+	lg, _ := math.Lgamma(1 + 1/d.K)
+	return d.Lambda * math.Exp(lg)
+}

@@ -1,0 +1,34 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := New(epoch)
+		for j := 0; j < 1000; j++ {
+			k.After(time.Duration(j)*time.Second, func(time.Time) {})
+		}
+		k.RunAll(0)
+	}
+}
+
+func BenchmarkChainedEvents(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := New(epoch)
+		n := 0
+		var tick Event
+		tick = func(time.Time) {
+			n++
+			if n < 1000 {
+				k.After(time.Second, tick)
+			}
+		}
+		k.After(time.Second, tick)
+		k.RunAll(0)
+	}
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/testbed"
+	"repro/internal/usage"
+	"repro/internal/vector"
+	"repro/internal/workload"
+)
+
+// ablationRun executes a baseline-style run with a config mutation and
+// returns the mean absolute usage-share error over the second half of the
+// run (lower = better convergence) plus the result.
+func ablationRun(sc Scale, mutate func(*testbed.Config)) (float64, *testbed.Result, error) {
+	m := workload.NationalGrid2012(sc.Duration)
+	tr, err := testbedTrace(sc, m, 0.95)
+	if err != nil {
+		return 0, nil, err
+	}
+	targets := usageShareTargets(m)
+	cfg := testbed.Config{
+		Sites: sc.Sites, CoresPerSite: sc.Cores, Start: testStart,
+		Duration: sc.Duration, PolicyShares: targets, Trace: tr, Seed: sc.Seed,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := testbed.Run(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	half := testStart.Add(sc.Duration / 2)
+	var mae float64
+	n := 0
+	for _, u := range testUsers {
+		if s := res.UsageShares[u]; s != nil {
+			v := metrics.MeanAbsError(s, targets[u], half)
+			mae += v
+			n++
+		}
+	}
+	if n > 0 {
+		mae /= float64(n)
+	}
+	return mae, res, nil
+}
+
+// AblationProjection compares the three vector projections on identical
+// workloads — the trade-off study Table I motivates.
+func AblationProjection(sc Scale) (*Report, error) {
+	r := &Report{
+		ID:      "ablationProjection",
+		Title:   "Projection algorithm ablation on the baseline workload",
+		Columns: []string{"Projection", "ShareMAE(2nd half)", "Utilization"},
+	}
+	for _, p := range vector.Projections() {
+		p := p
+		mae, res, err := ablationRun(sc, func(c *testbed.Config) { c.Projection = p })
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(p.Name(), fmtF(mae, 4), fmtF(res.Utilization, 3))
+	}
+	r.AddNote("paper: the percental projection is the production configuration; in-depth projection tuning is future work")
+	return r, nil
+}
+
+// AblationDistanceWeight sweeps the absolute/relative distance weight k.
+func AblationDistanceWeight(sc Scale) (*Report, error) {
+	r := &Report{
+		ID:      "ablationDistanceWeight",
+		Title:   "Distance weight (k) sweep: relative vs absolute blend",
+		Columns: []string{"k", "ShareMAE(2nd half)", "Utilization"},
+	}
+	for _, k := range []float64{0.01, 0.25, 0.5, 0.75, 1.0} {
+		k := k
+		mae, res, err := ablationRun(sc, func(c *testbed.Config) {
+			c.DistanceWeight = k
+			// The percental projection bypasses the k-blended node values
+			// (it recomputes target−usage directly), so the sweep uses the
+			// dictionary projection, which orders by the k-dependent
+			// fairshare vectors.
+			c.Projection = vector.Dictionary{}
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(fmtF(k, 2), fmtF(mae, 4), fmtF(res.Utilization, 3))
+	}
+	r.AddNote("paper default k = 0.5: absolute and relative components weighted equally")
+	r.AddNote("swept under the dictionary projection; percental recomputes target−usage and is k-invariant")
+	return r, nil
+}
+
+// AblationDecay sweeps the usage decay half-life.
+func AblationDecay(sc Scale) (*Report, error) {
+	r := &Report{
+		ID:      "ablationDecay",
+		Title:   "Usage decay half-life sweep",
+		Columns: []string{"HalfLife", "ShareMAE(2nd half)", "Utilization"},
+	}
+	for _, frac := range []float64{1.0 / 24, 1.0 / 12, 1.0 / 6, 1.0 / 3, 1} {
+		hl := time.Duration(float64(sc.Duration) * frac)
+		mae, res, err := ablationRun(sc, func(c *testbed.Config) {
+			c.Decay = usage.ExponentialHalfLife{HalfLife: hl}
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(hl.String(), fmtF(mae, 4), fmtF(res.Utilization, 3))
+	}
+	r.AddNote("shorter half-lives forget faster and track shifts sooner but fluctuate more")
+	return r, nil
+}
+
+// AblationCacheTTL sweeps the update-delay components (libaequus cache and
+// service refresh intervals together).
+func AblationCacheTTL(sc Scale) (*Report, error) {
+	r := &Report{
+		ID:      "ablationCacheTTL",
+		Title:   "Update-delay sweep: cache/refresh intervals (components I-IV)",
+		Columns: []string{"Interval", "ShareMAE(2nd half)", "Utilization"},
+	}
+	for _, iv := range []time.Duration{15 * time.Second, time.Minute, 5 * time.Minute, 15 * time.Minute} {
+		iv := iv
+		mae, res, err := ablationRun(sc, func(c *testbed.Config) {
+			c.ExchangeInterval = iv
+			c.RefreshInterval = iv
+			c.LibTTL = iv / 2
+			c.ReprioInterval = iv
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(iv.String(), fmtF(mae, 4), fmtF(res.Utilization, 3))
+	}
+	r.AddNote("paper: update and processing delays are components (I)-(IV); shorter delays shorten convergence")
+	return r, nil
+}
+
+// AblationDispatch compares stochastic vs round-robin grid dispatch; the
+// paper found "no noticeable difference".
+func AblationDispatch(sc Scale) (*Report, error) {
+	r := &Report{
+		ID:      "ablationDispatch",
+		Title:   "Dispatch strategy: stochastic vs round-robin",
+		Columns: []string{"Dispatcher", "ShareMAE(2nd half)", "Utilization"},
+	}
+	dispatchers := []grid.Dispatcher{grid.NewStochastic(sc.Seed + 1), &grid.RoundRobin{}}
+	var maes []float64
+	for _, d := range dispatchers {
+		d := d
+		mae, res, err := ablationRun(sc, func(c *testbed.Config) { c.Dispatcher = d })
+		if err != nil {
+			return nil, err
+		}
+		maes = append(maes, mae)
+		r.AddRow(d.Name(), fmtF(mae, 4), fmtF(res.Utilization, 3))
+	}
+	if len(maes) == 2 {
+		r.AddNote("|Δ MAE| = %.4f (paper: no noticeable difference between the strategies)", abs(maes[0]-maes[1]))
+	}
+	return r, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AblationRM compares the SLURM- and Maui-like substrates under Aequus.
+func AblationRM(sc Scale) (*Report, error) {
+	r := &Report{
+		ID:      "ablationRM",
+		Title:   "Resource-manager substrate: SLURM-like vs Maui-like under Aequus",
+		Columns: []string{"RM", "ShareMAE(2nd half)", "Utilization"},
+	}
+	for _, rm := range []testbed.RMKind{testbed.RMSlurm, testbed.RMMaui} {
+		rm := rm
+		mae, res, err := ablationRun(sc, func(c *testbed.Config) { c.RM = rm })
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(string(rm), fmtF(mae, 4), fmtF(res.Utilization, 3))
+	}
+	r.AddNote("paper: Aequus integrates with both SLURM (plug-ins) and Maui (patches) with minimal intrusion")
+	return r, nil
+}
+
+// All runs every experiment at the given scale and returns the reports in
+// paper order.
+func All(sc Scale) ([]*Report, error) {
+	var out []*Report
+	add := func(r *Report, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+	if err := add(TableI()); err != nil {
+		return nil, fmt.Errorf("tableI: %w", err)
+	}
+	if err := add(TableII(sc)); err != nil {
+		return nil, fmt.Errorf("tableII: %w", err)
+	}
+	if err := add(TableIII(sc)); err != nil {
+		return nil, fmt.Errorf("tableIII: %w", err)
+	}
+	if err := add(Periodicity(sc)); err != nil {
+		return nil, fmt.Errorf("periodicity: %w", err)
+	}
+	if err := add(Figure4(sc)); err != nil {
+		return nil, fmt.Errorf("figure4: %w", err)
+	}
+	if err := add(Figure5(sc)); err != nil {
+		return nil, fmt.Errorf("figure5: %w", err)
+	}
+	if err := add(Figure6(sc)); err != nil {
+		return nil, fmt.Errorf("figure6: %w", err)
+	}
+	if err := add(Figure7(sc)); err != nil {
+		return nil, fmt.Errorf("figure7: %w", err)
+	}
+	r10, _, err := Figure10Baseline(sc)
+	if err := add(r10, err); err != nil {
+		return nil, fmt.Errorf("figure10: %w", err)
+	}
+	if err := add(Figure11UpdateDelay(sc)); err != nil {
+		return nil, fmt.Errorf("figure11: %w", err)
+	}
+	r12, _, err := Figure12NonOptimalPolicy(sc)
+	if err := add(r12, err); err != nil {
+		return nil, fmt.Errorf("figure12: %w", err)
+	}
+	rp, _, err := FigurePartial(sc)
+	if err := add(rp, err); err != nil {
+		return nil, fmt.Errorf("figurePartial: %w", err)
+	}
+	r13, _, err := Figure13Bursty(sc)
+	if err := add(r13, err); err != nil {
+		return nil, fmt.Errorf("figure13: %w", err)
+	}
+	if err := add(ProductionStats(sc)); err != nil {
+		return nil, fmt.Errorf("production: %w", err)
+	}
+	return out, nil
+}

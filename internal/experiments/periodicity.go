@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fit"
+	"repro/internal/workload"
+)
+
+// Periodicity reproduces the paper's autocorrelation analysis (Section
+// IV-2): "The trace has been analyzed for periodicity using auto correlation
+// functions, searching for daily, weekly, and monthly patterns for each
+// user. However, no clear auto correlation patterns could be found. By
+// isolating the job arrival for U65, we can detect a pattern in job arrival
+// about every three months."
+//
+// The daily arrival-count series of each user is autocorrelated; the report
+// lists the ACF at daily/weekly/monthly lags and each user's dominant lag.
+// For U65 the dominant lag sits near 91 days — the quarterly experiment
+// cycle — while the mixed total shows no comparable short-period structure.
+func Periodicity(sc Scale) (*Report, error) {
+	clean, _, err := CleanedTrace(sc)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:      "periodicity",
+		Title:   "Autocorrelation of daily job arrivals (lags in days)",
+		Columns: []string{"Series", "ACF@1", "ACF@7", "ACF@30", "ACF@91", "DominantLag", "r"},
+	}
+	const days = 365
+	span := Year.Seconds()
+	series := map[string][]float64{}
+	for _, u := range []string{"", workload.U65, workload.U30, workload.U3, workload.UOth} {
+		_, counts := fit.Histogram(clean.SubmitOffsets(u), 0, span, days)
+		xs := make([]float64, len(counts))
+		for i, c := range counts {
+			xs[i] = float64(c)
+		}
+		series[u] = xs
+	}
+	label := func(u string) string {
+		if u == "" {
+			return "total"
+		}
+		return u
+	}
+	var u65Lag int
+	for _, u := range []string{"", workload.U65, workload.U30, workload.U3, workload.UOth} {
+		acf := fit.Autocorrelation(series[u], 120)
+		lag, val := fit.DominantLag(acf, 14) // ignore trivial short lags
+		if u == workload.U65 {
+			u65Lag = lag
+		}
+		r.AddRow(label(u),
+			fmtF(acf[1], 3), fmtF(acf[7], 3), fmtF(acf[30], 3), fmtF(acf[91], 3),
+			fmt.Sprintf("%d", lag), fmtF(val, 3))
+	}
+	r.AddNote("paper: no clear daily/weekly/monthly patterns; U65 shows a ~3-month (quarterly) cycle")
+	r.AddNote("measured: U65 dominant lag = %d days (quarter ≈ 91)", u65Lag)
+
+	// Automated phase detection: the quarterly arrival cycles are humps, so
+	// the phase boundaries are the troughs between them.
+	troughs := fit.TroughBoundaries(series[workload.U65], 3, 45, 14)
+	r.AddNote("detected phase boundaries (days): %v (inspection: 91/182/273)", troughs)
+	return r, nil
+}

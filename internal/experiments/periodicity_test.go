@@ -1,0 +1,13 @@
+package experiments
+
+import "testing"
+
+func TestPeriodicity(t *testing.T) {
+	r, err := Periodicity(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}

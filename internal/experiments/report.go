@@ -1,0 +1,108 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the paper's evaluation section. Each experiment builds its
+// workload, runs the relevant part of the system (statistics pipeline or
+// full testbed) and renders the same rows/series the paper reports, plus
+// summary notes comparing against the published numbers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// Report is a renderable experiment result.
+type Report struct {
+	// ID is the experiment identifier, e.g. "tableII" or "figure10".
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Columns are the table headers.
+	Columns []string
+	// Rows are the data rows (stringified).
+	Rows [][]string
+	// Notes carry summary statistics and paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a data row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a formatted note.
+func (r *Report) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(r.Columns) > 0 {
+		fmt.Fprintln(tw, joinTab(r.Columns))
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, joinTab(row))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func joinTab(cells []string) string {
+	out := ""
+	for i, c := range cells {
+		if i > 0 {
+			out += "\t"
+		}
+		out += c
+	}
+	return out
+}
+
+// Scale parameterizes experiment size so benchmarks can run reduced
+// versions while the CLI reproduces the full paper configuration.
+type Scale struct {
+	// Jobs is the synthetic trace size (paper: 43,200 for testbed runs).
+	Jobs int
+	// Sites and Cores shape the testbed (paper: 6 × 40).
+	Sites, Cores int
+	// Duration is the test length (paper: 6 hours).
+	Duration time.Duration
+	// HistoricalJobs sizes the year-long surrogate trace for the modeling
+	// experiments.
+	HistoricalJobs int
+	// FitSample caps the MLE sample size per fit.
+	FitSample int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// FullScale is the paper-scale configuration.
+func FullScale() Scale {
+	return Scale{
+		Jobs: 43200, Sites: 6, Cores: 40, Duration: 6 * time.Hour,
+		HistoricalJobs: 40000, FitSample: 2000, Seed: 42,
+	}
+}
+
+// QuickScale is a reduced configuration for tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		Jobs: 4000, Sites: 4, Cores: 24, Duration: 6 * time.Hour,
+		HistoricalJobs: 6000, FitSample: 600, Seed: 42,
+	}
+}
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+func fmtG(v float64) string { return fmt.Sprintf("%.4g", v) }

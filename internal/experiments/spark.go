@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// sparkGlyphs are the eight block heights of a sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode sparkline over the given range
+// (lo >= hi auto-scales to the data). NaNs render as spaces.
+func Sparkline(values []float64, lo, hi float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if !(hi > lo) {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, v := range values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if !(hi > lo) { // constant or empty
+			hi = lo + 1
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		f := (v - lo) / (hi - lo)
+		idx := int(f * float64(len(sparkGlyphs)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkGlyphs) {
+			idx = len(sparkGlyphs) - 1
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}
+
+// seriesSparkline downsamples a metrics series to width points and renders
+// it over [lo, hi].
+func seriesSparkline(s *metrics.Series, width int, lo, hi float64) string {
+	if s == nil || s.Len() == 0 || width <= 0 {
+		return ""
+	}
+	vals := make([]float64, width)
+	for i := 0; i < width; i++ {
+		idx := i * (s.Len() - 1) / maxInt(width-1, 1)
+		vals[i] = s.Values[idx]
+	}
+	return Sparkline(vals, lo, hi)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestSparklineShapes(t *testing.T) {
+	up := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0, 7)
+	if up != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ascending sparkline = %q", up)
+	}
+	flat := Sparkline([]float64{3, 3, 3}, 0, 0)
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+	if got := Sparkline(nil, 0, 1); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestSparklineClampsAndNaN(t *testing.T) {
+	s := Sparkline([]float64{-10, math.NaN(), 10}, 0, 1)
+	runes := []rune(s)
+	if runes[0] != '▁' {
+		t.Errorf("below-range glyph = %q", runes[0])
+	}
+	if runes[1] != ' ' {
+		t.Errorf("NaN glyph = %q", runes[1])
+	}
+	if runes[2] != '█' {
+		t.Errorf("above-range glyph = %q", runes[2])
+	}
+}
+
+func TestSparklineAutoScale(t *testing.T) {
+	s := Sparkline([]float64{5, 10}, 0, 0) // auto-scale
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[1] != '█' {
+		t.Errorf("auto-scaled = %q", s)
+	}
+}
+
+func TestSeriesSparkline(t *testing.T) {
+	ser := &metrics.Series{}
+	base := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		ser.Add(base.Add(time.Duration(i)*time.Minute), float64(i)/99)
+	}
+	s := seriesSparkline(ser, 20, 0, 1)
+	runes := []rune(s)
+	if len(runes) != 20 {
+		t.Fatalf("width = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[19] != '█' {
+		t.Errorf("sparkline = %q", s)
+	}
+	if got := seriesSparkline(nil, 20, 0, 1); got != "" {
+		t.Errorf("nil series = %q", got)
+	}
+	if got := seriesSparkline(ser, 0, 0, 1); got != "" {
+		t.Errorf("zero width = %q", got)
+	}
+	if !strings.ContainsRune(s, '▄') && !strings.ContainsRune(s, '▅') {
+		t.Errorf("midrange glyphs missing: %q", s)
+	}
+}

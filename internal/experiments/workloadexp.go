@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/fit"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Year is the span of the surrogate historical trace (the paper models the
+// 2012 annual usage of the Swedish national grid).
+const Year = 365 * 24 * time.Hour
+
+var yearStart = time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// HistoricalTrace generates the year-long surrogate of the 2012 national
+// trace: sampled from the published models, plus the administrator and
+// zero-duration jobs the paper removes during cleaning (~15% of jobs, ~1.5%
+// of usage).
+func HistoricalTrace(sc Scale) (*trace.Trace, error) {
+	m := workload.NationalGrid2012(Year)
+	tr, err := m.Generate(workload.GenerateOptions{
+		TotalJobs:      sc.HistoricalJobs,
+		Start:          yearStart,
+		Span:           Year,
+		Seed:           sc.Seed,
+		CalibrateUsage: true,
+		MaxDuration:    30 * 24 * time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Inject the non-representative jobs the cleaning step must remove:
+	// ~13% admin/monitoring jobs (tiny durations, so ~1.5% of usage) and
+	// ~2% zero-duration cancelled jobs.
+	nAdmin := sc.HistoricalJobs * 13 / 100
+	nZero := sc.HistoricalJobs * 2 / 100
+	meanDur := tr.TotalUsage() / float64(tr.Len())
+	adminDur := time.Duration(meanDur / float64(nAdmin) * 0.015 * float64(tr.Len()) * float64(time.Second))
+	if adminDur < time.Second {
+		adminDur = time.Second
+	}
+	id := int64(tr.Len())
+	for i := 0; i < nAdmin; i++ {
+		id++
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			ID: id, User: "monitor", Admin: true, Procs: 1,
+			Submit:   yearStart.Add(time.Duration(i) * (Year / time.Duration(nAdmin+1))),
+			Duration: adminDur,
+		})
+	}
+	for i := 0; i < nZero; i++ {
+		id++
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			ID: id, User: workload.UOth, Procs: 1,
+			Submit:   yearStart.Add(time.Duration(i)*(Year/time.Duration(nZero+1)) + time.Hour),
+			Duration: 0,
+		})
+	}
+	tr.Sort()
+	return tr, nil
+}
+
+// CleanedTrace generates the surrogate trace and applies the paper's
+// cleaning filters, returning the cleaned trace and the removal report.
+func CleanedTrace(sc Scale) (*trace.Trace, trace.CleanReport, error) {
+	tr, err := HistoricalTrace(sc)
+	if err != nil {
+		return nil, trace.CleanReport{}, err
+	}
+	clean, rep := trace.Clean(tr)
+	return clean, rep, nil
+}
+
+// phaseOffsets splits a user's submit offsets into the four quarterly
+// phases the paper identifies for U65.
+func phaseOffsets(offs []float64, span float64) [4][]float64 {
+	var out [4][]float64
+	q := span / 4
+	for _, o := range offs {
+		i := int(o / q)
+		if i > 3 {
+			i = 3
+		}
+		out[i] = append(out[i], o)
+	}
+	return out
+}
+
+// ArrivalFits holds the Table II fitting results.
+type ArrivalFits struct {
+	// PerUser maps user to its BIC-best arrival-time fit (U30, U3, Uoth).
+	PerUser map[string]fit.Result
+	// Phases are the per-phase fits for U65 (p1..p4).
+	Phases [4]fit.Result
+	// Composite is the Equation-1 mixture of the phase fits.
+	Composite *dist.Mixture
+	// CompositeKS is the composite's KS statistic on all U65 arrivals.
+	CompositeKS float64
+	// MedianInterArrival maps each data set to its median inter-arrival
+	// seconds (whole seconds, per the paper).
+	MedianInterArrival map[string]float64
+	// Trace is the cleaned surrogate trace the fits were computed on.
+	Trace *trace.Trace
+}
+
+// FitArrivals reproduces the Table II pipeline: clean the trace, split U65
+// into phases, fit all 18 families to each arrival data set, select by BIC.
+func FitArrivals(sc Scale) (*ArrivalFits, error) {
+	clean, _, err := CleanedTrace(sc)
+	if err != nil {
+		return nil, err
+	}
+	opt := fit.Options{MaxSample: sc.FitSample}
+	out := &ArrivalFits{
+		PerUser:            map[string]fit.Result{},
+		MedianInterArrival: map[string]float64{},
+		Trace:              clean,
+	}
+
+	span := Year.Seconds()
+	u65Offs := clean.SubmitOffsets(workload.U65)
+	phases := phaseOffsets(u65Offs, span)
+	comps := make([]dist.Dist, 0, 4)
+	weights := make([]float64, 0, 4)
+	for i, ph := range phases {
+		if len(ph) == 0 {
+			return nil, fmt.Errorf("experiments: U65 phase %d empty", i+1)
+		}
+		r, err := fit.Best(ph, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fitting U65 p%d: %w", i+1, err)
+		}
+		out.Phases[i] = r
+		comps = append(comps, r.Dist)
+		weights = append(weights, float64(len(ph)))
+	}
+	mix, err := dist.NewMixture(comps, weights)
+	if err != nil {
+		return nil, err
+	}
+	out.Composite = mix
+	out.CompositeKS = fit.KolmogorovSmirnov(u65Offs, mix)
+
+	for _, u := range []string{workload.U30, workload.U3, workload.UOth} {
+		offs := clean.SubmitOffsets(u)
+		r, err := fit.Best(offs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fitting %s arrivals: %w", u, err)
+		}
+		out.PerUser[u] = r
+	}
+
+	// Median inter-arrival times, rounded to whole seconds like the paper's
+	// second-granularity timestamps.
+	for i, ph := range phases {
+		ia := interArrivalsOf(ph)
+		out.MedianInterArrival[fmt.Sprintf("%s (p%d)", workload.U65, i+1)] = float64(int64(fit.Median(ia)))
+	}
+	for _, u := range []string{workload.U65, workload.U30, workload.U3, workload.UOth} {
+		ia := clean.InterArrivals(u)
+		out.MedianInterArrival[u] = float64(int64(fit.Median(ia)))
+	}
+	return out, nil
+}
+
+// TableII reproduces Table II: per-data-set median inter-arrival, BIC-best
+// fitted distribution and KS goodness of fit.
+func TableII(sc Scale) (*Report, error) {
+	fits, err := FitArrivals(sc)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:      "tableII",
+		Title:   "Job arrival: median inter-arrival, best fitted distribution (by BIC), KS goodness of fit",
+		Columns: []string{"User", "Median(s)", "Fitted Distribution", "KS"},
+	}
+	for i, ph := range fits.Phases {
+		key := fmt.Sprintf("%s (p%d)", workload.U65, i+1)
+		r.AddRow(key, fmtF(fits.MedianInterArrival[key], 0), describeFit(ph), fmtF(ph.KS, 2))
+	}
+	r.AddRow(workload.U65+" (composite)", fmtF(fits.MedianInterArrival[workload.U65], 0),
+		"mixture of p1-p4 (Equation 1)", fmtF(fits.CompositeKS, 2))
+	for _, u := range []string{workload.U30, workload.U3, workload.UOth} {
+		f := fits.PerUser[u]
+		r.AddRow(u, fmtF(fits.MedianInterArrival[u], 0), describeFit(f), fmtF(f.KS, 2))
+	}
+	r.AddNote("paper: GEV fits most arrival sets (U65 p1-p4, U3, Uoth), Burr fits U30; KS 0.02-0.15 with U3 worst")
+	r.AddNote("paper: composite U65 KS (0.02) beats the individual phases (0.05-0.07)")
+	return r, nil
+}
+
+// TableIII reproduces Table III: per-user median job duration, BIC-best fit
+// and KS goodness of fit.
+func TableIII(sc Scale) (*Report, error) {
+	clean, _, err := CleanedTrace(sc)
+	if err != nil {
+		return nil, err
+	}
+	opt := fit.Options{MaxSample: sc.FitSample}
+	r := &Report{
+		ID:      "tableIII",
+		Title:   "Job duration: median duration, best fitted distribution (by BIC), KS goodness of fit",
+		Columns: []string{"User", "Median(s)", "Fitted Distribution", "KS"},
+	}
+	for _, u := range []string{workload.U65, workload.U30, workload.U3, workload.UOth} {
+		durs := clean.Durations(u)
+		best, err := fit.Best(durs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fitting %s durations: %w", u, err)
+		}
+		r.AddRow(u, fmtG(fit.Median(durs)), describeFit(best), fmtF(best.KS, 2))
+	}
+	r.AddNote("paper: Birnbaum-Saunders fits U65 and Uoth, Weibull fits U30, Burr fits U3; KS 0.04-0.28 with U3 worst")
+	return r, nil
+}
+
+func describeFit(r fit.Result) string {
+	params := r.Dist.Params()
+	s := r.Family + "("
+	for i, p := range params {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmtG(p)
+	}
+	return s + ")"
+}
+
+func interArrivalsOf(offsets []float64) []float64 {
+	if len(offsets) < 2 {
+		return nil
+	}
+	sorted := append([]float64(nil), offsets...)
+	sort.Float64s(sorted)
+	out := make([]float64, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		out = append(out, sorted[i]-sorted[i-1])
+	}
+	return out
+}

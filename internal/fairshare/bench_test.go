@@ -1,0 +1,86 @@
+package fairshare
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/vector"
+)
+
+// buildWide builds a policy with users spread over groups and matching
+// usage, for compute benchmarks.
+func buildWide(groups, usersPerGroup int) (*policy.Tree, map[string]float64) {
+	p := policy.NewTree()
+	usage := map[string]float64{}
+	rng := rand.New(rand.NewSource(1))
+	for g := 0; g < groups; g++ {
+		gname := fmt.Sprintf("g%03d", g)
+		p.Add("", gname, rng.Float64()+0.1)
+		for u := 0; u < usersPerGroup; u++ {
+			uname := fmt.Sprintf("u%03d_%03d", g, u)
+			p.Add("/"+gname, uname, rng.Float64()+0.1)
+			usage[uname] = rng.Float64() * 1e6
+		}
+	}
+	return p, usage
+}
+
+func BenchmarkCompute100Users(b *testing.B) {
+	p, usage := buildWide(10, 10)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(p, usage, cfg)
+	}
+}
+
+func BenchmarkCompute1000Users(b *testing.B) {
+	p, usage := buildWide(25, 40)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(p, usage, cfg)
+	}
+}
+
+func BenchmarkEntries1000Users(b *testing.B) {
+	p, usage := buildWide(25, 40)
+	t := Compute(p, usage, DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(t.Entries()) == 0 {
+			b.Fatal("no entries")
+		}
+	}
+}
+
+func BenchmarkProjections1000Users(b *testing.B) {
+	p, usage := buildWide(25, 40)
+	t := Compute(p, usage, DefaultConfig())
+	entries := t.Entries()
+	for _, proj := range vector.Projections() {
+		proj := proj
+		b.Run(proj.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				proj.Project(entries, 10000)
+			}
+		})
+	}
+}
+
+func BenchmarkVectorLookup(b *testing.B) {
+	p, usage := buildWide(25, 40)
+	t := Compute(p, usage, DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Vector("u012_020"); !ok {
+			b.Fatal("missing user")
+		}
+	}
+}

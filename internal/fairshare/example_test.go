@@ -1,0 +1,55 @@
+package fairshare_test
+
+import (
+	"fmt"
+
+	"repro/internal/fairshare"
+	"repro/internal/policy"
+	"repro/internal/vector"
+)
+
+// ExampleCompute shows the core calculation: a flat policy, historical
+// usage, and the resulting projected priorities.
+func ExampleCompute() {
+	pol, _ := policy.FromShares(map[string]float64{
+		"alice": 0.6,
+		"bob":   0.4,
+	})
+	usage := map[string]float64{"alice": 100, "bob": 900}
+	tree := fairshare.Compute(pol, usage, fairshare.DefaultConfig())
+
+	prio := tree.Priorities(vector.Percental{})
+	fmt.Printf("alice %.3f\n", prio["alice"])
+	fmt.Printf("bob   %.3f\n", prio["bob"])
+	// Output:
+	// alice 0.750
+	// bob   0.250
+}
+
+// ExampleTree_Vector extracts a user's fairshare vector with balance-point
+// padding, like /LQ in the paper's Figure 3.
+func ExampleTree_Vector() {
+	pol := policy.NewTree()
+	pol.Add("", "lq", 1)
+	pol.Add("", "grid", 3)
+	pol.Add("/grid", "u1", 1)
+	pol.Add("/grid", "u2", 1)
+
+	tree := fairshare.Compute(pol, map[string]float64{
+		"lq": 0, "u1": 50, "u2": 50,
+	}, fairshare.DefaultConfig())
+
+	v, _ := tree.Vector("lq")
+	fmt.Println(v.PadTo(tree.Depth(), tree.Config.Balance()))
+	// Output:
+	// 8125:5000
+}
+
+// ExampleMaxPriority reproduces the paper's bursty-test bound: a user with
+// target share 0.12 under k = 0.5 cannot exceed priority 0.56.
+func ExampleMaxPriority() {
+	bound := fairshare.MaxPriority(fairshare.DefaultConfig(), 0.12)
+	fmt.Printf("%.2f\n", bound)
+	// Output:
+	// 0.56
+}

@@ -1,0 +1,262 @@
+// Package fairshare implements the Aequus fairshare calculation: given a
+// hierarchical usage policy and decayed per-user historical usage, it
+// computes a fairshare tree whose per-node values express how far each
+// entity is from its target share. Per-user fairshare vectors are extracted
+// from the tree and projected to scheduler-combinable priorities.
+//
+// The algorithm follows the papers' description: at every level of the
+// tree, each node is compared with its siblings using a configurable blend
+// of two distance metrics —
+//
+//	absolute: targetShare − usageShare            (∈ [share−1, share])
+//	relative: (targetShare − usageShare)/target    (clamped to [0, 1])
+//	priority: k·relative + (1−k)·absolute
+//
+// with default weight k = 0.5, "indicating that the absolute and relative
+// components have equal weight". For a user with target share 0.12 this
+// bounds the priority at 0.5·(1 + 0.12) = 0.56, matching the bursty-usage
+// analysis in Section IV.
+package fairshare
+
+import (
+	"math"
+
+	"repro/internal/policy"
+	"repro/internal/vector"
+)
+
+// Config parameterizes the fairshare calculation.
+type Config struct {
+	// DistanceWeight is k, the weight of the relative distance metric
+	// (1−k weighs the absolute metric). Values outside [0,1] are clamped.
+	DistanceWeight float64
+	// Resolution is the fairshare value range; node values live in
+	// [0, Resolution) with the balance point at Resolution/2. The paper's
+	// example uses 10000 (values 0–9999).
+	Resolution float64
+}
+
+// DefaultConfig mirrors the production configuration: k = 0.5, resolution
+// 10000.
+func DefaultConfig() Config {
+	return Config{DistanceWeight: 0.5, Resolution: 10000}
+}
+
+func (c Config) normalized() Config {
+	if c.Resolution <= 0 {
+		c.Resolution = 10000
+	}
+	c.DistanceWeight = math.Max(0, math.Min(1, c.DistanceWeight))
+	return c
+}
+
+// Balance returns the balance-point value (the centre of the value range).
+func (c Config) Balance() float64 { return c.normalized().Resolution / 2 }
+
+// Node is one entry of the computed fairshare tree.
+type Node struct {
+	// Name is the policy node name.
+	Name string
+	// Share is the normalized target share within the sibling group.
+	Share float64
+	// Usage is the decayed historical usage of the subtree (core-seconds).
+	Usage float64
+	// UsageShare is the subtree's fraction of its sibling group's usage.
+	UsageShare float64
+	// Priority is k·rel + (1−k)·abs (see package comment).
+	Priority float64
+	// Value is Priority mapped into [0, Resolution) with balance at the
+	// centre.
+	Value float64
+	// Children are the sub-entities.
+	Children []*Node
+}
+
+// Tree is a computed fairshare tree.
+type Tree struct {
+	Root   *Node
+	Config Config
+}
+
+// Compute builds the fairshare tree for a policy and decayed per-user usage
+// (keyed by leaf user name). This is the pre-calculation the FCS performs
+// periodically so that "no real-time calculations need to take place when
+// new jobs arrive".
+func Compute(p *policy.Tree, usage map[string]float64, cfg Config) *Tree {
+	cfg = cfg.normalized()
+	norm := p.Normalize()
+	root := buildNode(norm.Root, usage)
+	root.Share = 1
+	root.UsageShare = 1
+	root.Priority = 0
+	root.Value = cfg.Balance()
+	scoreChildren(root, cfg)
+	return &Tree{Root: root, Config: cfg}
+}
+
+// buildNode copies the policy structure and accumulates subtree usage.
+func buildNode(pn *policy.Node, usage map[string]float64) *Node {
+	n := &Node{Name: pn.Name, Share: pn.Share}
+	if len(pn.Children) == 0 {
+		n.Usage = usage[pn.Name]
+		return n
+	}
+	for _, pc := range pn.Children {
+		c := buildNode(pc, usage)
+		n.Children = append(n.Children, c)
+		n.Usage += c.Usage
+	}
+	return n
+}
+
+// scoreChildren computes usage shares, priorities and values for every
+// sibling group below n, recursively.
+func scoreChildren(n *Node, cfg Config) {
+	var groupUsage float64
+	for _, c := range n.Children {
+		groupUsage += c.Usage
+	}
+	k := cfg.DistanceWeight
+	for _, c := range n.Children {
+		if groupUsage > 0 {
+			c.UsageShare = c.Usage / groupUsage
+		} else {
+			c.UsageShare = 0
+		}
+		abs := c.Share - c.UsageShare
+		rel := 0.0
+		if c.Share > 0 {
+			rel = math.Max(0, math.Min(1, (c.Share-c.UsageShare)/c.Share))
+		}
+		c.Priority = k*rel + (1-k)*abs
+		// Priority ∈ [−1, 1]; map linearly so 0 lands on the balance point.
+		v := cfg.Balance() * (1 + c.Priority)
+		c.Value = math.Max(0, math.Min(cfg.Resolution-1e-9, v))
+		scoreChildren(c, cfg)
+	}
+}
+
+// lookupPath returns the chain of nodes from the first level below the root
+// down to the (first) leaf named user, or nil.
+func (t *Tree) lookupPath(user string) []*Node {
+	var found []*Node
+	var walk func(n *Node, path []*Node) bool
+	walk = func(n *Node, path []*Node) bool {
+		if len(n.Children) == 0 {
+			if n.Name == user && len(path) > 0 {
+				found = append([]*Node(nil), path...)
+				return true
+			}
+			return false
+		}
+		for _, c := range n.Children {
+			if walk(c, append(path, c)) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(t.Root, nil)
+	return found
+}
+
+// Vector extracts the fairshare vector of a user: the node values along the
+// path from the root down to the user's leaf.
+func (t *Tree) Vector(user string) (vector.Vector, bool) {
+	path := t.lookupPath(user)
+	if path == nil {
+		return nil, false
+	}
+	v := make(vector.Vector, len(path))
+	for i, n := range path {
+		v[i] = n.Value
+	}
+	return v, true
+}
+
+// Depth returns the maximum leaf depth below the root.
+func (t *Tree) Depth() int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		best := 0
+		for _, c := range n.Children {
+			if d := walk(c) + 1; d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	return walk(t.Root)
+}
+
+// Entries returns one projection entry per leaf user: vector plus the
+// per-level policy and usage shares.
+func (t *Tree) Entries() []vector.Entry {
+	var out []vector.Entry
+	var walk func(n *Node, vec vector.Vector, shares, usages []float64)
+	walk = func(n *Node, vec vector.Vector, shares, usages []float64) {
+		if len(n.Children) == 0 {
+			if len(vec) == 0 {
+				return
+			}
+			out = append(out, vector.Entry{
+				User:       n.Name,
+				Vec:        vec.Clone(),
+				PathShares: append([]float64(nil), shares...),
+				PathUsage:  append([]float64(nil), usages...),
+			})
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, append(vec, c.Value), append(shares, c.Share), append(usages, c.UsageShare))
+		}
+	}
+	walk(t.Root, nil, nil, nil)
+	return out
+}
+
+// Priorities projects every user's fairshare vector to a scalar in [0,1]
+// with the given projection algorithm.
+func (t *Tree) Priorities(proj vector.Projection) map[string]float64 {
+	return proj.Project(t.Entries(), t.Config.Resolution)
+}
+
+// LeafPriority returns the raw (unprojected) leaf priority of a user — the
+// quantity plotted in the paper's per-user priority figures — and whether
+// the user exists.
+func (t *Tree) LeafPriority(user string) (float64, bool) {
+	path := t.lookupPath(user)
+	if path == nil {
+		return 0, false
+	}
+	return path[len(path)-1].Priority, true
+}
+
+// Find returns the node at the given policy path.
+func (t *Tree) Find(path string) (*Node, bool) {
+	parts := policy.SplitPath(path)
+	n := t.Root
+	for _, p := range parts {
+		var next *Node
+		for _, c := range n.Children {
+			if c.Name == p {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil, false
+		}
+		n = next
+	}
+	return n, true
+}
+
+// MaxPriority returns the theoretical maximum leaf priority for a user with
+// the given target share under config cfg: k·1 + (1−k)·share. For the
+// bursty test's U3 (share 0.12, k 0.5) this is 0.56.
+func MaxPriority(cfg Config, share float64) float64 {
+	cfg = cfg.normalized()
+	k := cfg.DistanceWeight
+	return k + (1-k)*share
+}

@@ -1,0 +1,178 @@
+package fairshare
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+)
+
+// randomScenario builds a flat policy + usage from fuzz inputs.
+func randomScenario(shares, usages []uint16) (*policy.Tree, map[string]float64, []string, bool) {
+	n := len(shares)
+	if n == 0 || n > 12 || len(usages) < n {
+		return nil, nil, nil, false
+	}
+	p := policy.NewTree()
+	usage := map[string]float64{}
+	users := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		users[i] = name
+		if _, err := p.Add("", name, float64(shares[i]%1000)+1); err != nil {
+			return nil, nil, nil, false
+		}
+		usage[name] = float64(usages[i] % 10000)
+	}
+	return p, usage, users, true
+}
+
+func TestPropertyPrioritiesBounded(t *testing.T) {
+	f := func(shares, usages []uint16, kRaw uint8) bool {
+		p, usage, users, ok := randomScenario(shares, usages)
+		if !ok {
+			return true
+		}
+		k := float64(kRaw%101) / 100
+		ft := Compute(p, usage, Config{DistanceWeight: k, Resolution: 10000})
+		for _, u := range users {
+			pr, found := ft.LeafPriority(u)
+			if !found {
+				return false
+			}
+			if pr < -1-1e-9 || pr > 1+1e-9 || math.IsNaN(pr) {
+				return false
+			}
+			v, _ := ft.Vector(u)
+			for _, e := range v {
+				if e < 0 || e >= 10000 || math.IsNaN(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBalanceAtProportionalUsage(t *testing.T) {
+	// When every user's usage is exactly proportional to its share, all
+	// values sit at the balance point regardless of k.
+	f := func(shares []uint16, scaleRaw uint16, kRaw uint8) bool {
+		n := len(shares)
+		if n == 0 || n > 10 {
+			return true
+		}
+		p := policy.NewTree()
+		usage := map[string]float64{}
+		scale := float64(scaleRaw%1000) + 1
+		for i := 0; i < n; i++ {
+			name := string(rune('a' + i))
+			s := float64(shares[i]%1000) + 1
+			if _, err := p.Add("", name, s); err != nil {
+				return true
+			}
+			usage[name] = s * scale
+		}
+		k := float64(kRaw%101) / 100
+		ft := Compute(p, usage, Config{DistanceWeight: k, Resolution: 10000})
+		for i := 0; i < n; i++ {
+			pr, _ := ft.LeafPriority(string(rune('a' + i)))
+			if math.Abs(pr) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMonotoneInOwnUsage(t *testing.T) {
+	// Increasing a user's usage (others fixed) never increases its own
+	// priority.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		p := policy.NewTree()
+		n := 2 + rng.Intn(6)
+		usage := map[string]float64{}
+		for i := 0; i < n; i++ {
+			name := string(rune('a' + i))
+			p.Add("", name, rng.Float64()*10+0.1)
+			usage[name] = rng.Float64() * 1000
+		}
+		cfg := Config{DistanceWeight: rng.Float64(), Resolution: 10000}
+		before := Compute(p, usage, cfg)
+		pb, _ := before.LeafPriority("a")
+		usage["a"] += rng.Float64()*500 + 1
+		after := Compute(p, usage, cfg)
+		pa, _ := after.LeafPriority("a")
+		if pa > pb+1e-9 {
+			t.Fatalf("trial %d: priority rose from %g to %g after more usage", trial, pb, pa)
+		}
+	}
+}
+
+func TestPropertyZeroSumOfAbsoluteDistances(t *testing.T) {
+	// With k=0 (pure absolute distance) the priorities of a sibling group
+	// sum to zero: Σ(share_i − usageShare_i) = 1 − 1 = 0.
+	f := func(shares, usages []uint16) bool {
+		p, usage, users, ok := randomScenario(shares, usages)
+		if !ok {
+			return true
+		}
+		var totalUsage float64
+		for _, v := range usage {
+			totalUsage += v
+		}
+		if totalUsage == 0 {
+			return true // degenerate: all priorities positive by design
+		}
+		ft := Compute(p, usage, Config{DistanceWeight: 0, Resolution: 10000})
+		var sum float64
+		for _, u := range users {
+			pr, _ := ft.LeafPriority(u)
+			sum += pr
+		}
+		return math.Abs(sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVectorOrderConsistentWithPriority(t *testing.T) {
+	// In a flat tree, vector comparison order must equal leaf priority
+	// order.
+	f := func(shares, usages []uint16) bool {
+		p, usage, users, ok := randomScenario(shares, usages)
+		if !ok || len(users) < 2 {
+			return true
+		}
+		ft := Compute(p, usage, DefaultConfig())
+		for i := 0; i < len(users); i++ {
+			for j := i + 1; j < len(users); j++ {
+				vi, _ := ft.Vector(users[i])
+				vj, _ := ft.Vector(users[j])
+				pi, _ := ft.LeafPriority(users[i])
+				pj, _ := ft.LeafPriority(users[j])
+				cmp := vi.Compare(vj, ft.Config.Balance())
+				switch {
+				case pi > pj+1e-12 && cmp != 1:
+					return false
+				case pj > pi+1e-12 && cmp != -1:
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package fit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func benchData(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := dist.NewGEV(-0.3, 20, 100)
+	return dist.SampleN(d, rng, n)
+}
+
+func BenchmarkFitGEV2000(b *testing.B) {
+	data := benchData(2000)
+	fam, _ := dist.FamilyByName("GEV")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitFamily(fam, data, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestOf18Families(b *testing.B) {
+	data := benchData(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Best(data, Options{MaxSample: 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	data := benchData(10000)
+	d, _ := dist.NewGEV(-0.3, 20, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KolmogorovSmirnov(data, d)
+	}
+}
+
+func BenchmarkAutocorrelation(b *testing.B) {
+	xs := benchData(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Autocorrelation(xs, 120)
+	}
+}
+
+func BenchmarkNelderMeadRosenbrock(b *testing.B) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		c := x[1] - x[0]*x[0]
+		return a*a + 100*c*c
+	}
+	for i := 0; i < b.N; i++ {
+		NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 2000})
+	}
+}

@@ -1,0 +1,190 @@
+package fit
+
+import "math"
+
+// Changepoints detects shifts in the mean level of a series by binary
+// segmentation: the split maximizing the reduction in squared error is
+// applied recursively while the gain exceeds penalty·σ². The paper
+// identifies U65's four experimental phases by inspection of the arrival
+// histogram; this provides the automated equivalent for the surrogate
+// pipeline (and for real traces loaded via SWF).
+//
+// xs is typically a binned arrival-count series; the returned indices are
+// ascending split points (1 <= idx < len(xs)), at most maxSplits of them.
+func Changepoints(xs []float64, maxSplits int, penalty float64) []int {
+	if len(xs) < 4 || maxSplits <= 0 {
+		return nil
+	}
+	if penalty <= 0 {
+		penalty = 8
+	}
+	globalVar := Variance(xs)
+	if globalVar == 0 {
+		return nil
+	}
+	minGain := penalty * globalVar
+
+	type segment struct{ lo, hi int } // half-open [lo, hi)
+	var splits []int
+	var recurse func(s segment, depth int)
+	recurse = func(s segment, depth int) {
+		if len(splits) >= maxSplits || s.hi-s.lo < 4 {
+			return
+		}
+		idx, gain := bestSplit(xs[s.lo:s.hi])
+		if idx <= 0 || gain < minGain {
+			return
+		}
+		cut := s.lo + idx
+		splits = append(splits, cut)
+		recurse(segment{s.lo, cut}, depth+1)
+		recurse(segment{cut, s.hi}, depth+1)
+	}
+	recurse(segment{0, len(xs)}, 0)
+
+	// Sort ascending (insertion sort; few splits).
+	for i := 1; i < len(splits); i++ {
+		for j := i; j > 0 && splits[j] < splits[j-1]; j-- {
+			splits[j], splits[j-1] = splits[j-1], splits[j]
+		}
+	}
+	return splits
+}
+
+// bestSplit returns the index (within xs) whose two-segment mean model
+// maximally reduces total squared error, and the reduction achieved.
+func bestSplit(xs []float64) (int, float64) {
+	n := len(xs)
+	if n < 4 {
+		return -1, 0
+	}
+	// Prefix sums for O(1) segment SSE.
+	sum := make([]float64, n+1)
+	sum2 := make([]float64, n+1)
+	for i, x := range xs {
+		sum[i+1] = sum[i] + x
+		sum2[i+1] = sum2[i] + x*x
+	}
+	sse := func(lo, hi int) float64 { // [lo, hi)
+		c := float64(hi - lo)
+		s := sum[hi] - sum[lo]
+		s2 := sum2[hi] - sum2[lo]
+		return s2 - s*s/c
+	}
+	total := sse(0, n)
+	bestIdx, bestGain := -1, 0.0
+	for i := 2; i <= n-2; i++ {
+		gain := total - sse(0, i) - sse(i, n)
+		if gain > bestGain {
+			bestIdx, bestGain = i, gain
+		}
+	}
+	return bestIdx, bestGain
+}
+
+// TroughBoundaries locates phase boundaries in a hump-shaped rate series
+// (like U65's quarterly arrival cycles): the series is smoothed with a
+// moving average and the deepest local minima, separated by at least
+// minSep, are returned ascending. n bounds the number of boundaries.
+func TroughBoundaries(xs []float64, n, minSep, smooth int) []int {
+	if len(xs) < 4 || n <= 0 {
+		return nil
+	}
+	if smooth < 1 {
+		smooth = 1
+	}
+	if minSep < 1 {
+		minSep = 1
+	}
+	sm := movingAverage(xs, smooth)
+	// Candidate minima: strictly lower than both neighbours in the
+	// smoothed series (plateaus take their left edge).
+	type cand struct {
+		idx int
+		val float64
+	}
+	var cands []cand
+	for i := 1; i < len(sm)-1; i++ {
+		if sm[i] <= sm[i-1] && sm[i] < sm[i+1] {
+			cands = append(cands, cand{i, sm[i]})
+		}
+	}
+	// Greedily pick the deepest minima respecting the separation.
+	for i := 1; i < len(cands); i++ { // insertion sort by depth
+		for j := i; j > 0 && cands[j].val < cands[j-1].val; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	var picked []int
+	for _, c := range cands {
+		ok := true
+		for _, p := range picked {
+			if abs(c.idx-p) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			picked = append(picked, c.idx)
+			if len(picked) == n {
+				break
+			}
+		}
+	}
+	// The trailing moving average delays features by ~(smooth−1)/2; shift
+	// the boundaries back to centre them.
+	shift := (smooth - 1) / 2
+	for i := range picked {
+		picked[i] -= shift
+		if picked[i] < 1 {
+			picked[i] = 1
+		}
+	}
+	for i := 1; i < len(picked); i++ { // ascending
+		for j := i; j > 0 && picked[j] < picked[j-1]; j-- {
+			picked[j], picked[j-1] = picked[j-1], picked[j]
+		}
+	}
+	return picked
+}
+
+func movingAverage(xs []float64, w int) []float64 {
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		sum += x
+		if i >= w {
+			sum -= xs[i-w]
+		}
+		n := w
+		if i+1 < w {
+			n = i + 1
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SegmentMeans returns the mean of xs within each segment delimited by the
+// ascending split indices.
+func SegmentMeans(xs []float64, splits []int) []float64 {
+	bounds := append([]int{0}, splits...)
+	bounds = append(bounds, len(xs))
+	out := make([]float64, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if hi <= lo {
+			out = append(out, math.NaN())
+			continue
+		}
+		out = append(out, Mean(xs[lo:hi]))
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+// step builds a piecewise-constant series with mild deterministic noise.
+func step(levels []float64, segLen int) []float64 {
+	var out []float64
+	seed := uint64(99)
+	for _, l := range levels {
+		for i := 0; i < segLen; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			noise := (float64(seed>>11)/float64(1<<53) - 0.5) * 0.2
+			out = append(out, l+noise)
+		}
+	}
+	return out
+}
+
+func TestChangepointsFindsSingleShift(t *testing.T) {
+	xs := step([]float64{1, 5}, 50)
+	cps := Changepoints(xs, 3, 2)
+	if len(cps) != 1 {
+		t.Fatalf("changepoints = %v, want one", cps)
+	}
+	if cps[0] < 45 || cps[0] > 55 {
+		t.Errorf("split at %d, want ~50", cps[0])
+	}
+}
+
+func TestChangepointsFindsQuarterlyPhases(t *testing.T) {
+	// Four phases with distinct levels — the U65 structure.
+	xs := step([]float64{3, 8, 2, 6}, 91)
+	cps := Changepoints(xs, 3, 2)
+	if len(cps) != 3 {
+		t.Fatalf("changepoints = %v, want three", cps)
+	}
+	want := []int{91, 182, 273}
+	for i, w := range want {
+		if d := cps[i] - w; d < -6 || d > 6 {
+			t.Errorf("split %d at %d, want ~%d", i, cps[i], w)
+		}
+	}
+	means := SegmentMeans(xs, cps)
+	wantMeans := []float64{3, 8, 2, 6}
+	for i, w := range wantMeans {
+		if math.Abs(means[i]-w) > 0.3 {
+			t.Errorf("segment %d mean = %g, want ~%g", i, means[i], w)
+		}
+	}
+}
+
+func TestChangepointsFlatSeries(t *testing.T) {
+	xs := step([]float64{4}, 200)
+	if cps := Changepoints(xs, 3, 8); len(cps) != 0 {
+		t.Errorf("flat series split: %v", cps)
+	}
+	constant := make([]float64, 100)
+	if cps := Changepoints(constant, 3, 8); cps != nil {
+		t.Errorf("constant series split: %v", cps)
+	}
+}
+
+func TestChangepointsDegenerateInputs(t *testing.T) {
+	if cps := Changepoints([]float64{1, 2}, 3, 8); cps != nil {
+		t.Errorf("tiny input split: %v", cps)
+	}
+	if cps := Changepoints(step([]float64{1, 5}, 50), 0, 8); cps != nil {
+		t.Errorf("maxSplits=0 split: %v", cps)
+	}
+}
+
+func TestChangepointsRespectsMaxSplits(t *testing.T) {
+	xs := step([]float64{1, 5, 1, 5, 1, 5}, 40)
+	cps := Changepoints(xs, 2, 2)
+	if len(cps) > 2 {
+		t.Errorf("maxSplits exceeded: %v", cps)
+	}
+}
+
+func TestSegmentMeansEdges(t *testing.T) {
+	means := SegmentMeans([]float64{1, 2, 3, 4}, []int{2})
+	if len(means) != 2 || means[0] != 1.5 || means[1] != 3.5 {
+		t.Errorf("means = %v", means)
+	}
+	if got := SegmentMeans([]float64{1, 2}, nil); len(got) != 1 || got[0] != 1.5 {
+		t.Errorf("no-split means = %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+package fit
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// AndersonDarling returns the Anderson-Darling statistic A² between the
+// sample xs and the model d. Compared with Kolmogorov-Smirnov it weighs the
+// distribution tails more heavily, which matters for the heavy-tailed
+// duration fits (U3's Burr).
+func AndersonDarling(xs []float64, d dist.Dist) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for i, x := range s {
+		fi := clampUnitInterval(d.CDF(x))
+		fr := clampUnitInterval(d.CDF(s[n-1-i]))
+		sum += float64(2*i+1) * (math.Log(fi) + math.Log(1-fr))
+	}
+	return -float64(n) - sum/float64(n)
+}
+
+func clampUnitInterval(p float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// ChiSquare bins the sample into nbins equal-probability bins under the
+// model and returns the chi-square statistic and its degrees of freedom
+// (nbins − 1 − params). Bins are equal-probability (quantile-based) so the
+// expected count per bin is n/nbins.
+func ChiSquare(xs []float64, d dist.Dist, nbins int) (stat float64, dof int) {
+	n := len(xs)
+	if n == 0 || nbins < 2 {
+		return math.NaN(), 0
+	}
+	edges := make([]float64, nbins-1)
+	for i := 1; i < nbins; i++ {
+		edges[i-1] = d.Quantile(float64(i) / float64(nbins))
+	}
+	counts := make([]int, nbins)
+	for _, x := range xs {
+		i := sort.SearchFloat64s(edges, x)
+		counts[i]++
+	}
+	expected := float64(n) / float64(nbins)
+	for _, c := range counts {
+		diff := float64(c) - expected
+		stat += diff * diff / expected
+	}
+	dof = nbins - 1 - len(d.Params())
+	if dof < 1 {
+		dof = 1
+	}
+	return stat, dof
+}
+
+// ChiSquarePValue approximates P(X² >= stat) for the chi-square
+// distribution with dof degrees of freedom, via the regularized upper
+// incomplete gamma function.
+func ChiSquarePValue(stat float64, dof int) float64 {
+	if math.IsNaN(stat) || dof < 1 || stat < 0 {
+		return math.NaN()
+	}
+	return 1 - dist.RegLowerGamma(float64(dof)/2, stat/2)
+}

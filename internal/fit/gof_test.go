@@ -1,0 +1,90 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestAndersonDarlingSelfFitSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d, _ := dist.NewWeibull(100, 1.3)
+	xs := dist.SampleN(d, rng, 3000)
+	a2 := AndersonDarling(xs, d)
+	// For a correct model A² concentrates around ~1; 2.5 is a loose cap.
+	if math.IsNaN(a2) || a2 > 2.5 {
+		t.Errorf("self-fit A² = %g", a2)
+	}
+}
+
+func TestAndersonDarlingDetectsWrongModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	exp, _ := dist.NewExponential(1)
+	norm, _ := dist.NewNormal(1, 1)
+	xs := dist.SampleN(exp, rng, 2000)
+	good := AndersonDarling(xs, exp)
+	bad := AndersonDarling(xs, norm)
+	if bad < 10*good {
+		t.Errorf("wrong model A² = %g not clearly worse than %g", bad, good)
+	}
+	if !math.IsNaN(AndersonDarling(nil, exp)) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestChiSquareSelfFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d, _ := dist.NewGamma(3, 2)
+	xs := dist.SampleN(d, rng, 5000)
+	stat, dof := ChiSquare(xs, d, 20)
+	if dof != 20-1-2 {
+		t.Errorf("dof = %d", dof)
+	}
+	p := ChiSquarePValue(stat, dof)
+	if p < 0.001 {
+		t.Errorf("self-fit rejected: stat=%g p=%g", stat, p)
+	}
+}
+
+func TestChiSquareDetectsWrongModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	d, _ := dist.NewExponential(0.2)
+	wrong, _ := dist.NewNormal(5, 5)
+	xs := dist.SampleN(d, rng, 5000)
+	stat, dof := ChiSquare(xs, wrong, 20)
+	p := ChiSquarePValue(stat, dof)
+	if p > 1e-6 {
+		t.Errorf("wrong model accepted: stat=%g p=%g", stat, p)
+	}
+}
+
+func TestChiSquareDegenerateInputs(t *testing.T) {
+	d, _ := dist.NewNormal(0, 1)
+	if stat, _ := ChiSquare(nil, d, 10); !math.IsNaN(stat) {
+		t.Error("empty sample")
+	}
+	if stat, _ := ChiSquare([]float64{1}, d, 1); !math.IsNaN(stat) {
+		t.Error("one bin")
+	}
+	if !math.IsNaN(ChiSquarePValue(math.NaN(), 5)) {
+		t.Error("NaN stat")
+	}
+	if !math.IsNaN(ChiSquarePValue(1, 0)) {
+		t.Error("zero dof")
+	}
+}
+
+func TestChiSquarePValueKnownValues(t *testing.T) {
+	// P(X²_1 >= 3.841) ≈ 0.05; P(X²_2 >= 5.991) ≈ 0.05.
+	if p := ChiSquarePValue(3.841, 1); math.Abs(p-0.05) > 0.002 {
+		t.Errorf("p(3.841, 1) = %g", p)
+	}
+	if p := ChiSquarePValue(5.991, 2); math.Abs(p-0.05) > 0.002 {
+		t.Errorf("p(5.991, 2) = %g", p)
+	}
+	if p := ChiSquarePValue(0, 3); p != 1 {
+		t.Errorf("p(0) = %g", p)
+	}
+}

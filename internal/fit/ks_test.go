@@ -1,0 +1,83 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestKSSelfFitIsSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, _ := dist.NewGEV(-0.386, 19.5, 100)
+	xs := dist.SampleN(d, rng, 5000)
+	ks := KolmogorovSmirnov(xs, d)
+	// For n=5000, D should be ~sqrt(ln2/ (2n)) ≈ 0.008; allow generous slack.
+	if ks > 0.03 {
+		t.Errorf("KS of own sample = %g, want small", ks)
+	}
+}
+
+func TestKSDetectsWrongModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	exp, _ := dist.NewExponential(1)
+	norm, _ := dist.NewNormal(1, 1)
+	xs := dist.SampleN(exp, rng, 2000)
+	ksGood := KolmogorovSmirnov(xs, exp)
+	ksBad := KolmogorovSmirnov(xs, norm)
+	if ksBad <= ksGood*3 {
+		t.Errorf("wrong model KS=%g not clearly worse than right model KS=%g", ksBad, ksGood)
+	}
+}
+
+func TestKSExactSmallSample(t *testing.T) {
+	// Single point at the median of U(0,1): D = 0.5 exactly.
+	u, _ := dist.NewUniform(0, 1)
+	ks := KolmogorovSmirnov([]float64{0.5}, u)
+	if math.Abs(ks-0.5) > 1e-12 {
+		t.Errorf("KS = %g, want 0.5", ks)
+	}
+	if !math.IsNaN(KolmogorovSmirnov(nil, u)) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if ks := KolmogorovSmirnovTwoSample(a, a); ks != 0 {
+		t.Errorf("identical samples KS = %g", ks)
+	}
+	b := []float64{11, 12, 13}
+	if ks := KolmogorovSmirnovTwoSample(a, b); ks != 1 {
+		t.Errorf("disjoint samples KS = %g, want 1", ks)
+	}
+	if !math.IsNaN(KolmogorovSmirnovTwoSample(nil, a)) {
+		t.Error("empty input should give NaN")
+	}
+}
+
+func TestKSPValue(t *testing.T) {
+	if p := KSPValue(0, 100); p != 1 {
+		t.Errorf("p(0) = %g", p)
+	}
+	if p := KSPValue(1, 100); p != 0 {
+		t.Errorf("p(1) = %g", p)
+	}
+	// Monotone decreasing in d.
+	prev := 1.0
+	for d := 0.01; d < 0.5; d += 0.01 {
+		p := KSPValue(d, 200)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not decreasing at d=%g", d)
+		}
+		prev = p
+	}
+	// A huge statistic on a large sample is essentially impossible.
+	if p := KSPValue(0.3, 5000); p > 1e-10 {
+		t.Errorf("p(0.3, n=5000) = %g", p)
+	}
+	if !math.IsNaN(KSPValue(0.1, 0)) {
+		t.Error("n=0 should give NaN")
+	}
+}

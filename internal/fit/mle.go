@@ -1,0 +1,143 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Result is the outcome of fitting one family to a data set.
+type Result struct {
+	// Family is the fitted family name.
+	Family string
+	// Dist is the maximum-likelihood member of the family.
+	Dist dist.Dist
+	// NegLogLik is the minimized negative log-likelihood.
+	NegLogLik float64
+	// BIC is the Bayesian information criterion: k·ln(n) + 2·NLL. Lower is
+	// better; the paper selects fits by BIC.
+	BIC float64
+	// KS is the one-sample Kolmogorov-Smirnov statistic of the fit.
+	KS float64
+	// N is the number of data points used.
+	N int
+}
+
+// ErrNoFit is returned when no candidate family produced a finite likelihood.
+var ErrNoFit = errors.New("fit: no family produced a finite likelihood")
+
+// Options configures MLE fitting.
+type Options struct {
+	// MaxIter bounds Nelder-Mead iterations per family (<=0: default).
+	MaxIter int
+	// MaxSample subsamples data sets larger than this for the likelihood
+	// optimization (the KS statistic is still computed on the full data).
+	// <= 0 disables subsampling.
+	MaxSample int
+}
+
+// NegLogLik computes the negative log-likelihood of data under d; +Inf when
+// any point has zero density.
+func NegLogLik(d dist.Dist, data []float64) float64 {
+	var nll float64
+	for _, x := range data {
+		lp := d.LogPDF(x)
+		if math.IsNaN(lp) || math.IsInf(lp, 1) {
+			return math.Inf(1)
+		}
+		if math.IsInf(lp, -1) {
+			return math.Inf(1)
+		}
+		nll -= lp
+	}
+	return nll
+}
+
+// FitFamily fits one family to data by maximum likelihood and returns the
+// fit result, or an error when the family cannot represent the data at all.
+func FitFamily(f dist.Family, data []float64, opt Options) (Result, error) {
+	if len(data) == 0 {
+		return Result{}, errors.New("fit: empty data")
+	}
+	sample := data
+	if opt.MaxSample > 0 && len(data) > opt.MaxSample {
+		sample = subsample(data, opt.MaxSample)
+	}
+
+	obj := func(p []float64) float64 {
+		d, err := f.New(p)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return NegLogLik(d, sample)
+	}
+	guess := f.Guess(sample)
+	best, bestV := NelderMead(obj, guess, NelderMeadOptions{MaxIter: opt.MaxIter})
+	if math.IsInf(bestV, 0) || math.IsNaN(bestV) {
+		return Result{}, ErrNoFit
+	}
+	d, err := f.New(best)
+	if err != nil {
+		return Result{}, err
+	}
+	// Rescale the optimized NLL to the full data set for comparable BICs.
+	nll := bestV
+	if len(sample) != len(data) {
+		nll = NegLogLik(d, data)
+		if math.IsInf(nll, 0) || math.IsNaN(nll) {
+			// Subsample fit does not generalize (support excludes points).
+			return Result{}, ErrNoFit
+		}
+	}
+	n := len(data)
+	return Result{
+		Family:    f.Name,
+		Dist:      d,
+		NegLogLik: nll,
+		BIC:       float64(f.NParams)*math.Log(float64(n)) + 2*nll,
+		KS:        KolmogorovSmirnov(data, d),
+		N:         n,
+	}, nil
+}
+
+// FitAll fits every candidate family to data and returns the results sorted
+// by ascending BIC (best first). Families that fail to fit are omitted.
+func FitAll(families []dist.Family, data []float64, opt Options) ([]Result, error) {
+	var out []Result
+	for _, f := range families {
+		r, err := FitFamily(f, data, opt)
+		if err != nil {
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoFit
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BIC < out[j].BIC })
+	return out, nil
+}
+
+// Best fits all 18 standard families and returns the BIC-best result — the
+// procedure behind each row of Tables II and III.
+func Best(data []float64, opt Options) (Result, error) {
+	rs, err := FitAll(dist.AllFamilies(), data, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
+}
+
+// subsample takes k evenly spaced points from data (preserving order
+// statistics spread without randomness, so fits are deterministic).
+func subsample(data []float64, k int) []float64 {
+	n := len(data)
+	out := make([]float64, 0, k)
+	step := float64(n) / float64(k)
+	for i := 0; i < k; i++ {
+		out = append(out, data[int(float64(i)*step)])
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestFitFamilyRecoversNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src, _ := dist.NewNormal(10, 3)
+	data := dist.SampleN(src, rng, 4000)
+	fam, _ := dist.FamilyByName("Normal")
+	r, err := FitFamily(fam, data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Dist.Params()
+	if math.Abs(p[0]-10) > 0.2 {
+		t.Errorf("fitted mu = %g, want ~10", p[0])
+	}
+	if math.Abs(p[1]-3) > 0.2 {
+		t.Errorf("fitted sigma = %g, want ~3", p[1])
+	}
+	if r.KS > 0.03 {
+		t.Errorf("KS = %g", r.KS)
+	}
+}
+
+func TestFitFamilyRecoversWeibull(t *testing.T) {
+	// The Table III U30 fit: Weibull(λ=5.49e4, k=0.637).
+	rng := rand.New(rand.NewSource(2))
+	src, _ := dist.NewWeibull(5.49e4, 0.637)
+	data := dist.SampleN(src, rng, 4000)
+	fam, _ := dist.FamilyByName("Weibull")
+	r, err := FitFamily(fam, data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Dist.Params()
+	if math.Abs(p[0]-5.49e4)/5.49e4 > 0.15 {
+		t.Errorf("fitted lambda = %g, want ~5.49e4", p[0])
+	}
+	if math.Abs(p[1]-0.637) > 0.05 {
+		t.Errorf("fitted k = %g, want ~0.637", p[1])
+	}
+}
+
+func TestFitFamilyRecoversGEV(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src, _ := dist.NewGEV(0.195, 29.1, 200)
+	data := dist.SampleN(src, rng, 4000)
+	fam, _ := dist.FamilyByName("GEV")
+	r, err := FitFamily(fam, data, Options{MaxIter: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KS > 0.03 {
+		t.Errorf("GEV self-fit KS = %g", r.KS)
+	}
+	p := r.Dist.Params()
+	if math.Abs(p[0]-0.195) > 0.1 {
+		t.Errorf("fitted shape = %g, want ~0.195", p[0])
+	}
+}
+
+func TestBestSelectsPlausibleModelForExponentialData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src, _ := dist.NewExponential(0.01)
+	data := dist.SampleN(src, rng, 1500)
+	r, err := Best(data, Options{MaxSample: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The winner must fit essentially as well as the truth; several families
+	// nest the exponential so we assert quality, not identity.
+	if r.KS > 0.05 {
+		t.Errorf("best fit (%s) KS = %g, want < 0.05", r.Family, r.KS)
+	}
+}
+
+func TestFitAllSortedByBIC(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src, _ := dist.NewLogNormal(3, 1)
+	data := dist.SampleN(src, rng, 800)
+	rs, err := FitAll(dist.AllFamilies(), data, Options{MaxIter: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) < 5 {
+		t.Fatalf("only %d families fitted", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].BIC < rs[i-1].BIC {
+			t.Fatalf("results not sorted by BIC at %d", i)
+		}
+	}
+	// LogNormal should be at or near the top.
+	top3 := map[string]bool{}
+	for i := 0; i < 3 && i < len(rs); i++ {
+		top3[rs[i].Family] = true
+	}
+	if !top3[rs[0].Family] {
+		t.Fatal("unreachable")
+	}
+	found := false
+	for i := 0; i < 3 && i < len(rs); i++ {
+		if rs[i].Family == "LogNormal" {
+			found = true
+		}
+	}
+	if !found {
+		names := make([]string, 0, 3)
+		for i := 0; i < 3 && i < len(rs); i++ {
+			names = append(names, rs[i].Family)
+		}
+		t.Errorf("LogNormal not in top-3 by BIC: %v", names)
+	}
+}
+
+func TestBICPenalizesExtraParameters(t *testing.T) {
+	// For the same NLL, a 3-parameter family must have higher BIC than a
+	// 1-parameter family.
+	n := 1000
+	k1 := 1*math.Log(float64(n)) + 2*500
+	k3 := 3*math.Log(float64(n)) + 2*500
+	if k3 <= k1 {
+		t.Fatal("BIC formula sanity check failed")
+	}
+	rng := rand.New(rand.NewSource(6))
+	src, _ := dist.NewExponential(1)
+	data := dist.SampleN(src, rng, n)
+	fam, _ := dist.FamilyByName("Exponential")
+	r, err := FitFamily(fam, data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1*math.Log(float64(n)) + 2*r.NegLogLik
+	if math.Abs(r.BIC-want) > 1e-9 {
+		t.Errorf("BIC = %g, want %g", r.BIC, want)
+	}
+}
+
+func TestFitFamilyEmptyData(t *testing.T) {
+	fam, _ := dist.FamilyByName("Normal")
+	if _, err := FitFamily(fam, nil, Options{}); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestNegLogLikInfOutsideSupport(t *testing.T) {
+	d, _ := dist.NewPareto(5, 2)
+	if v := NegLogLik(d, []float64{1}); !math.IsInf(v, 1) {
+		t.Errorf("NLL below support = %g, want +Inf", v)
+	}
+}
+
+func TestSubsamplePreservesBounds(t *testing.T) {
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	s := subsample(data, 100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] != 0 {
+		t.Errorf("first = %g", s[0])
+	}
+	if s[99] != 990 {
+		t.Errorf("last = %g", s[99])
+	}
+}
+
+func TestFitWithSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src, _ := dist.NewGamma(2, 5)
+	data := dist.SampleN(src, rng, 10000)
+	fam, _ := dist.FamilyByName("Gamma")
+	r, err := FitFamily(fam, data, Options{MaxSample: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 10000 {
+		t.Errorf("N = %d, want full data size", r.N)
+	}
+	if r.KS > 0.05 {
+		t.Errorf("subsampled fit KS = %g", r.KS)
+	}
+}

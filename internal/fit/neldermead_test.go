@@ -1,0 +1,62 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	x, v := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if math.Abs(x[0]-3) > 1e-4 || math.Abs(x[1]+1) > 1e-4 {
+		t.Errorf("minimum at %v, want (3,-1)", x)
+	}
+	if v > 1e-7 {
+		t.Errorf("minimum value %g", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, v := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 5000})
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Errorf("minimum at %v, want (1,1), value %g", x, v)
+	}
+}
+
+func TestNelderMeadInfeasibleRegions(t *testing.T) {
+	// +Inf outside x>0 simulates parameter-domain constraints.
+	f := func(x []float64) float64 {
+		if x[0] <= 0 {
+			return math.Inf(1)
+		}
+		return (math.Log(x[0]) - 2) * (math.Log(x[0]) - 2)
+	}
+	x, _ := NelderMead(f, []float64{1}, NelderMeadOptions{MaxIter: 2000})
+	if math.Abs(x[0]-math.E*math.E) > 0.05 {
+		t.Errorf("minimum at %v, want e^2 ≈ 7.389", x)
+	}
+}
+
+func TestNelderMeadOneDimension(t *testing.T) {
+	f := func(x []float64) float64 { return math.Abs(x[0] - 42) }
+	x, _ := NelderMead(f, []float64{0}, NelderMeadOptions{MaxIter: 2000})
+	if math.Abs(x[0]-42) > 1e-3 {
+		t.Errorf("minimum at %v, want 42", x)
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	called := false
+	f := func(x []float64) float64 { called = true; return 7 }
+	x, v := NelderMead(f, nil, NelderMeadOptions{})
+	if x != nil || v != 7 || !called {
+		t.Errorf("empty input: x=%v v=%v called=%v", x, v, called)
+	}
+}

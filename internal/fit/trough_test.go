@@ -1,0 +1,69 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+// humps builds a series of n sinusoidal humps of width segLen.
+func humps(n, segLen int) []float64 {
+	out := make([]float64, 0, n*segLen)
+	for h := 0; h < n; h++ {
+		for i := 0; i < segLen; i++ {
+			out = append(out, 10*math.Sin(math.Pi*float64(i)/float64(segLen))+0.1)
+		}
+	}
+	return out
+}
+
+func TestTroughBoundariesQuarterlyHumps(t *testing.T) {
+	xs := humps(4, 91) // 364 days, troughs at 91/182/273
+	got := TroughBoundaries(xs, 3, 45, 14)
+	if len(got) != 3 {
+		t.Fatalf("boundaries = %v, want 3", got)
+	}
+	want := []int{91, 182, 273}
+	for i, w := range want {
+		if d := got[i] - w; d < -8 || d > 8 {
+			t.Errorf("boundary %d at %d, want ~%d", i, got[i], w)
+		}
+	}
+}
+
+func TestTroughBoundariesRespectsSeparation(t *testing.T) {
+	xs := humps(4, 91)
+	got := TroughBoundaries(xs, 3, 45, 14)
+	for i := 1; i < len(got); i++ {
+		if got[i]-got[i-1] < 45 {
+			t.Errorf("boundaries too close: %v", got)
+		}
+	}
+}
+
+func TestTroughBoundariesDegenerate(t *testing.T) {
+	if got := TroughBoundaries(nil, 3, 10, 5); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+	if got := TroughBoundaries([]float64{1, 2, 3}, 3, 10, 5); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+	if got := TroughBoundaries(humps(4, 91), 0, 10, 5); got != nil {
+		t.Errorf("n=0: %v", got)
+	}
+	flat := make([]float64, 100)
+	if got := TroughBoundaries(flat, 3, 10, 5); len(got) != 0 {
+		t.Errorf("flat series: %v", got)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	sm := movingAverage(xs, 3)
+	want := []float64{1, 1.5, 2, 3, 4}
+	for i := range want {
+		if math.Abs(sm[i]-want[i]) > 1e-12 {
+			t.Errorf("sm = %v, want %v", sm, want)
+			break
+		}
+	}
+}

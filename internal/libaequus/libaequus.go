@@ -1,0 +1,184 @@
+// Package libaequus is the unified system library resource management
+// systems link against to obtain global fairshare functionality (Section
+// III-A). It wraps clients for the FCS (fairshare values), IRS (identity
+// mappings) and USS (usage reporting), and caches resolved fairshare values
+// and identities for a configurable time — "which considerably reduces the
+// amount of network traffic and computations required when batches of jobs
+// are submitted and processed at the same time". The cache TTL is update
+// delay component (III) in the paper's delay analysis.
+package libaequus
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/wire"
+)
+
+// FairshareSource provides pre-calculated fairshare values (the FCS, either
+// in-process or over HTTP).
+type FairshareSource interface {
+	Priority(gridUser string) (wire.FairshareResponse, error)
+}
+
+// IdentitySource reverts local accounts to grid identities (the IRS).
+type IdentitySource interface {
+	Resolve(site, localUser string) (string, error)
+}
+
+// UsageSink receives job-completion usage reports (the USS).
+type UsageSink interface {
+	ReportJob(gridUser string, start time.Time, dur time.Duration, procs int)
+}
+
+// Config configures a libaequus client.
+type Config struct {
+	// Site is the local site name used in identity resolution.
+	Site string
+	// CacheTTL bounds how long fairshare values and identity mappings are
+	// reused without consulting the services.
+	CacheTTL time.Duration
+	// Clock provides time (default wall clock).
+	Clock simclock.Clock
+}
+
+// Client is a libaequus instance. It is safe for concurrent use by a
+// multi-threaded scheduler.
+type Client struct {
+	cfg Config
+	fcs FairshareSource
+	irs IdentitySource
+	uss UsageSink
+
+	mu        sync.Mutex
+	fairshare map[string]cachedValue // grid user -> value
+	ids       map[string]cachedID    // local user -> grid id
+	stats     Stats
+}
+
+type cachedValue struct {
+	resp wire.FairshareResponse
+	at   time.Time
+}
+
+type cachedID struct {
+	grid string
+	at   time.Time
+}
+
+// Stats counts cache behaviour, useful for the cache-TTL ablation.
+type Stats struct {
+	FairshareHits, FairshareMisses int
+	IdentityHits, IdentityMisses   int
+	UsageReports                   int
+}
+
+// New creates a client. Any source may be nil if unused (e.g. a pure
+// reporting integration needs only the USS).
+func New(cfg Config, fcs FairshareSource, irs IdentitySource, uss UsageSink) *Client {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	return &Client{
+		cfg:       cfg,
+		fcs:       fcs,
+		irs:       irs,
+		uss:       uss,
+		fairshare: map[string]cachedValue{},
+		ids:       map[string]cachedID{},
+	}
+}
+
+// ResolveGridID maps a local system user to its grid identity, caching the
+// result.
+func (c *Client) ResolveGridID(localUser string) (string, error) {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	if e, ok := c.ids[localUser]; ok && now.Sub(e.at) < c.cfg.CacheTTL {
+		c.stats.IdentityHits++
+		c.mu.Unlock()
+		return e.grid, nil
+	}
+	c.stats.IdentityMisses++
+	c.mu.Unlock()
+
+	grid, err := c.irs.Resolve(c.cfg.Site, localUser)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.ids[localUser] = cachedID{grid: grid, at: now}
+	c.mu.Unlock()
+	return grid, nil
+}
+
+// Fairshare returns the global fairshare response for a grid user, cached.
+func (c *Client) Fairshare(gridUser string) (wire.FairshareResponse, error) {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	if e, ok := c.fairshare[gridUser]; ok && now.Sub(e.at) < c.cfg.CacheTTL {
+		c.stats.FairshareHits++
+		c.mu.Unlock()
+		return e.resp, nil
+	}
+	c.stats.FairshareMisses++
+	c.mu.Unlock()
+
+	resp, err := c.fcs.Priority(gridUser)
+	if err != nil {
+		return wire.FairshareResponse{}, err
+	}
+	c.mu.Lock()
+	c.fairshare[gridUser] = cachedValue{resp: resp, at: now}
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// PriorityForLocalUser is the scheduler call-out: it resolves the local
+// account to a grid identity and returns the projected fairshare priority in
+// [0,1] — the value that replaces the local fairshare factor in SLURM's
+// multifactor plugin and Maui's patched priority calculation.
+func (c *Client) PriorityForLocalUser(localUser string) (float64, error) {
+	grid, err := c.ResolveGridID(localUser)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Fairshare(grid)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// JobComplete is the job-completion call-out: it reports the finished job's
+// usage to the USS under the owner's grid identity.
+func (c *Client) JobComplete(localUser string, start time.Time, dur time.Duration, procs int) error {
+	grid, err := c.ResolveGridID(localUser)
+	if err != nil {
+		return err
+	}
+	if c.uss != nil {
+		c.uss.ReportJob(grid, start, dur, procs)
+	}
+	c.mu.Lock()
+	c.stats.UsageReports++
+	c.mu.Unlock()
+	return nil
+}
+
+// FlushCaches drops all cached values (used when an administrator changes
+// policy and wants immediate effect).
+func (c *Client) FlushCaches() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fairshare = map[string]cachedValue{}
+	c.ids = map[string]cachedID{}
+}
+
+// Stats returns a snapshot of cache statistics.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

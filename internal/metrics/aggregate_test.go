@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateDeviation(t *testing.T) {
+	p := PerUser{}
+	targets := map[string]float64{"a": 0.6, "b": 0.4}
+	p.Add("a", mins(0), 0.9) // |0.9-0.6| = 0.3
+	p.Add("b", mins(0), 0.1) // |0.1-0.4| = 0.3
+	p.Add("a", mins(10), 0.6)
+	p.Add("b", mins(10), 0.4)
+	dev := AggregateDeviation(p, targets)
+	if dev.Len() != 2 {
+		t.Fatalf("len = %d", dev.Len())
+	}
+	if math.Abs(dev.Values[0]-0.6) > 1e-12 {
+		t.Errorf("D(0) = %g, want 0.6", dev.Values[0])
+	}
+	if math.Abs(dev.Values[1]) > 1e-12 {
+		t.Errorf("D(10) = %g, want 0", dev.Values[1])
+	}
+}
+
+func TestAggregateDeviationMissingUsers(t *testing.T) {
+	p := PerUser{}
+	p.Add("a", mins(0), 0.5)
+	dev := AggregateDeviation(p, map[string]float64{"a": 0.5, "ghost": 0.5})
+	if dev.Len() != 1 || dev.Values[0] != 0 {
+		t.Errorf("dev = %v", dev.Values)
+	}
+	empty := AggregateDeviation(PerUser{}, map[string]float64{"a": 1})
+	if empty.Len() != 0 {
+		t.Error("empty per-user should give empty series")
+	}
+}
+
+func TestFirstSustainedBelow(t *testing.T) {
+	s := &Series{}
+	vals := []float64{0.9, 0.2, 0.8, 0.2, 0.1, 0.15, 0.9, 0.1, 0.1, 0.1}
+	for i, v := range vals {
+		s.Add(mins(i), v)
+	}
+	// First 3-long run below 0.3 starts at index 3 (0.2, 0.1, 0.15).
+	at, ok := FirstSustainedBelow(s, 0.3, 3)
+	if !ok || !at.Equal(mins(3)) {
+		t.Errorf("FirstSustainedBelow = %v, %v; want minute 3", at, ok)
+	}
+	// Requiring 4 consecutive finds the tail run at index 7.
+	at, ok = FirstSustainedBelow(s, 0.3, 3)
+	_ = at
+	at4, ok4 := FirstSustainedBelow(s, 0.16, 3)
+	if !ok4 || !at4.Equal(mins(7)) {
+		t.Errorf("tighter threshold = %v, %v; want minute 7", at4, ok4)
+	}
+	if _, ok := FirstSustainedBelow(s, 0.05, 3); ok {
+		t.Error("impossible threshold matched")
+	}
+	if _, ok := FirstSustainedBelow(nil, 1, 1); ok {
+		t.Error("nil series matched")
+	}
+	if _, ok := FirstSustainedBelow(s, 1, 0); ok {
+		t.Error("consecutive=0 matched")
+	}
+}

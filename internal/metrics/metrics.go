@@ -1,0 +1,236 @@
+// Package metrics provides the time-series collection and convergence
+// measures used to reproduce the paper's testbed figures: per-user usage
+// shares and priorities sampled over the run, windowed share computation,
+// and convergence-time extraction.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Series is an append-only time series.
+type Series struct {
+	Times  []time.Time
+	Values []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Time, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// At returns the last value at or before t (NaN when none).
+func (s *Series) At(t time.Time) float64 {
+	i := sort.Search(len(s.Times), func(i int) bool { return s.Times[i].After(t) })
+	if i == 0 {
+		return math.NaN()
+	}
+	return s.Values[i-1]
+}
+
+// Last returns the final value (NaN when empty).
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// PerUser holds one series per user.
+type PerUser map[string]*Series
+
+// Add appends a sample to a user's series, creating it on first use.
+func (p PerUser) Add(user string, t time.Time, v float64) {
+	s := p[user]
+	if s == nil {
+		s = &Series{}
+		p[user] = s
+	}
+	s.Add(t, v)
+}
+
+// Users returns the sorted user names.
+func (p PerUser) Users() []string {
+	out := make([]string, 0, len(p))
+	for u := range p {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConvergenceTime returns the first sample time after which the series stays
+// within tol of target until the end (and the fraction of run spent
+// converged). ok is false when the series never converges.
+func ConvergenceTime(s *Series, target, tol float64) (time.Time, bool) {
+	if s == nil || s.Len() == 0 {
+		return time.Time{}, false
+	}
+	// Find the last sample outside tolerance; convergence starts after it.
+	lastBad := -1
+	for i, v := range s.Values {
+		if math.Abs(v-target) > tol {
+			lastBad = i
+		}
+	}
+	if lastBad == len(s.Values)-1 {
+		return time.Time{}, false // ends out of tolerance
+	}
+	return s.Times[lastBad+1], true
+}
+
+// MaxDeviation returns the largest |value − target| over the series from t
+// on.
+func MaxDeviation(s *Series, target float64, from time.Time) float64 {
+	var worst float64
+	for i, v := range s.Values {
+		if s.Times[i].Before(from) {
+			continue
+		}
+		if d := math.Abs(v - target); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MeanAbsError returns the average |value − target| from `from` on (NaN when
+// no samples qualify).
+func MeanAbsError(s *Series, target float64, from time.Time) float64 {
+	var sum float64
+	n := 0
+	for i, v := range s.Values {
+		if s.Times[i].Before(from) {
+			continue
+		}
+		sum += math.Abs(v - target)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// AggregateDeviation builds the series D(t) = Σ_u |share_u(t) − target_u|
+// over the common sample times of the per-user series — the overall
+// system-imbalance curve used for convergence-time comparisons.
+func AggregateDeviation(p PerUser, targets map[string]float64) *Series {
+	var ref *Series
+	for u := range targets {
+		if s := p[u]; s != nil && (ref == nil || s.Len() < ref.Len()) {
+			ref = s
+		}
+	}
+	if ref == nil {
+		return &Series{}
+	}
+	out := &Series{}
+	for i, at := range ref.Times {
+		var d float64
+		for u, target := range targets {
+			s := p[u]
+			if s == nil {
+				continue
+			}
+			var v float64
+			if s == ref {
+				v = s.Values[i]
+			} else {
+				v = s.At(at)
+			}
+			if !math.IsNaN(v) {
+				d += math.Abs(v - target)
+			}
+		}
+		out.Add(at, d)
+	}
+	return out
+}
+
+// FirstSustainedBelow returns the time of the first sample from which the
+// series stays below threshold for `consecutive` samples. ok is false when
+// no such point exists.
+func FirstSustainedBelow(s *Series, threshold float64, consecutive int) (time.Time, bool) {
+	if s == nil || s.Len() == 0 || consecutive < 1 {
+		return time.Time{}, false
+	}
+	run := 0
+	for i, v := range s.Values {
+		if v < threshold {
+			run++
+			if run >= consecutive {
+				return s.Times[i-consecutive+1], true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return time.Time{}, false
+}
+
+// UsageWindow accumulates completed-job usage per user and reports each
+// user's share of the usage inside a sliding window — the "combined usage
+// share" curves of Figures 10-13.
+type UsageWindow struct {
+	window time.Duration
+	// events are (time, user, coreSeconds), appended in completion order.
+	times []time.Time
+	users []string
+	usage []float64
+}
+
+// NewUsageWindow creates a sliding usage window (zero = whole run).
+func NewUsageWindow(window time.Duration) *UsageWindow {
+	return &UsageWindow{window: window}
+}
+
+// Record adds a completed job's usage at time t.
+func (w *UsageWindow) Record(t time.Time, user string, coreSeconds float64) {
+	w.times = append(w.times, t)
+	w.users = append(w.users, user)
+	w.usage = append(w.usage, coreSeconds)
+}
+
+// Shares returns each user's fraction of the usage recorded in
+// (now−window, now].
+func (w *UsageWindow) Shares(now time.Time) map[string]float64 {
+	from := time.Time{}
+	if w.window > 0 {
+		from = now.Add(-w.window)
+	}
+	perUser := map[string]float64{}
+	var total float64
+	for i, t := range w.times {
+		if t.After(now) || (w.window > 0 && !t.After(from)) {
+			continue
+		}
+		perUser[w.users[i]] += w.usage[i]
+		total += w.usage[i]
+	}
+	out := map[string]float64{}
+	if total == 0 {
+		return out
+	}
+	for u, v := range perUser {
+		out[u] = v / total
+	}
+	return out
+}
+
+// Total returns the total usage recorded up to now.
+func (w *UsageWindow) Total(now time.Time) float64 {
+	var total float64
+	for i, t := range w.times {
+		if !t.After(now) {
+			total += w.usage[i]
+		}
+	}
+	return total
+}

@@ -1,0 +1,230 @@
+package policy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// paperTree builds the Figure 3-style hierarchy:
+//
+//	/HQ  /LQ  /grid
+//	        /grid/projA/{u1,u2}  /grid/projB/u3
+func paperTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := NewTree()
+	must := func(_ string, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tr.Add("", "hq", 30))
+	must(tr.Add("", "lq", 10))
+	must(tr.Add("", "grid", 60))
+	must(tr.Add("/grid", "projA", 3))
+	must(tr.Add("/grid", "projB", 1))
+	must(tr.Add("/grid/projA", "u1", 1))
+	must(tr.Add("/grid/projA", "u2", 3))
+	must(tr.Add("/grid/projB", "u3", 1))
+	return tr
+}
+
+func TestAddAndLookup(t *testing.T) {
+	tr := paperTree(t)
+	n, err := tr.Lookup("/grid/projA/u2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "u2" || n.Share != 3 {
+		t.Errorf("node = %+v", n)
+	}
+	if _, err := tr.Lookup("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing lookup err = %v", err)
+	}
+	root, err := tr.Lookup("/")
+	if err != nil || root != tr.Root {
+		t.Error("root lookup failed")
+	}
+}
+
+func TestAddRejectsBadInput(t *testing.T) {
+	tr := paperTree(t)
+	if _, err := tr.Add("", "hq", 1); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	if _, err := tr.Add("", "x", 0); !errors.Is(err, ErrBadShare) {
+		t.Errorf("zero share err = %v", err)
+	}
+	if _, err := tr.Add("", "x", -1); !errors.Is(err, ErrBadShare) {
+		t.Errorf("negative share err = %v", err)
+	}
+	if _, err := tr.Add("", "a/b", 1); !errors.Is(err, ErrBadPath) {
+		t.Errorf("slash name err = %v", err)
+	}
+	if _, err := tr.Add("/missing", "x", 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing parent err = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := paperTree(t)
+	if err := tr.Remove("/grid/projB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Lookup("/grid/projB/u3"); err == nil {
+		t.Error("subtree survived removal")
+	}
+	if err := tr.Remove("/"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("removing root err = %v", err)
+	}
+	if err := tr.Remove("/ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("removing missing err = %v", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tr := paperTree(t)
+	norm := tr.Normalize()
+	top := norm.Root.Children
+	if math.Abs(top[0].Share-0.3) > 1e-12 || math.Abs(top[2].Share-0.6) > 1e-12 {
+		t.Errorf("top shares = %g, %g, %g", top[0].Share, top[1].Share, top[2].Share)
+	}
+	projA, _ := norm.Lookup("/grid/projA")
+	if math.Abs(projA.Share-0.75) > 1e-12 {
+		t.Errorf("projA share = %g, want 0.75", projA.Share)
+	}
+	// Original unchanged.
+	if tr.Root.Children[0].Share != 30 {
+		t.Error("Normalize mutated input")
+	}
+}
+
+func TestLeavesAndShares(t *testing.T) {
+	tr := paperTree(t)
+	leaves := tr.Leaves()
+	if len(leaves) != 5 {
+		t.Fatalf("leaves = %d, want 5 (hq, lq, u1, u2, u3)", len(leaves))
+	}
+	byPath := map[string]Leaf{}
+	for _, l := range leaves {
+		byPath[l.Path] = l
+	}
+	u2 := byPath["/grid/projA/u2"]
+	if u2.User != "u2" {
+		t.Fatalf("u2 leaf = %+v", u2)
+	}
+	want := []float64{0.6, 0.75, 0.75}
+	if len(u2.Shares) != 3 {
+		t.Fatalf("u2 shares = %v", u2.Shares)
+	}
+	for i := range want {
+		if math.Abs(u2.Shares[i]-want[i]) > 1e-12 {
+			t.Errorf("u2 shares = %v, want %v", u2.Shares, want)
+			break
+		}
+	}
+	lq := byPath["/lq"]
+	if len(lq.Shares) != 1 || math.Abs(lq.Shares[0]-0.1) > 1e-12 {
+		t.Errorf("lq shares = %v", lq.Shares)
+	}
+}
+
+func TestFindUser(t *testing.T) {
+	tr := paperTree(t)
+	path, ok := tr.FindUser("u3")
+	if !ok || path != "/grid/projB/u3" {
+		t.Errorf("FindUser(u3) = %q, %v", path, ok)
+	}
+	if _, ok := tr.FindUser("ghost"); ok {
+		t.Error("found nonexistent user")
+	}
+}
+
+func TestMountAndRefresh(t *testing.T) {
+	local := NewTree()
+	if _, err := local.Add("", "local", 40); err != nil {
+		t.Fatal(err)
+	}
+	// A remotely managed grid policy.
+	remote := NewTree()
+	remote.Add("", "va", 1)
+	remote.Add("", "vb", 3)
+
+	if err := local.Mount("", "grid", 60, remote.Root, "pds://national"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := local.Lookup("/grid/vb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Share != 3 {
+		t.Errorf("mounted share = %g", n.Share)
+	}
+	mp, _ := local.Lookup("/grid")
+	if mp.MountedFrom != "pds://national" {
+		t.Errorf("MountedFrom = %q", mp.MountedFrom)
+	}
+
+	// Mutating the remote tree must not affect the mounted copy.
+	remote.Root.Children[0].Share = 99
+	n, _ = local.Lookup("/grid/va")
+	if n.Share != 1 {
+		t.Error("mount did not deep-copy the subtree")
+	}
+
+	// Refresh propagates policy updates.
+	remote2 := NewTree()
+	remote2.Add("", "vc", 5)
+	if err := local.RefreshMount("/grid", remote2.Root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Lookup("/grid/vc"); err != nil {
+		t.Error("refresh did not replace children")
+	}
+	if _, err := local.Lookup("/grid/va"); err == nil {
+		t.Error("refresh kept stale children")
+	}
+
+	// Refreshing a non-mount fails.
+	if err := local.RefreshMount("/local", remote2.Root); !errors.Is(err, ErrNotMounted) {
+		t.Errorf("refresh non-mount err = %v", err)
+	}
+	if err := local.Mount("", "grid2", 1, nil, "x"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("nil subtree err = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := paperTree(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := paperTree(t)
+	bad.Root.Children[0].Share = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadShare) {
+		t.Errorf("bad share err = %v", err)
+	}
+	dup := paperTree(t)
+	dup.Root.Children = append(dup.Root.Children, &Node{Name: "hq", Share: 1})
+	if err := dup.Validate(); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate err = %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := paperTree(t)
+	cp := tr.Clone()
+	cp.Root.Children[0].Share = 999
+	if tr.Root.Children[0].Share == 999 {
+		t.Error("Clone shares memory with original")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if got := paperTree(t).Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	if got := NewTree().Depth(); got != 0 {
+		t.Errorf("empty Depth = %d", got)
+	}
+}

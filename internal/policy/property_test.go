@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree builds a random valid policy tree from fuzz input.
+func randomTree(rng *rand.Rand, maxDepth int) *Tree {
+	t := NewTree()
+	var grow func(path string, depth int)
+	counter := 0
+	grow = func(path string, depth int) {
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			counter++
+			name := "n" + itoa(counter)
+			share := rng.Float64()*9 + 0.5
+			if _, err := t.Add(path, name, share); err != nil {
+				continue
+			}
+			if depth < maxDepth && rng.Float64() < 0.4 {
+				grow(path+Separator+name, depth+1)
+			}
+		}
+	}
+	grow("", 1)
+	return t
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestPropertyNormalizedSiblingsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(rng, 3).Normalize()
+		var walk func(n *Node) bool
+		walk = func(n *Node) bool {
+			if len(n.Children) > 0 {
+				var sum float64
+				for _, c := range n.Children {
+					sum += c.Share
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+			for _, c := range n.Children {
+				if !walk(c) {
+					return false
+				}
+			}
+			return true
+		}
+		if !walk(tr.Root) {
+			t.Fatalf("trial %d: sibling shares do not sum to 1", trial)
+		}
+	}
+}
+
+func TestPropertyFlatSharesSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(rng, 3)
+		fs := FlatShares(tr)
+		if len(fs) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range fs {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: flat shares sum to %g", trial, sum)
+		}
+	}
+}
+
+func TestPropertyLeavesMatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(rng, 3)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: generated tree invalid: %v", trial, err)
+		}
+		for _, l := range tr.Leaves() {
+			n, err := tr.Lookup(l.Path)
+			if err != nil {
+				t.Fatalf("trial %d: leaf path %s not found", trial, l.Path)
+			}
+			if len(n.Children) != 0 {
+				t.Fatalf("trial %d: leaf %s has children", trial, l.Path)
+			}
+			if len(l.Shares) != len(SplitPath(l.Path)) {
+				t.Fatalf("trial %d: leaf %s has %d shares for depth %d",
+					trial, l.Path, len(l.Shares), len(SplitPath(l.Path)))
+			}
+		}
+	}
+}
+
+func TestPropertyJSONRoundTripPreservesLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTree(rng, 3)
+		data, err := ToJSON(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := tr.Leaves(), back.Leaves()
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: leaf counts %d vs %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Path != b[i].Path {
+				t.Fatalf("trial %d: leaf %d path %q vs %q", trial, i, a[i].Path, b[i].Path)
+			}
+		}
+	}
+}
+
+func TestPropertySplitJoinPath(t *testing.T) {
+	f := func(parts []string) bool {
+		clean := parts[:0]
+		for _, p := range parts {
+			if p == "" || containsSep(p) {
+				return true // skip invalid components
+			}
+			clean = append(clean, p)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		joined := JoinPath(clean)
+		back := SplitPath(joined)
+		if len(back) != len(clean) {
+			return false
+		}
+		for i := range back {
+			if back[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsSep(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == Separator[0] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+// Package fcs implements the Fairshare Calculation Service: it fetches
+// usage trees from the UMS and policy trees from the PDS periodically, and
+// pre-calculates fairshare trees with current values for all users — "this
+// way, no real-time calculations need to take place when new jobs arrive".
+package fcs
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/fairshare"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/vector"
+	"repro/internal/wire"
+)
+
+// PolicySource provides the current policy tree (the PDS).
+type PolicySource interface {
+	Policy() *policy.Tree
+}
+
+// UsageSource provides pre-computed per-user decayed usage (the UMS).
+type UsageSource interface {
+	UsageTotals() (map[string]float64, time.Time, error)
+}
+
+// Config configures an FCS instance.
+type Config struct {
+	// Fairshare parameterizes the calculation (distance weight, resolution).
+	Fairshare fairshare.Config
+	// Projection collapses vectors to [0,1] priorities (default percental,
+	// "the configuration currently used in production").
+	Projection vector.Projection
+	// CacheTTL bounds how stale the pre-calculated tree may be — update
+	// delay component (II).
+	CacheTTL time.Duration
+	// Clock provides time (default wall clock).
+	Clock simclock.Clock
+}
+
+// Service is a Fairshare Calculation Service instance.
+type Service struct {
+	cfg Config
+	pds PolicySource
+	ums UsageSource
+
+	mu         sync.Mutex
+	tree       *fairshare.Tree
+	priorities map[string]float64
+	computedAt time.Time
+}
+
+// ErrUnknownUser is returned for users absent from the policy.
+var ErrUnknownUser = errors.New("fcs: user not in policy")
+
+// New creates an FCS.
+func New(cfg Config, pds PolicySource, ums UsageSource) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.Projection == nil {
+		cfg.Projection = vector.Percental{}
+	}
+	if cfg.Fairshare.Resolution <= 0 {
+		cfg.Fairshare = fairshare.DefaultConfig()
+	}
+	return &Service{cfg: cfg, pds: pds, ums: ums}
+}
+
+// SetProjection switches the projection algorithm at run time (the paper:
+// "the approach to use is configurable and can be changed during
+// run-time"). The cache is invalidated.
+func (s *Service) SetProjection(p vector.Projection) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p != nil {
+		s.cfg.Projection = p
+		s.tree = nil
+	}
+}
+
+// Refresh forces recomputation of the fairshare tree.
+func (s *Service) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshLocked()
+}
+
+func (s *Service) refreshLocked() error {
+	totals, _, err := s.ums.UsageTotals()
+	if err != nil {
+		return err
+	}
+	p := s.pds.Policy()
+	tree := fairshare.Compute(p, totals, s.cfg.Fairshare)
+	s.tree = tree
+	s.priorities = tree.Priorities(s.cfg.Projection)
+	s.computedAt = s.cfg.Clock.Now()
+	return nil
+}
+
+func (s *Service) ensureFresh() error {
+	now := s.cfg.Clock.Now()
+	if s.tree != nil && now.Sub(s.computedAt) < s.cfg.CacheTTL {
+		return nil
+	}
+	return s.refreshLocked()
+}
+
+// Priority returns the pre-calculated projected priority of a grid user.
+func (s *Service) Priority(user string) (wire.FairshareResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureFresh(); err != nil {
+		return wire.FairshareResponse{}, err
+	}
+	v, ok := s.priorities[user]
+	if !ok {
+		return wire.FairshareResponse{}, ErrUnknownUser
+	}
+	resp := wire.FairshareResponse{
+		User:       user,
+		Value:      v,
+		ComputedAt: s.computedAt,
+	}
+	if vec, ok := s.tree.Vector(user); ok {
+		resp.Vector = vec
+	}
+	if pr, ok := s.tree.LeafPriority(user); ok {
+		resp.Priority = pr
+	}
+	return resp, nil
+}
+
+// Table returns the full pre-calculated fairshare table.
+func (s *Service) Table() (wire.FairshareTableResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureFresh(); err != nil {
+		return wire.FairshareTableResponse{}, err
+	}
+	out := wire.FairshareTableResponse{
+		Projection: s.cfg.Projection.Name(),
+		ComputedAt: s.computedAt,
+	}
+	for _, e := range s.tree.Entries() {
+		resp := wire.FairshareResponse{
+			User:       e.User,
+			Value:      s.priorities[e.User],
+			Vector:     e.Vec,
+			ComputedAt: s.computedAt,
+		}
+		if pr, ok := s.tree.LeafPriority(e.User); ok {
+			resp.Priority = pr
+		}
+		out.Entries = append(out.Entries, resp)
+	}
+	return out, nil
+}
+
+// Tree returns the current fairshare tree (refreshing if stale).
+func (s *Service) Tree() (*fairshare.Tree, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureFresh(); err != nil {
+		return nil, err
+	}
+	return s.tree, nil
+}

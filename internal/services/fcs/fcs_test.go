@@ -1,0 +1,208 @@
+package fcs
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/fairshare"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/vector"
+	"repro/internal/wire"
+)
+
+var t0 = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+
+type staticPDS struct{ tree *policy.Tree }
+
+func (s staticPDS) Policy() *policy.Tree { return s.tree.Clone() }
+
+type staticUMS struct {
+	totals map[string]float64
+	err    error
+	calls  int
+}
+
+func (s *staticUMS) UsageTotals() (map[string]float64, time.Time, error) {
+	s.calls++
+	if s.err != nil {
+		return nil, time.Time{}, s.err
+	}
+	cp := map[string]float64{}
+	for k, v := range s.totals {
+		cp[k] = v
+	}
+	return cp, t0, nil
+}
+
+func newFCS(t *testing.T, shares, totals map[string]float64, clock simclock.Clock, ttl time.Duration) (*Service, *staticUMS) {
+	t.Helper()
+	p, err := policy.FromShares(shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ums := &staticUMS{totals: totals}
+	svc := New(Config{Clock: clock, CacheTTL: ttl}, staticPDS{p}, ums)
+	return svc, ums
+}
+
+func TestPriorityReflectsBalance(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	svc, _ := newFCS(t,
+		map[string]float64{"under": 0.5, "over": 0.5},
+		map[string]float64{"under": 10, "over": 90},
+		clock, time.Minute)
+	u, err := svc.Priority("under")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := svc.Priority("over")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Value <= o.Value {
+		t.Errorf("under=%g should beat over=%g", u.Value, o.Value)
+	}
+	if u.Value < 0 || u.Value > 1 {
+		t.Errorf("value out of range: %g", u.Value)
+	}
+	if len(u.Vector) != 1 {
+		t.Errorf("vector = %v", u.Vector)
+	}
+	if u.Priority <= 0 {
+		t.Errorf("raw priority = %g", u.Priority)
+	}
+}
+
+func TestUnknownUser(t *testing.T) {
+	svc, _ := newFCS(t, map[string]float64{"a": 1}, nil, simclock.NewSim(t0), time.Minute)
+	if _, err := svc.Priority("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPreCalculationCaching(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	svc, ums := newFCS(t, map[string]float64{"a": 0.5, "b": 0.5},
+		map[string]float64{"a": 1, "b": 1}, clock, time.Minute)
+	svc.Priority("a")
+	svc.Priority("b")
+	svc.Priority("a")
+	if ums.calls != 1 {
+		t.Errorf("UMS consulted %d times within TTL, want 1 (pre-calculated)", ums.calls)
+	}
+	clock.Advance(2 * time.Minute)
+	svc.Priority("a")
+	if ums.calls != 2 {
+		t.Errorf("UMS consulted %d times after expiry", ums.calls)
+	}
+}
+
+func TestRefreshPicksUpUsageChanges(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	svc, ums := newFCS(t, map[string]float64{"a": 0.5, "b": 0.5},
+		map[string]float64{"a": 0, "b": 100}, clock, time.Hour)
+	before, _ := svc.Priority("a")
+	ums.totals = map[string]float64{"a": 100, "b": 0}
+	if err := svc.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := svc.Priority("a")
+	if !(after.Value < before.Value) {
+		t.Errorf("priority did not drop after usage: %g -> %g", before.Value, after.Value)
+	}
+}
+
+func TestTableListsAllUsers(t *testing.T) {
+	svc, _ := newFCS(t, map[string]float64{"a": 0.6, "b": 0.4},
+		map[string]float64{"a": 5, "b": 5}, simclock.NewSim(t0), time.Minute)
+	tab, err := svc.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Entries) != 2 {
+		t.Fatalf("entries = %d", len(tab.Entries))
+	}
+	if tab.Projection != "percental" {
+		t.Errorf("default projection = %q", tab.Projection)
+	}
+	seen := map[string]wire.FairshareResponse{}
+	for _, e := range tab.Entries {
+		seen[e.User] = e
+	}
+	if seen["a"].Value <= seen["b"].Value {
+		t.Errorf("a (share .6, half usage) should beat b: %v", seen)
+	}
+}
+
+func TestSetProjectionRuntimeSwitch(t *testing.T) {
+	svc, _ := newFCS(t, map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2},
+		map[string]float64{"a": 10, "b": 30, "c": 60}, simclock.NewSim(t0), time.Hour)
+	tab1, _ := svc.Table()
+	svc.SetProjection(vector.Dictionary{})
+	tab2, err := svc.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.Projection != "dictionary" {
+		t.Errorf("projection after switch = %q", tab2.Projection)
+	}
+	// Dictionary gives evenly spaced ranks; percental does not in general.
+	if tab1.Projection == tab2.Projection {
+		t.Error("projection did not change")
+	}
+	vals := map[string]float64{}
+	for _, e := range tab2.Entries {
+		vals[e.User] = e.Value
+	}
+	if math.Abs(vals["a"]-0.75) > 1e-12 {
+		t.Errorf("dictionary top value = %g, want 0.75", vals["a"])
+	}
+	svc.SetProjection(nil) // ignored
+	tab3, _ := svc.Table()
+	if tab3.Projection != "dictionary" {
+		t.Error("nil projection should be ignored")
+	}
+}
+
+func TestUMSErrorPropagates(t *testing.T) {
+	svc, ums := newFCS(t, map[string]float64{"a": 1}, nil, simclock.NewSim(t0), time.Minute)
+	ums.err = errors.New("ums down")
+	if _, err := svc.Priority("a"); err == nil {
+		t.Error("UMS error swallowed")
+	}
+	if _, err := svc.Table(); err == nil {
+		t.Error("UMS error swallowed by Table")
+	}
+	if _, err := svc.Tree(); err == nil {
+		t.Error("UMS error swallowed by Tree")
+	}
+}
+
+func TestTreeExposed(t *testing.T) {
+	svc, _ := newFCS(t, map[string]float64{"a": 0.5, "b": 0.5},
+		map[string]float64{"a": 1, "b": 3}, simclock.NewSim(t0), time.Minute)
+	tree, err := svc.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("tree depth = %d", tree.Depth())
+	}
+	if tree.Config.Resolution != 10000 {
+		t.Errorf("resolution = %g", tree.Config.Resolution)
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	p, _ := policy.FromShares(map[string]float64{"a": 1})
+	svc := New(Config{}, staticPDS{p}, &staticUMS{})
+	if svc.cfg.Fairshare.Resolution != fairshare.DefaultConfig().Resolution {
+		t.Error("default fairshare config not applied")
+	}
+	if svc.cfg.Projection == nil {
+		t.Error("default projection not applied")
+	}
+}

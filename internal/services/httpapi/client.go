@@ -1,0 +1,222 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/services/pds"
+	"repro/internal/usage"
+	"repro/internal/wire"
+)
+
+// Client talks to a remote Aequus site's HTTP API. Its methods implement
+// the source/sink interfaces of the in-process packages, so a local resource
+// manager, peer site or libaequus instance cannot tell whether it is wired
+// directly or over the network.
+type Client struct {
+	// BaseURL is the site's service root, e.g. "http://site-a:7470".
+	BaseURL string
+	// HTTP is the underlying client (default: 10 s timeout).
+	HTTP *http.Client
+	// SiteName labels the remote site for exchange bookkeeping.
+	SiteName string
+}
+
+// NewClient creates a client for the given base URL.
+func NewClient(baseURL, siteName string) *Client {
+	return &Client{
+		BaseURL:  strings.TrimRight(baseURL, "/"),
+		HTTP:     &http.Client{Timeout: 10 * time.Second},
+		SiteName: siteName,
+	}
+}
+
+func (c *Client) get(path string, out interface{}) error {
+	resp, err := c.HTTP.Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	return wire.DecodeResponse(resp, out)
+}
+
+func (c *Client) post(path string, in, out interface{}) error {
+	var body bytes.Buffer
+	if in != nil {
+		if err := json.NewEncoder(&body).Encode(in); err != nil {
+			return err
+		}
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", &body)
+	if err != nil {
+		return err
+	}
+	return wire.DecodeResponse(resp, out)
+}
+
+// --- libaequus sources ---
+
+// Priority implements libaequus.FairshareSource against the remote FCS.
+func (c *Client) Priority(gridUser string) (wire.FairshareResponse, error) {
+	var out wire.FairshareResponse
+	err := c.get("/fairshare?user="+url.QueryEscape(gridUser), &out)
+	return out, err
+}
+
+// Table fetches the full pre-calculated fairshare table.
+func (c *Client) Table() (wire.FairshareTableResponse, error) {
+	var out wire.FairshareTableResponse
+	err := c.get("/fairshare", &out)
+	return out, err
+}
+
+// Resolve implements libaequus.IdentitySource against the remote IRS.
+func (c *Client) Resolve(site, localUser string) (string, error) {
+	var out wire.ResolveResponse
+	err := c.post("/identity/resolve", wire.ResolveRequest{Site: site, LocalUser: localUser}, &out)
+	return out.GridID, err
+}
+
+// StoreMapping records an identity mapping in the remote IRS.
+func (c *Client) StoreMapping(gridID, site, localUser string) error {
+	return c.post("/identity/mapping",
+		wire.MappingRequest{GridID: gridID, Site: site, LocalUser: localUser}, nil)
+}
+
+// ReportJob implements libaequus.UsageSink against the remote USS. Errors
+// are retained in Err (the sink interface is fire-and-forget, matching the
+// asynchronous job-completion plug-ins).
+func (c *Client) ReportJob(gridUser string, start time.Time, dur time.Duration, procs int) {
+	_ = c.ReportJobErr(gridUser, start, dur, procs)
+}
+
+// ReportJobErr reports usage and returns any transport error.
+func (c *Client) ReportJobErr(gridUser string, start time.Time, dur time.Duration, procs int) error {
+	return c.post("/usage", wire.UsageReport{
+		User:            gridUser,
+		Start:           start,
+		DurationSeconds: dur.Seconds(),
+		Procs:           procs,
+	}, nil)
+}
+
+// --- USS peer ---
+
+// Site implements uss.Peer.
+func (c *Client) Site() string { return c.SiteName }
+
+// RecordsSince implements uss.Peer against the remote USS.
+func (c *Client) RecordsSince(t time.Time) ([]usage.Record, error) {
+	path := "/usage/records"
+	if !t.IsZero() {
+		path += "?since=" + url.QueryEscape(t.Format(time.RFC3339))
+	}
+	var out wire.RecordsResponse
+	if err := c.get(path, &out); err != nil {
+		return nil, err
+	}
+	return out.Records, nil
+}
+
+// TriggerExchange asks the remote USS to pull from its peers now.
+func (c *Client) TriggerExchange() error {
+	return c.post("/usage/exchange", nil, nil)
+}
+
+// --- PDS ---
+
+// Policy fetches the remote site's full policy tree.
+func (c *Client) Policy() (*policy.Tree, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/policy")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpapi: policy fetch: %s", resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return policy.FromJSON(buf.Bytes())
+}
+
+// SetPolicy replaces the remote site's policy.
+func (c *Client) SetPolicy(t *policy.Tree) error {
+	data, err := policy.ToJSON(t)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/policy", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return wire.DecodeResponse(resp, nil)
+}
+
+// Subtree fetches a policy subtree by path.
+func (c *Client) Subtree(path string) (*policy.Node, error) {
+	var out policy.Node
+	if err := c.get("/policy/subtree?path="+url.QueryEscape(path), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Mount asks the remote PDS to mount a subtree from origin.
+func (c *Client) Mount(parentPath, name string, share float64, origin string) error {
+	return c.post("/policy/mount", wire.MountRequest{
+		ParentPath: parentPath, Name: name, Share: share, Origin: origin,
+	}, nil)
+}
+
+// PolicyFetcher builds a pds.Fetcher that interprets origins as
+// "<baseURL>|<path>" (or a bare base URL for the root subtree), enabling
+// PDS-to-PDS mounting over HTTP.
+func PolicyFetcher(httpClient *http.Client) pds.Fetcher {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return func(origin string) (*policy.Node, error) {
+		base, path := origin, ""
+		if i := strings.LastIndex(origin, "|"); i >= 0 {
+			base, path = origin[:i], origin[i+1:]
+		}
+		c := &Client{BaseURL: strings.TrimRight(base, "/"), HTTP: httpClient}
+		return c.Subtree(path)
+	}
+}
+
+// EndpointClient adapts a custom HTTP name-resolution endpoint (the
+// "minimalist JSON based protocol") to the irs.Endpoint interface.
+type EndpointClient struct {
+	URL  string
+	HTTP *http.Client
+}
+
+// Resolve implements irs.Endpoint: POST {site, localUser} -> {gridId}.
+func (e *EndpointClient) Resolve(site, localUser string) (string, error) {
+	h := e.HTTP
+	if h == nil {
+		h = &http.Client{Timeout: 10 * time.Second}
+	}
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(wire.ResolveRequest{Site: site, LocalUser: localUser}); err != nil {
+		return "", err
+	}
+	resp, err := h.Post(e.URL, "application/json", &body)
+	if err != nil {
+		return "", err
+	}
+	var out wire.ResolveResponse
+	if err := wire.DecodeResponse(resp, &out); err != nil {
+		return "", err
+	}
+	return out.GridID, nil
+}

@@ -1,0 +1,107 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/libaequus"
+	"repro/internal/simclock"
+)
+
+// deadURL returns a base URL nothing listens on.
+func deadURL(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close() // port released; connections now refused
+	return url
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient(deadURL(t), "dead")
+	c.HTTP = &http.Client{Timeout: 500 * time.Millisecond}
+
+	if _, err := c.Priority("u"); err == nil {
+		t.Error("Priority against dead server succeeded")
+	}
+	if _, err := c.Table(); err == nil {
+		t.Error("Table against dead server succeeded")
+	}
+	if _, err := c.Resolve("s", "l"); err == nil {
+		t.Error("Resolve against dead server succeeded")
+	}
+	if err := c.ReportJobErr("u", time.Now(), time.Minute, 1); err == nil {
+		t.Error("ReportJobErr against dead server succeeded")
+	}
+	if _, err := c.RecordsSince(time.Time{}); err == nil {
+		t.Error("RecordsSince against dead server succeeded")
+	}
+	if _, err := c.Policy(); err == nil {
+		t.Error("Policy against dead server succeeded")
+	}
+	if err := c.TriggerExchange(); err == nil {
+		t.Error("TriggerExchange against dead server succeeded")
+	}
+	// Fire-and-forget ReportJob must not panic.
+	c.ReportJob("u", time.Now(), time.Minute, 1)
+}
+
+func TestPolicyFetcherAgainstDeadOrigin(t *testing.T) {
+	fetch := PolicyFetcher(&http.Client{Timeout: 500 * time.Millisecond})
+	if _, err := fetch(deadURL(t) + "|/"); err == nil {
+		t.Error("fetch from dead origin succeeded")
+	}
+}
+
+func TestEndpointClientAgainstDeadServer(t *testing.T) {
+	e := &EndpointClient{URL: deadURL(t), HTTP: &http.Client{Timeout: 500 * time.Millisecond}}
+	if _, err := e.Resolve("s", "l"); err == nil {
+		t.Error("endpoint resolve against dead server succeeded")
+	}
+}
+
+func TestLibaequusSurvivesServiceOutage(t *testing.T) {
+	// The scheduler-side flow: a live site answers, then "goes down"
+	// (server closed); cached values keep answering inside the TTL, and the
+	// error surfaces only after expiry.
+	clock := simclock.NewSim(t0)
+	s := newSite(t, "s", clock, map[string]float64{"alice": 1})
+	c := NewClient(s.server.URL, "s")
+	if err := c.StoreMapping("alice", "s", "local1"); err != nil {
+		t.Fatal(err)
+	}
+	lib := libaequus.New(libaequus.Config{Site: "s", CacheTTL: time.Hour, Clock: clock}, c, c, c)
+	v, err := lib.PriorityForLocalUser("local1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.server.Close()
+
+	// Within the TTL the cache answers.
+	v2, err := lib.PriorityForLocalUser("local1")
+	if err != nil || v2 != v {
+		t.Errorf("cached answer after outage = %g, %v", v2, err)
+	}
+	// After expiry the outage surfaces.
+	clock.Advance(2 * time.Hour)
+	if _, err := lib.PriorityForLocalUser("local1"); err == nil {
+		t.Error("expired cache should surface the outage")
+	}
+}
+
+func TestExchangeSurvivesDeadPeer(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	s := newSite(t, "s", clock, map[string]float64{"alice": 1})
+	dead := NewClient(deadURL(t), "dead")
+	dead.HTTP = &http.Client{Timeout: 500 * time.Millisecond}
+	s.uss.AddPeer(dead)
+	if _, err := s.uss.Exchange(); err == nil {
+		t.Error("exchange with dead peer should report an error")
+	}
+	// The site keeps operating.
+	if _, err := NewClient(s.server.URL, "s").Table(); err != nil {
+		t.Errorf("site unusable after failed exchange: %v", err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package httpapi exposes the Aequus services over HTTP/JSON and provides
+// the matching clients. One Server bundles a site's full Aequus stack (PDS,
+// USS, UMS, FCS, IRS) behind a single mux — the deployment unit the paper
+// installs alongside each cluster — while the clients let remote sites,
+// libaequus instances and custom identity endpoints interoperate.
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/identity"
+	"repro/internal/policy"
+	"repro/internal/services/fcs"
+	"repro/internal/services/irs"
+	"repro/internal/services/pds"
+	"repro/internal/services/ums"
+	"repro/internal/services/uss"
+	"repro/internal/vector"
+	"repro/internal/wire"
+)
+
+// Server serves a site's Aequus services over HTTP.
+type Server struct {
+	PDS *pds.Service
+	USS *uss.Service
+	UMS *ums.Service
+	FCS *fcs.Service
+	IRS *irs.Service
+
+	mux *http.ServeMux
+}
+
+// NewServer wires the handlers. Any nil service leaves its endpoints
+// unregistered.
+func NewServer(p *pds.Service, u *uss.Service, m *ums.Service, f *fcs.Service, i *irs.Service) *Server {
+	s := &Server{PDS: p, USS: u, UMS: m, FCS: f, IRS: i, mux: http.NewServeMux()}
+	if p != nil {
+		s.mux.HandleFunc("/policy", s.handlePolicy)
+		s.mux.HandleFunc("/policy/subtree", s.handlePolicySubtree)
+		s.mux.HandleFunc("/policy/mount", s.handlePolicyMount)
+		s.mux.HandleFunc("/policy/refresh", s.handlePolicyRefresh)
+	}
+	if u != nil {
+		s.mux.HandleFunc("/usage", s.handleUsageReport)
+		s.mux.HandleFunc("/usage/records", s.handleUsageRecords)
+		s.mux.HandleFunc("/usage/exchange", s.handleUsageExchange)
+	}
+	if m != nil {
+		s.mux.HandleFunc("/usage/tree", s.handleUsageTree)
+	}
+	if f != nil {
+		s.mux.HandleFunc("/fairshare", s.handleFairshare)
+		s.mux.HandleFunc("/fairshare/refresh", s.handleFairshareRefresh)
+		s.mux.HandleFunc("/fairshare/projection", s.handleProjection)
+	}
+	if i != nil {
+		s.mux.HandleFunc("/identity/mapping", s.handleMapping)
+		s.mux.HandleFunc("/identity/resolve", s.handleResolve)
+	}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		data, err := policy.ToJSON(s.PDS.Policy())
+		if err != nil {
+			wire.WriteError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	case http.MethodPost:
+		body := make([]byte, 0, 4096)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+			if len(body) > 8<<20 {
+				wire.WriteError(w, http.StatusRequestEntityTooLarge, "policy too large")
+				return
+			}
+		}
+		t, err := policy.FromJSON(body)
+		if err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.PDS.SetPolicy(t); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	default:
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+func (s *Server) handlePolicySubtree(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	path := r.URL.Query().Get("path")
+	sub, err := s.PDS.Subtree(path)
+	if err != nil {
+		wire.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, sub)
+}
+
+func (s *Server) handlePolicyMount(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	var req wire.MountRequest
+	if err := wire.ReadJSON(r.Body, &req); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.PDS.Mount(req.ParentPath, req.Name, req.Share, req.Origin); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handlePolicyRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	if err := s.PDS.RefreshMounts(); err != nil {
+		wire.WriteError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleUsageReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	var rep wire.UsageReport
+	if err := wire.ReadJSON(r.Body, &rep); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if rep.User == "" || rep.DurationSeconds < 0 {
+		wire.WriteError(w, http.StatusBadRequest, "invalid usage report")
+		return
+	}
+	s.USS.ReportJob(rep.User, rep.Start,
+		time.Duration(rep.DurationSeconds*float64(time.Second)), rep.Procs)
+	wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleUsageRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	var since time.Time
+	if q := r.URL.Query().Get("since"); q != "" {
+		t, err := time.Parse(time.RFC3339, q)
+		if err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "bad since: %v", err)
+			return
+		}
+		since = t
+	}
+	recs, err := s.USS.RecordsSince(since)
+	if err != nil {
+		wire.WriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, wire.RecordsResponse{Records: recs})
+}
+
+func (s *Server) handleUsageExchange(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	n, err := s.USS.Exchange()
+	if err != nil {
+		wire.WriteError(w, http.StatusBadGateway, "exchange: %v (after %d records)", err, n)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, map[string]int{"records": n})
+}
+
+func (s *Server) handleUsageTree(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	totals, at, err := s.UMS.UsageTotals()
+	if err != nil {
+		wire.WriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, wire.UsageTreeResponse{Totals: totals, ComputedAt: at})
+}
+
+func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		tab, err := s.FCS.Table()
+		if err != nil {
+			wire.WriteError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		wire.WriteJSON(w, http.StatusOK, tab)
+		return
+	}
+	resp, err := s.FCS.Priority(user)
+	if err != nil {
+		if errors.Is(err, fcs.ErrUnknownUser) {
+			wire.WriteError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		wire.WriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFairshareRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	if err := s.FCS.Refresh(); err != nil {
+		wire.WriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleProjection(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := wire.ReadJSON(r.Body, &req); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, ok := vector.ByName(req.Name)
+	if !ok {
+		wire.WriteError(w, http.StatusBadRequest, "unknown projection %q", req.Name)
+		return
+	}
+	s.FCS.SetProjection(p)
+	wire.WriteJSON(w, http.StatusOK, map[string]string{"projection": p.Name()})
+}
+
+func (s *Server) handleMapping(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	var req wire.MappingRequest
+	if err := wire.ReadJSON(r.Body, &req); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m := identity.Mapping{GridID: req.GridID, Site: req.Site, LocalUser: req.LocalUser}
+	if err := s.IRS.Store(m); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		site := r.URL.Query().Get("site")
+		local := r.URL.Query().Get("local")
+		g, err := s.IRS.Resolve(site, local)
+		if err != nil {
+			wire.WriteError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		wire.WriteJSON(w, http.StatusOK, wire.ResolveResponse{GridID: g})
+	case http.MethodPost:
+		// The minimalist JSON protocol shared with custom endpoints.
+		var req wire.ResolveRequest
+		if err := wire.ReadJSON(r.Body, &req); err != nil {
+			wire.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		g, err := s.IRS.Resolve(req.Site, req.LocalUser)
+		if err != nil {
+			wire.WriteError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		wire.WriteJSON(w, http.StatusOK, wire.ResolveResponse{GridID: g})
+	default:
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}

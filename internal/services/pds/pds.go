@@ -1,0 +1,144 @@
+// Package pds implements the Policy Distribution Service: it manages the
+// local site's usage policy and can mount sub-policies from other sources
+// (which may be other PDS instances), keeping mounted subtrees refreshed.
+package pds
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/policy"
+)
+
+// Fetcher retrieves a remote policy subtree by origin reference (typically a
+// URL of another PDS). Implementations live in the httpapi package; tests
+// may use in-process fetchers.
+type Fetcher func(origin string) (*policy.Node, error)
+
+// Service is a Policy Distribution Service instance.
+type Service struct {
+	mu    sync.RWMutex
+	tree  *policy.Tree
+	fetch Fetcher
+	// mounts remembers mount-point path -> origin for refresh.
+	mounts map[string]string
+}
+
+// New creates a PDS with the given initial policy (nil for an empty tree).
+func New(initial *policy.Tree, fetch Fetcher) *Service {
+	if initial == nil {
+		initial = policy.NewTree()
+	}
+	return &Service{
+		tree:   initial.Clone(),
+		fetch:  fetch,
+		mounts: map[string]string{},
+	}
+}
+
+// Policy returns a deep copy of the current policy tree.
+func (s *Service) Policy() *policy.Tree {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Clone()
+}
+
+// SetPolicy replaces the whole local policy. Mount records are cleared.
+func (s *Service) SetPolicy(t *policy.Tree) error {
+	if t == nil {
+		return fmt.Errorf("pds: nil policy")
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree = t.Clone()
+	s.mounts = map[string]string{}
+	return nil
+}
+
+// Subtree returns a copy of the node at path (for serving to other PDSs).
+func (s *Service) Subtree(path string) (*policy.Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, err := s.tree.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	cp := &policy.Tree{Root: n}
+	return cp.Clone().Root, nil
+}
+
+// Mount fetches the subtree served by origin and grafts it under parentPath
+// with the given local share. The origin is remembered so RefreshMounts can
+// re-pull policy updates.
+func (s *Service) Mount(parentPath, name string, share float64, origin string) error {
+	if s.fetch == nil {
+		return fmt.Errorf("pds: no fetcher configured")
+	}
+	sub, err := s.fetch(origin)
+	if err != nil {
+		return fmt.Errorf("pds: fetching %s: %w", origin, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.tree.Mount(parentPath, name, share, sub, origin); err != nil {
+		return err
+	}
+	path := policy.JoinPath(append(policy.SplitPath(parentPath), name))
+	s.mounts[path] = origin
+	return nil
+}
+
+// MountStatic grafts an explicitly provided subtree (no origin refresh).
+func (s *Service) MountStatic(parentPath, name string, share float64, sub *policy.Node, origin string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Mount(parentPath, name, share, sub, origin)
+}
+
+// RefreshMounts re-fetches every remembered mount origin and replaces the
+// mounted subtrees, propagating remote policy changes. The first error is
+// returned but all mounts are attempted.
+func (s *Service) RefreshMounts() error {
+	if s.fetch == nil {
+		return nil
+	}
+	s.mu.RLock()
+	type m struct{ path, origin string }
+	var ms []m
+	for p, o := range s.mounts {
+		ms = append(ms, m{p, o})
+	}
+	s.mu.RUnlock()
+
+	var firstErr error
+	for _, mt := range ms {
+		sub, err := s.fetch(mt.origin)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("pds: refreshing %s: %w", mt.origin, err)
+			}
+			continue
+		}
+		s.mu.Lock()
+		err = s.tree.RefreshMount(mt.path, sub)
+		s.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Mounts returns the mount-point paths and their origins.
+func (s *Service) Mounts() map[string]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]string, len(s.mounts))
+	for p, o := range s.mounts {
+		out[p] = o
+	}
+	return out
+}

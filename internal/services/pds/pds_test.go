@@ -1,0 +1,159 @@
+package pds
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func localPolicy(t *testing.T) *policy.Tree {
+	t.Helper()
+	p := policy.NewTree()
+	if _, err := p.Add("", "local", 40); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func remoteSubtree(shareA, shareB float64) *policy.Node {
+	return &policy.Node{Name: "", Share: 1, Children: []*policy.Node{
+		{Name: "projA", Share: shareA},
+		{Name: "projB", Share: shareB},
+	}}
+}
+
+func TestPolicyIsolatedCopy(t *testing.T) {
+	s := New(localPolicy(t), nil)
+	p1 := s.Policy()
+	p1.Root.Children[0].Share = 999
+	p2 := s.Policy()
+	if p2.Root.Children[0].Share == 999 {
+		t.Error("Policy() exposed internal state")
+	}
+}
+
+func TestSetPolicyValidates(t *testing.T) {
+	s := New(nil, nil)
+	bad := policy.NewTree()
+	bad.Root.Children = []*policy.Node{{Name: "x", Share: -1}}
+	if err := s.SetPolicy(bad); err == nil {
+		t.Error("invalid policy accepted")
+	}
+	if err := s.SetPolicy(nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+	good := localPolicy(t)
+	if err := s.SetPolicy(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Policy().Lookup("/local"); err != nil {
+		t.Error("policy not applied")
+	}
+}
+
+func TestMountFetchesAndRefreshes(t *testing.T) {
+	version := 1
+	fetch := func(origin string) (*policy.Node, error) {
+		if origin != "pds://national" {
+			return nil, errors.New("unknown origin")
+		}
+		if version == 1 {
+			return remoteSubtree(3, 1), nil
+		}
+		return remoteSubtree(1, 1), nil
+	}
+	s := New(localPolicy(t), fetch)
+	if err := s.Mount("", "grid", 60, "pds://national"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Policy().Lookup("/grid/projA")
+	if err != nil || n.Share != 3 {
+		t.Fatalf("mounted projA = %+v, %v", n, err)
+	}
+	if got := s.Mounts()["/grid"]; got != "pds://national" {
+		t.Errorf("mount origin = %q", got)
+	}
+
+	// Remote policy update propagates on refresh.
+	version = 2
+	if err := s.RefreshMounts(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = s.Policy().Lookup("/grid/projA")
+	if n.Share != 1 {
+		t.Errorf("refreshed projA share = %g, want 1", n.Share)
+	}
+}
+
+func TestMountErrors(t *testing.T) {
+	s := New(localPolicy(t), nil)
+	if err := s.Mount("", "g", 1, "x"); err == nil {
+		t.Error("mount without fetcher accepted")
+	}
+	s2 := New(localPolicy(t), func(string) (*policy.Node, error) {
+		return nil, errors.New("boom")
+	})
+	if err := s2.Mount("", "g", 1, "x"); err == nil {
+		t.Error("fetch failure not propagated")
+	}
+}
+
+func TestRefreshMountsToleratesFailures(t *testing.T) {
+	calls := 0
+	fetch := func(origin string) (*policy.Node, error) {
+		calls++
+		if origin == "bad" {
+			return nil, errors.New("down")
+		}
+		return remoteSubtree(1, 2), nil
+	}
+	s := New(localPolicy(t), fetch)
+	if err := s.Mount("", "g1", 1, "bad"); err == nil {
+		t.Fatal("mounting from a down origin should fail")
+	}
+	if err := s.Mount("", "g2", 1, "good"); err != nil {
+		t.Fatal(err)
+	}
+	// One bad origin must not prevent refreshing good ones... here only g2
+	// is mounted, so refresh succeeds.
+	if err := s.RefreshMounts(); err != nil {
+		t.Errorf("refresh err = %v", err)
+	}
+	// No fetcher: refresh is a no-op.
+	s3 := New(nil, nil)
+	if err := s3.RefreshMounts(); err != nil {
+		t.Errorf("no-fetcher refresh err = %v", err)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	s := New(localPolicy(t), nil)
+	sub, err := s.Subtree("/local")
+	if err != nil || sub.Name != "local" {
+		t.Fatalf("Subtree = %+v, %v", sub, err)
+	}
+	// Mutation of the returned subtree must not affect the service.
+	sub.Share = 12345
+	n, _ := s.Policy().Lookup("/local")
+	if n.Share == 12345 {
+		t.Error("Subtree exposed internal state")
+	}
+	if _, err := s.Subtree("/missing"); err == nil {
+		t.Error("missing subtree accepted")
+	}
+}
+
+func TestMountStatic(t *testing.T) {
+	s := New(localPolicy(t), nil)
+	if err := s.MountStatic("", "grid", 60, remoteSubtree(2, 2), "manual"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Policy().Lookup("/grid/projB"); err != nil {
+		t.Error(err)
+	}
+	// Static mounts are not refreshable (not recorded in mounts).
+	if len(s.Mounts()) != 0 {
+		t.Errorf("static mount recorded: %v", s.Mounts())
+	}
+}

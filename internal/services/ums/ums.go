@@ -1,0 +1,112 @@
+// Package ums implements the Usage Monitoring Service: it gathers usage
+// histograms from one or more Usage Statistics Services and pre-computes
+// per-user decayed usage totals ("usage trees") against the site policy, so
+// the Fairshare Calculation Service never touches raw job data.
+package ums
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/usage"
+)
+
+// Source provides decayed usage totals — the USS, via either its local-only
+// or combined local+global view.
+type Source interface {
+	// Totals returns per-user decayed core-seconds at `now`.
+	Totals(now time.Time, d usage.Decay) (map[string]float64, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(now time.Time, d usage.Decay) (map[string]float64, error)
+
+// Totals implements Source.
+func (f SourceFunc) Totals(now time.Time, d usage.Decay) (map[string]float64, error) {
+	return f(now, d)
+}
+
+// Config configures a UMS instance.
+type Config struct {
+	// Decay is the usage decay function (default: no decay).
+	Decay usage.Decay
+	// CacheTTL is how long a pre-computed usage tree is served before
+	// recomputation — one of the update-delay components (II) the paper's
+	// delay experiment varies.
+	CacheTTL time.Duration
+	// Clock provides time (default wall clock).
+	Clock simclock.Clock
+}
+
+// Service is a Usage Monitoring Service instance.
+type Service struct {
+	cfg     Config
+	sources []Source
+
+	mu       sync.Mutex
+	cached   map[string]float64
+	cachedAt time.Time
+	valid    bool
+}
+
+// New creates a UMS reading from the given sources.
+func New(cfg Config, sources ...Source) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.Decay == nil {
+		cfg.Decay = usage.None{}
+	}
+	return &Service{cfg: cfg, sources: sources}
+}
+
+// AddSource registers an additional USS source.
+func (s *Service) AddSource(src Source) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources = append(s.sources, src)
+}
+
+// UsageTotals returns the pre-computed per-user decayed usage, recomputing
+// when the cache has expired. The returned map is a copy.
+func (s *Service) UsageTotals() (map[string]float64, time.Time, error) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.valid && now.Sub(s.cachedAt) < s.cfg.CacheTTL {
+		return copyTotals(s.cached), s.cachedAt, nil
+	}
+	combined := map[string]float64{}
+	for _, src := range s.sources {
+		totals, err := src.Totals(now, s.cfg.Decay)
+		if err != nil {
+			return nil, time.Time{}, err
+		}
+		for u, v := range totals {
+			combined[u] += v
+		}
+	}
+	s.cached = combined
+	s.cachedAt = now
+	s.valid = true
+	return copyTotals(combined), now, nil
+}
+
+// Invalidate drops the cache so the next read recomputes.
+func (s *Service) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.valid = false
+}
+
+// Decay exposes the configured decay function.
+func (s *Service) Decay() usage.Decay { return s.cfg.Decay }
+
+func copyTotals(in map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

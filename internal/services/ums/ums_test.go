@@ -1,0 +1,127 @@
+package ums
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/usage"
+)
+
+var t0 = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func constSource(totals map[string]float64) Source {
+	return SourceFunc(func(time.Time, usage.Decay) (map[string]float64, error) {
+		cp := map[string]float64{}
+		for k, v := range totals {
+			cp[k] = v
+		}
+		return cp, nil
+	})
+}
+
+func TestUsageTotalsCombinesSources(t *testing.T) {
+	s := New(Config{Clock: simclock.NewSim(t0)},
+		constSource(map[string]float64{"a": 10, "b": 5}),
+		constSource(map[string]float64{"a": 3, "c": 7}),
+	)
+	got, _, err := s.UsageTotals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != 13 || got["b"] != 5 || got["c"] != 7 {
+		t.Errorf("totals = %v", got)
+	}
+}
+
+func TestUsageTotalsCached(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	calls := 0
+	src := SourceFunc(func(time.Time, usage.Decay) (map[string]float64, error) {
+		calls++
+		return map[string]float64{"a": float64(calls)}, nil
+	})
+	s := New(Config{Clock: clock, CacheTTL: time.Minute}, src)
+
+	got1, at1, _ := s.UsageTotals()
+	got2, at2, _ := s.UsageTotals()
+	if calls != 1 {
+		t.Errorf("source called %d times within TTL", calls)
+	}
+	if got1["a"] != got2["a"] || !at1.Equal(at2) {
+		t.Error("cached result differs")
+	}
+
+	clock.Advance(2 * time.Minute)
+	got3, at3, _ := s.UsageTotals()
+	if calls != 2 {
+		t.Errorf("source called %d times after TTL expiry", calls)
+	}
+	if got3["a"] != 2 || !at3.After(at1) {
+		t.Errorf("refreshed = %v at %v", got3, at3)
+	}
+}
+
+func TestInvalidateForcesRecompute(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	calls := 0
+	src := SourceFunc(func(time.Time, usage.Decay) (map[string]float64, error) {
+		calls++
+		return nil, nil
+	})
+	s := New(Config{Clock: clock, CacheTTL: time.Hour}, src)
+	s.UsageTotals()
+	s.Invalidate()
+	s.UsageTotals()
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+}
+
+func TestSourceErrorPropagates(t *testing.T) {
+	s := New(Config{Clock: simclock.NewSim(t0)},
+		SourceFunc(func(time.Time, usage.Decay) (map[string]float64, error) {
+			return nil, errors.New("uss down")
+		}))
+	if _, _, err := s.UsageTotals(); err == nil {
+		t.Error("source error swallowed")
+	}
+}
+
+func TestReturnedMapIsACopy(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	s := New(Config{Clock: clock, CacheTTL: time.Hour}, constSource(map[string]float64{"a": 1}))
+	got, _, _ := s.UsageTotals()
+	got["a"] = 999
+	got2, _, _ := s.UsageTotals()
+	if got2["a"] != 1 {
+		t.Error("cache mutated through returned map")
+	}
+}
+
+func TestDecayPassedToSources(t *testing.T) {
+	want := usage.ExponentialHalfLife{HalfLife: time.Hour}
+	var seen usage.Decay
+	src := SourceFunc(func(_ time.Time, d usage.Decay) (map[string]float64, error) {
+		seen = d
+		return nil, nil
+	})
+	s := New(Config{Clock: simclock.NewSim(t0), Decay: want}, src)
+	s.UsageTotals()
+	if seen != want {
+		t.Errorf("decay = %v", seen)
+	}
+	if s.Decay() != want {
+		t.Error("Decay() mismatch")
+	}
+}
+
+func TestAddSource(t *testing.T) {
+	s := New(Config{Clock: simclock.NewSim(t0)})
+	s.AddSource(constSource(map[string]float64{"x": 4}))
+	got, _, _ := s.UsageTotals()
+	if got["x"] != 4 {
+		t.Errorf("totals = %v", got)
+	}
+}

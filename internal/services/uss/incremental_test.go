@@ -1,0 +1,103 @@
+package uss
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/usage"
+)
+
+// countingPeer wraps a USS and counts how many records each RecordsSince
+// call returns, to assert the exchange is actually incremental.
+type countingPeer struct {
+	inner   *Service
+	fetched []int
+}
+
+func (c *countingPeer) Site() string { return c.inner.Site() }
+func (c *countingPeer) RecordsSince(t time.Time) ([]usage.Record, error) {
+	recs, err := c.inner.RecordsSince(t)
+	c.fetched = append(c.fetched, len(recs))
+	return recs, err
+}
+
+func TestExchangeIsIncremental(t *testing.T) {
+	a := newUSS("a", true)
+	b := newUSS("b", true)
+	peer := &countingPeer{inner: a}
+	b.AddPeer(peer)
+
+	// Fill 50 distinct hourly bins at site a.
+	for i := 0; i < 50; i++ {
+		a.ReportJob("alice", t0.Add(time.Duration(i)*time.Hour), time.Minute, 1)
+	}
+	if _, err := b.Exchange(); err != nil {
+		t.Fatal(err)
+	}
+	first := peer.fetched[0]
+	if first != 50 {
+		t.Fatalf("first exchange fetched %d records, want 50", first)
+	}
+
+	// No new usage: the next exchange must fetch at most the open interval,
+	// not the full history.
+	if _, err := b.Exchange(); err != nil {
+		t.Fatal(err)
+	}
+	second := peer.fetched[1]
+	if second > 2 {
+		t.Errorf("second exchange fetched %d records, want <= 2 (incremental)", second)
+	}
+
+	// New usage in a fresh bin: only the delta transfers.
+	a.ReportJob("alice", t0.Add(100*time.Hour), time.Minute, 1)
+	if _, err := b.Exchange(); err != nil {
+		t.Fatal(err)
+	}
+	third := peer.fetched[2]
+	if third > 3 {
+		t.Errorf("third exchange fetched %d records, want small delta", third)
+	}
+
+	// Totals remain exact despite incremental transfer.
+	want := 51 * 60.0
+	got := b.GlobalTotals(t0.Add(200*time.Hour), usage.None{})["alice"]
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("global total = %g, want %g", got, want)
+	}
+}
+
+func TestExchangeOpenBinGrowsWithoutDoubleCount(t *testing.T) {
+	a := newUSS("a", true)
+	b := newUSS("b", true)
+	b.AddPeer(a)
+
+	// Two completions land in the SAME hourly bin, with an exchange in
+	// between: the second exchange must replace, not add.
+	at := t0.Add(30 * time.Minute)
+	a.ReportJob("alice", at, 10*time.Minute, 1)
+	b.Exchange()
+	a.ReportJob("alice", at.Add(time.Minute), 10*time.Minute, 1)
+	b.Exchange()
+
+	got := b.GlobalTotals(t0.Add(2*time.Hour), usage.None{})["alice"]
+	if math.Abs(got-1200) > 1e-9 {
+		t.Errorf("global total = %g, want 1200 (no double count)", got)
+	}
+}
+
+func TestReportJobIgnoresInvalid(t *testing.T) {
+	s := newUSS("a", true)
+	s.ReportJob("", t0, time.Hour, 1)
+	s.ReportJob("u", t0, 0, 1)
+	s.ReportJob("u", t0, -time.Hour, 1)
+	if got := s.LocalTotals(t0.Add(2*time.Hour), usage.None{}); len(got) != 0 {
+		t.Errorf("invalid reports recorded: %v", got)
+	}
+	// Proc clamp.
+	s.ReportJob("u", t0, time.Hour, 0)
+	if got := s.LocalTotals(t0.Add(2*time.Hour), usage.None{})["u"]; got != 3600 {
+		t.Errorf("clamped procs total = %g", got)
+	}
+}

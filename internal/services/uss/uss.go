@@ -1,0 +1,187 @@
+// Package uss implements the Usage Statistics Service: it gathers per-job
+// usage results of the local site, produces per-user histograms for
+// configurable time intervals, and exchanges compact usage records with the
+// USS instances of other sites. Per-site exchange flags model the partial-
+// participation scenarios of Section IV (a site may read global data without
+// contributing, or contribute without consuming).
+package uss
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/usage"
+)
+
+// Peer is a remote USS this instance pulls records from. Implementations
+// live in httpapi; the testbed wires services directly.
+type Peer interface {
+	// Site identifies the remote site.
+	Site() string
+	// RecordsSince returns the remote site's local records from t on.
+	RecordsSince(t time.Time) ([]usage.Record, error)
+}
+
+// Config configures a USS instance.
+type Config struct {
+	// Site is this installation's site name.
+	Site string
+	// BinWidth is the histogram interval width (default 1h).
+	BinWidth time.Duration
+	// Contribute controls whether this site serves its records to peers.
+	// A non-contributing site is invisible to the rest of the grid.
+	Contribute bool
+	// Clock provides time (default wall clock).
+	Clock simclock.Clock
+}
+
+// Service is a Usage Statistics Service instance.
+type Service struct {
+	cfg   Config
+	mu    sync.Mutex
+	local *usage.Histogram // usage of jobs executed on this site
+	// remote holds one histogram per peer site, updated incrementally:
+	// exchange re-fetches records from one bin before the per-peer
+	// watermark and replaces those bins, so a still-filling interval can be
+	// re-fetched without double counting while closed intervals are never
+	// transferred twice.
+	remote    map[string]*usage.Histogram
+	watermark map[string]time.Time
+	peers     []Peer
+}
+
+// New creates a USS.
+func New(cfg Config) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.BinWidth <= 0 {
+		cfg.BinWidth = time.Hour
+	}
+	return &Service{
+		cfg:       cfg,
+		local:     usage.NewHistogram(cfg.BinWidth),
+		remote:    map[string]*usage.Histogram{},
+		watermark: map[string]time.Time{},
+	}
+}
+
+// Site returns this instance's site name.
+func (s *Service) Site() string { return s.cfg.Site }
+
+// AddPeer registers a remote USS to pull usage from.
+func (s *Service) AddPeer(p Peer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = append(s.peers, p)
+}
+
+// ReportJob records a completed job's usage into the local histogram. The
+// full usage is attributed to the interval containing the completion time:
+// completion-time attribution keeps closed intervals immutable, which is
+// what makes the incremental inter-site exchange sound.
+func (s *Service) ReportJob(user string, start time.Time, dur time.Duration, procs int) {
+	if dur <= 0 || user == "" {
+		return
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	s.local.Add(user, start.Add(dur), dur.Seconds()*float64(procs))
+}
+
+// RecordsSince serves this site's local records from t on — the compact
+// inter-site exchange format. A non-contributing site serves nothing.
+func (s *Service) RecordsSince(t time.Time) ([]usage.Record, error) {
+	if !s.cfg.Contribute {
+		return nil, nil
+	}
+	return s.local.RecordsSince(s.cfg.Site, t), nil
+}
+
+// Exchange pulls new compact records from every peer. Records since one bin
+// before the per-peer watermark are fetched and their bins *replaced* in the
+// peer's remote histogram, making the exchange incremental (closed intervals
+// transfer once) yet idempotent (the open interval is re-fetched and
+// overwritten). It returns the number of records ingested and the first
+// error (all peers are still attempted).
+func (s *Service) Exchange() (int, error) {
+	s.mu.Lock()
+	peers := append([]Peer(nil), s.peers...)
+	s.mu.Unlock()
+
+	total := 0
+	var firstErr error
+	for _, p := range peers {
+		site := p.Site()
+		s.mu.Lock()
+		since := s.watermark[site]
+		s.mu.Unlock()
+		if !since.IsZero() {
+			// Re-fetch the last (possibly still-filling) interval.
+			since = since.Add(-s.cfg.BinWidth)
+		}
+		recs, err := p.RecordsSince(since)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		hist := s.remote[site]
+		if hist == nil {
+			hist = usage.NewHistogram(s.cfg.BinWidth)
+			s.remote[site] = hist
+		}
+		newest := s.watermark[site]
+		s.mu.Unlock()
+		for _, r := range recs {
+			hist.SetBin(r.User, r.IntervalStart, r.CoreSeconds)
+			if r.IntervalStart.After(newest) {
+				newest = r.IntervalStart
+			}
+		}
+		s.mu.Lock()
+		s.watermark[site] = newest
+		s.mu.Unlock()
+		total += len(recs)
+	}
+	return total, firstErr
+}
+
+// LocalTotals returns decayed per-user totals of locally executed jobs.
+func (s *Service) LocalTotals(now time.Time, d usage.Decay) map[string]float64 {
+	return s.local.DecayedTotals(now, d)
+}
+
+// GlobalTotals returns decayed per-user totals combining local and ingested
+// remote usage.
+func (s *Service) GlobalTotals(now time.Time, d usage.Decay) map[string]float64 {
+	out := s.local.DecayedTotals(now, d)
+	s.mu.Lock()
+	siteNames := make([]string, 0, len(s.remote))
+	for name := range s.remote {
+		siteNames = append(siteNames, name)
+	}
+	sort.Strings(siteNames) // fixed order for bit-identical float sums
+	remotes := make([]*usage.Histogram, 0, len(siteNames))
+	for _, name := range siteNames {
+		remotes = append(remotes, s.remote[name])
+	}
+	s.mu.Unlock()
+	for _, h := range remotes {
+		for u, v := range h.DecayedTotals(now, d) {
+			out[u] += v
+		}
+	}
+	return out
+}
+
+// LocalHistogram exposes a copy of the local histogram (for the UMS).
+func (s *Service) LocalHistogram() *usage.Histogram { return s.local.Clone() }

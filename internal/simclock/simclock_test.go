@@ -1,0 +1,90 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowIsMonotonicEnough(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("Real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	epoch := time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	epoch := time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(epoch)
+	s.Advance(90 * time.Minute)
+	want := epoch.Add(90 * time.Minute)
+	if got := s.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSimAdvanceNegativeIgnored(t *testing.T) {
+	epoch := time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(epoch)
+	s.Advance(-time.Hour)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("negative Advance moved clock to %v", got)
+	}
+}
+
+func TestSimSet(t *testing.T) {
+	epoch := time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(epoch)
+	later := epoch.Add(time.Hour)
+	if !s.Set(later) {
+		t.Fatal("Set to a later time should succeed")
+	}
+	if got := s.Now(); !got.Equal(later) {
+		t.Fatalf("Now() = %v, want %v", got, later)
+	}
+	if s.Set(epoch) {
+		t.Fatal("Set to an earlier time should fail")
+	}
+	if got := s.Now(); !got.Equal(later) {
+		t.Fatalf("failed Set moved clock to %v", got)
+	}
+}
+
+func TestSimSetSameTime(t *testing.T) {
+	epoch := time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(epoch)
+	if !s.Set(epoch) {
+		t.Fatal("Set to the current time should succeed (not-before semantics)")
+	}
+}
+
+func TestSimConcurrentAdvance(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	const workers = 8
+	const steps = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < steps; j++ {
+				s.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(workers * steps * time.Millisecond)
+	if got := s.Now(); !got.Equal(want) {
+		t.Fatalf("after concurrent advances Now() = %v, want %v", got, want)
+	}
+}

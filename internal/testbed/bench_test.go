@@ -1,0 +1,35 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkTestbedRun measures a complete reduced testbed run: 2,000 jobs
+// over two sites with the full Aequus stack, identity resolution, exchange
+// and pre-calculation — the end-to-end cost per simulated experiment.
+func BenchmarkTestbedRun(b *testing.B) {
+	dur := 3 * time.Hour
+	m := workload.NationalGrid2012(dur)
+	tr, err := m.Generate(workload.GenerateOptions{
+		TotalJobs: 2000, Start: start, Span: dur, Seed: 5,
+		CalibrateUsage: true, MaxDuration: dur / 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr = workload.ScaleToLoad(tr, 2*16, 0.9, dur)
+	cfg := Config{
+		Sites: 2, CoresPerSite: 16, Start: start, Duration: dur,
+		PolicyShares: workload.BaselineShares(), Trace: tr, Seed: 5,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestPaperScale runs the full paper-scale configuration: 6 clusters of 40
+// virtual hosts (240 total, ~10% of the national grid), 43,200 jobs over a
+// six-hour test, 95% offered load. The paper reports total utilization
+// between 93% and 97% and a sustained submission rate of about 120 jobs per
+// minute.
+func TestPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in -short mode")
+	}
+	dur := 6 * time.Hour
+	tr := smallTrace(t, 43200, 6, 40, dur, 0.95, 42)
+	res, err := Run(Config{
+		Sites: 6, CoresPerSite: 40, Start: start, Duration: dur,
+		PolicyShares: workload.BaselineShares(), Trace: tr, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 43200 {
+		t.Errorf("submitted = %d, want 43200", res.Submitted)
+	}
+	if res.Utilization < 0.90 || res.Utilization > 0.99 {
+		t.Errorf("utilization = %.3f, want in the paper's 93-97%% neighbourhood", res.Utilization)
+	}
+	if res.SustainedRate < 110 || res.SustainedRate > 130 {
+		t.Errorf("sustained rate = %.1f jobs/min, want ~120", res.SustainedRate)
+	}
+	if res.Completed < res.Submitted*95/100 {
+		t.Errorf("completed = %d of %d", res.Completed, res.Submitted)
+	}
+}

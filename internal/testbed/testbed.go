@@ -1,0 +1,450 @@
+// Package testbed assembles the paper's emulated nation-wide environment
+// (Section IV): N miniature clusters — each with a full Aequus stack and a
+// SLURM- or Maui-like local scheduler — a submission host dispatching a
+// synthetic workload stochastically across the sites, inter-site usage
+// exchange through the USS layer, run-time identity resolution, and metric
+// sampling for the convergence figures.
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/fairshare"
+	"repro/internal/grid"
+	"repro/internal/maui"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/services/irs"
+	"repro/internal/slurm"
+	"repro/internal/trace"
+	"repro/internal/usage"
+	"repro/internal/vector"
+)
+
+// SiteMode controls one site's participation in the global exchange — the
+// partial-participation experiment's knobs.
+type SiteMode struct {
+	// Contribute: the site serves its usage records to peers.
+	Contribute bool
+	// UseGlobal: the site considers global usage for prioritization.
+	UseGlobal bool
+}
+
+// RMKind selects the local resource manager substrate.
+type RMKind string
+
+// Supported resource managers.
+const (
+	RMSlurm RMKind = "slurm"
+	RMMaui  RMKind = "maui"
+)
+
+// Config parameterizes a testbed run. Zero values get paper-scale defaults
+// via withDefaults.
+type Config struct {
+	// Sites is the number of clusters (paper: 6).
+	Sites int
+	// CoresPerSite is each cluster's core count (paper: 40 virtual hosts).
+	CoresPerSite int
+	// Start is the simulated start time.
+	Start time.Time
+	// Duration is the test length (paper: 6 hours).
+	Duration time.Duration
+	// PolicyShares are the per-user target shares (flat policy) and the
+	// metric targets.
+	PolicyShares map[string]float64
+	// Policy optionally overrides the flat policy with a hierarchical tree
+	// (PolicyShares is still used for metric targets; its users must be
+	// leaves of the tree).
+	Policy *policy.Tree
+	// StrictOrder makes the SLURM substrate stop at the first blocked job
+	// instead of backfilling.
+	StrictOrder bool
+	// Trace is the input workload (required).
+	Trace *trace.Trace
+	// DistanceWeight is the fairshare k (paper: 0.5).
+	DistanceWeight float64
+	// Projection is the vector projection (paper: percental in production).
+	Projection vector.Projection
+	// Decay is the usage decay function (default: exponential half-life of
+	// Duration/6 so history fades over the run).
+	Decay usage.Decay
+	// BinWidth is the USS histogram interval (default Duration/360).
+	BinWidth time.Duration
+	// ExchangeInterval is the USS exchange period — delay component (I).
+	ExchangeInterval time.Duration
+	// RefreshInterval is the UMS/FCS pre-calc period — component (II).
+	RefreshInterval time.Duration
+	// LibTTL is the libaequus cache TTL — component (III).
+	LibTTL time.Duration
+	// ReprioInterval is the RM re-prioritization interval — component (IV).
+	ReprioInterval time.Duration
+	// SampleInterval is the metric sampling period.
+	SampleInterval time.Duration
+	// ShareWindow is the sliding window for usage-share curves (default
+	// Duration/6).
+	ShareWindow time.Duration
+	// Dispatcher places jobs on sites (default stochastic, per the paper).
+	Dispatcher grid.Dispatcher
+	// SiteModes overrides participation per site (default: all full).
+	SiteModes []SiteMode
+	// RM selects the scheduler substrate (default SLURM).
+	RM RMKind
+	// Seed seeds the dispatcher.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sites <= 0 {
+		c.Sites = 6
+	}
+	if c.CoresPerSite <= 0 {
+		c.CoresPerSite = 40
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Duration <= 0 {
+		c.Duration = 6 * time.Hour
+	}
+	if c.DistanceWeight == 0 {
+		c.DistanceWeight = 0.5
+	}
+	if c.Projection == nil {
+		c.Projection = vector.Percental{}
+	}
+	if c.Decay == nil {
+		c.Decay = usage.ExponentialHalfLife{HalfLife: c.Duration / 6}
+	}
+	if c.BinWidth <= 0 {
+		c.BinWidth = c.Duration / 360
+	}
+	if c.ExchangeInterval <= 0 {
+		c.ExchangeInterval = c.Duration / 360
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = c.Duration / 360
+	}
+	if c.LibTTL <= 0 {
+		c.LibTTL = c.Duration / 720
+	}
+	if c.ReprioInterval <= 0 {
+		c.ReprioInterval = c.Duration / 360
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = c.Duration / 120
+	}
+	if c.ShareWindow <= 0 {
+		c.ShareWindow = c.Duration / 6
+	}
+	if c.Dispatcher == nil {
+		c.Dispatcher = grid.NewStochastic(c.Seed + 1)
+	}
+	if c.RM == "" {
+		c.RM = RMSlurm
+	}
+	return c
+}
+
+// Result holds a run's collected data.
+type Result struct {
+	// Config is the effective (defaulted) configuration.
+	Config Config
+	// UsageShares holds each user's share of globally completed usage
+	// within the sliding window, sampled over the run (Figures 10a/12/13a).
+	UsageShares metrics.PerUser
+	// Priorities holds each user's raw leaf priority at site 0 (Figure 13b).
+	Priorities metrics.PerUser
+	// SitePriorities holds the same series per site (partial-participation
+	// figure).
+	SitePriorities []metrics.PerUser
+	// Utilization is the mean core utilization across sites over the run.
+	Utilization float64
+	// Submitted / Completed / QueuedAtEnd are job counters.
+	Submitted, Completed int64
+	QueuedAtEnd          int
+	// SustainedRate and PeakRate are jobs/minute over the run and the
+	// busiest one-minute bin.
+	SustainedRate, PeakRate float64
+	// WaitStats summarizes per-user queue waits and bounded slowdowns.
+	WaitStats map[string]metrics.WaitStat
+}
+
+// siteName returns the canonical testbed site name.
+func siteName(i int) string { return fmt.Sprintf("site%02d", i) }
+
+// localPrefix is how each site maps grid identities to local accounts.
+func localPrefix(site string) string { return site + "_" }
+
+// Run executes a testbed experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
+		return nil, errors.New("testbed: trace required")
+	}
+	if len(cfg.PolicyShares) == 0 {
+		return nil, errors.New("testbed: policy shares required")
+	}
+	if len(cfg.SiteModes) != 0 && len(cfg.SiteModes) != cfg.Sites {
+		return nil, fmt.Errorf("testbed: %d site modes for %d sites", len(cfg.SiteModes), cfg.Sites)
+	}
+
+	kernel := eventsim.New(cfg.Start)
+	pol := cfg.Policy
+	if pol == nil {
+		var err error
+		pol, err = policy.FromShares(cfg.PolicyShares)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+
+	fsCfg := fairshare.Config{DistanceWeight: cfg.DistanceWeight, Resolution: 10000}
+
+	sites := make([]*core.Site, cfg.Sites)
+	clusters := make([]*cluster.Cluster, cfg.Sites)
+	rms := make([]sched.ResourceManager, cfg.Sites)
+	waits := metrics.NewWaitCollector()
+
+	for i := 0; i < cfg.Sites; i++ {
+		name := siteName(i)
+		mode := SiteMode{Contribute: true, UseGlobal: true}
+		if len(cfg.SiteModes) > 0 {
+			mode = cfg.SiteModes[i]
+		}
+		prefix := localPrefix(name)
+		site, err := core.NewSite(core.SiteConfig{
+			Name:        name,
+			Policy:      pol,
+			Clock:       kernel.Clock(),
+			BinWidth:    cfg.BinWidth,
+			Decay:       cfg.Decay,
+			Contribute:  mode.Contribute,
+			UseGlobal:   mode.UseGlobal,
+			Projection:  cfg.Projection,
+			Fairshare:   fsCfg,
+			UMSCacheTTL: cfg.RefreshInterval,
+			FCSCacheTTL: cfg.RefreshInterval,
+			LibCacheTTL: cfg.LibTTL,
+			// Run-time identity resolution: strip the site prefix to revert
+			// the local mapping (the small name-resolution endpoint of the
+			// paper's HPC2N deployment).
+			ResolveEndpoint: irs.EndpointFunc(func(_, local string) (string, error) {
+				if !strings.HasPrefix(local, prefix) {
+					return "", fmt.Errorf("testbed: %q does not follow the %q mapping", local, prefix)
+				}
+				return strings.TrimPrefix(local, prefix), nil
+			}),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sites[i] = site
+
+		cl, err := cluster.New(name, cfg.CoresPerSite, kernel)
+		if err != nil {
+			return nil, err
+		}
+		clusters[i] = cl
+		cl.OnComplete(func(j *sched.Job) {
+			waits.Record(j.GridUser, j.Start.Sub(j.Submit), j.End.Sub(j.Start))
+		})
+
+		switch cfg.RM {
+		case RMSlurm:
+			rms[i] = slurm.New(slurm.Config{
+				Cluster: cl,
+				Priority: &slurm.Multifactor{
+					FS:      slurm.AequusFairshare{Lib: site.Lib},
+					Weights: sched.FairshareOnly(),
+				},
+				JobComp:              []slurm.JobCompHandler{slurm.AequusJobComp{Lib: site.Lib}},
+				ReprioritizeInterval: cfg.ReprioInterval,
+				StrictOrder:          cfg.StrictOrder,
+			})
+		case RMMaui:
+			lib := site.Lib
+			rms[i] = maui.New(maui.Config{
+				Cluster: cl,
+				Weights: maui.Weights{Fairshare: 1},
+				Callouts: maui.Callouts{
+					FairsharePriority: lib.PriorityForLocalUser,
+					JobCompleted: func(j *sched.Job) {
+						_ = lib.JobComplete(j.LocalUser, j.Start, j.End.Sub(j.Start), j.Procs)
+					},
+				},
+			})
+		default:
+			return nil, fmt.Errorf("testbed: unknown RM %q", cfg.RM)
+		}
+	}
+
+	core.FullMesh(sites)
+
+	// Submission host with per-site identity mapping.
+	targets := make([]grid.Target, cfg.Sites)
+	for i := range targets {
+		prefix := localPrefix(siteName(i))
+		targets[i] = grid.Target{
+			Name:    siteName(i),
+			RM:      rms[i],
+			MapUser: func(g string) string { return prefix + g },
+		}
+	}
+	host, err := grid.NewSubmitHost(kernel, targets, cfg.Dispatcher)
+	if err != nil {
+		return nil, err
+	}
+	host.LoadTrace(cfg.Trace)
+
+	res := &Result{
+		Config:         cfg,
+		UsageShares:    metrics.PerUser{},
+		Priorities:     metrics.PerUser{},
+		SitePriorities: make([]metrics.PerUser, cfg.Sites),
+	}
+	for i := range res.SitePriorities {
+		res.SitePriorities[i] = metrics.PerUser{}
+	}
+
+	end := cfg.Start.Add(cfg.Duration)
+	done := func() bool { return kernel.Now().After(end) }
+
+	// Periodic machinery: exchange, pre-calculation, RM iterations,
+	// sampling.
+	kernel.Every(cfg.ExchangeInterval, func(time.Time) {
+		for _, s := range sites {
+			_ = s.Exchange()
+		}
+	}, done)
+	kernel.Every(cfg.RefreshInterval, func(time.Time) {
+		for _, s := range sites {
+			_ = s.Refresh()
+		}
+	}, done)
+	kernel.Every(cfg.ReprioInterval, func(now time.Time) {
+		for _, rm := range rms {
+			rm.Schedule(now)
+		}
+	}, done)
+
+	users := make([]string, 0, len(cfg.PolicyShares))
+	for u := range cfg.PolicyShares {
+		users = append(users, u)
+	}
+	// Fixed iteration order keeps float summations bit-identical across
+	// runs (determinism is asserted by tests).
+	sort.Strings(users)
+	// Cumulative consumed usage per user (running jobs included) is sampled
+	// every interval; windowed shares are the difference against the sample
+	// one ShareWindow earlier.
+	type usageSample struct {
+		at     time.Time
+		totals map[string]float64
+	}
+	var history []usageSample
+	cumulative := func() map[string]float64 {
+		out := map[string]float64{}
+		for _, cl := range clusters {
+			for u, v := range cl.UsageByUser() {
+				out[u] += v
+			}
+		}
+		return out
+	}
+	kernel.Every(cfg.SampleInterval, func(now time.Time) {
+		cur := cumulative()
+		history = append(history, usageSample{at: now, totals: cur})
+		// Find the newest sample at or before now-window as the baseline.
+		base := map[string]float64{}
+		cutoff := now.Add(-cfg.ShareWindow)
+		for i := len(history) - 1; i >= 0; i-- {
+			if !history[i].at.After(cutoff) {
+				base = history[i].totals
+				break
+			}
+		}
+		var total float64
+		delta := map[string]float64{}
+		for _, u := range users {
+			d := cur[u] - base[u]
+			if d < 0 {
+				d = 0
+			}
+			delta[u] = d
+			total += d
+		}
+		for _, u := range users {
+			share := 0.0
+			if total > 0 {
+				share = delta[u] / total
+			}
+			res.UsageShares.Add(u, now, share)
+		}
+		for i, s := range sites {
+			tree, err := s.FCS.Tree()
+			if err != nil {
+				continue
+			}
+			for _, u := range users {
+				if pr, ok := tree.LeafPriority(u); ok {
+					res.SitePriorities[i].Add(u, now, pr)
+					if i == 0 {
+						res.Priorities.Add(u, now, pr)
+					}
+				}
+			}
+		}
+	}, done)
+
+	kernel.Run(end)
+
+	// Collect results.
+	var util float64
+	for i, cl := range clusters {
+		util += cl.Utilization(cfg.Start)
+		res.Completed += cl.Completed()
+		res.QueuedAtEnd += rms[i].QueueLen()
+	}
+	res.Utilization = util / float64(cfg.Sites)
+	res.Submitted = host.Submitted()
+	res.SustainedRate, res.PeakRate = submitRates(cfg.Trace, cfg.Start, cfg.Duration)
+	res.WaitStats = waits.Stats()
+	return res, nil
+}
+
+// submitRates computes the sustained and peak submission rates (jobs per
+// minute) of the trace within the run window.
+func submitRates(tr *trace.Trace, start time.Time, dur time.Duration) (sustained, peak float64) {
+	minutes := int(dur.Minutes())
+	if minutes <= 0 {
+		return 0, 0
+	}
+	bins := make([]int, minutes+1)
+	n := 0
+	for _, j := range tr.Jobs {
+		off := j.Submit.Sub(start)
+		if off < 0 || off > dur {
+			continue
+		}
+		bins[int(off.Minutes())]++
+		n++
+	}
+	maxBin := 0
+	for _, b := range bins {
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	return float64(n) / dur.Minutes(), float64(maxBin)
+}

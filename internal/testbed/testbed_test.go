@@ -1,0 +1,212 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/fairshare"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var start = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// smallTrace builds a calibrated, load-scaled trace for quick tests.
+func smallTrace(t *testing.T, jobs, sites, cores int, dur time.Duration, load float64, seed int64) *trace.Trace {
+	t.Helper()
+	m := workload.NationalGrid2012(dur)
+	tr, err := m.Generate(workload.GenerateOptions{
+		TotalJobs: jobs, Start: start, Span: dur, Seed: seed,
+		CalibrateUsage: true, MaxDuration: dur / 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.ScaleToLoad(tr, sites*cores, load, dur)
+}
+
+func TestBaselineConvergence(t *testing.T) {
+	dur := 6 * time.Hour
+	tr := smallTrace(t, 4000, 4, 24, dur, 0.95, 1)
+	cfg := Config{
+		Sites: 4, CoresPerSite: 24, Start: start, Duration: dur,
+		PolicyShares: workload.BaselineShares(),
+		Trace:        tr, Seed: 1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 4000 {
+		t.Errorf("submitted = %d", res.Submitted)
+	}
+	if res.Completed < 3000 {
+		t.Errorf("completed = %d, want most of the trace", res.Completed)
+	}
+	// The paper reports total utilization between 93% and 97%; with a
+	// smaller test we accept a looser band.
+	if res.Utilization < 0.6 || res.Utilization > 1.0 {
+		t.Errorf("utilization = %.3f", res.Utilization)
+	}
+	// Usage shares in the second half of the run should sit near the policy
+	// targets for the two dominant users.
+	half := start.Add(dur / 2)
+	for _, u := range []string{workload.U65, workload.U30} {
+		target := workload.BaselineShares()[u]
+		mae := metrics.MeanAbsError(res.UsageShares[u], target, half)
+		if math.IsNaN(mae) || mae > 0.20 {
+			t.Errorf("%s usage-share MAE = %.3f vs target %.3f", u, mae, target)
+		}
+	}
+	// Priorities stay within the theoretical bounds.
+	cfgFS := fairshare.Config{DistanceWeight: 0.5, Resolution: 10000}
+	for u, s := range res.Priorities {
+		bound := fairshare.MaxPriority(cfgFS, workload.BaselineShares()[u])
+		for _, v := range s.Values {
+			if v > bound+1e-9 || v < -1 {
+				t.Fatalf("%s priority %g outside [-1, %g]", u, v, bound)
+			}
+		}
+	}
+}
+
+func TestPartialParticipation(t *testing.T) {
+	dur := 6 * time.Hour
+	tr := smallTrace(t, 3000, 4, 24, dur, 0.9, 2)
+	modes := []SiteMode{
+		{Contribute: true, UseGlobal: true},
+		{Contribute: true, UseGlobal: true},
+		{Contribute: false, UseGlobal: true}, // reads global, does not contribute
+		{Contribute: true, UseGlobal: false}, // contributes, schedules on local only
+	}
+	res, err := Run(Config{
+		Sites: 4, CoresPerSite: 24, Start: start, Duration: dur,
+		PolicyShares: workload.BaselineShares(),
+		Trace:        tr, Seed: 2, SiteModes: modes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The read-only site's priorities must track the fully participating
+	// sites closely; the local-only site deviates more.
+	half := start.Add(dur / 2)
+	diff := func(a, b metrics.PerUser, user string) float64 {
+		sa, sb := a[user], b[user]
+		if sa == nil || sb == nil {
+			t.Fatalf("missing series for %s", user)
+		}
+		var sum float64
+		n := 0
+		for i, at := range sa.Times {
+			if at.Before(half) {
+				continue
+			}
+			v := sb.At(at)
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += math.Abs(sa.Values[i] - v)
+			n++
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum / float64(n)
+	}
+	dReader := diff(res.SitePriorities[0], res.SitePriorities[2], workload.U65)
+	dLocal := diff(res.SitePriorities[0], res.SitePriorities[3], workload.U65)
+	if math.IsNaN(dReader) || math.IsNaN(dLocal) {
+		t.Fatal("missing priority samples")
+	}
+	if dReader > dLocal {
+		t.Errorf("read-only site deviation %.4f should be <= local-only %.4f", dReader, dLocal)
+	}
+}
+
+func TestMauiSubstrate(t *testing.T) {
+	dur := 3 * time.Hour
+	tr := smallTrace(t, 1500, 2, 16, dur, 0.85, 3)
+	res, err := Run(Config{
+		Sites: 2, CoresPerSite: 16, Start: start, Duration: dur,
+		PolicyShares: workload.BaselineShares(),
+		Trace:        tr, Seed: 3, RM: RMMaui,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed < 1000 {
+		t.Errorf("maui completed = %d", res.Completed)
+	}
+	if res.Utilization < 0.4 {
+		t.Errorf("maui utilization = %.3f", res.Utilization)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	tr := &trace.Trace{Jobs: []trace.Job{{ID: 1, User: "u", Submit: start, Duration: time.Minute, Procs: 1}}}
+	if _, err := Run(Config{Trace: tr}); err == nil {
+		t.Error("missing policy accepted")
+	}
+	if _, err := Run(Config{Trace: tr, PolicyShares: map[string]float64{"u": 1},
+		Sites: 2, SiteModes: []SiteMode{{}}}); err == nil {
+		t.Error("mismatched site modes accepted")
+	}
+	if _, err := Run(Config{Trace: tr, PolicyShares: map[string]float64{"u": 1}, RM: "pbs"}); err == nil {
+		t.Error("unknown RM accepted")
+	}
+}
+
+func TestSubmitRates(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 120; i++ {
+		tr.Jobs = append(tr.Jobs, trace.Job{
+			ID: int64(i), User: "u", Procs: 1, Duration: time.Second,
+			Submit: start.Add(time.Duration(i%2) * time.Minute),
+		})
+	}
+	sustained, peak := submitRates(tr, start, time.Hour)
+	if math.Abs(sustained-2) > 1e-9 {
+		t.Errorf("sustained = %g jobs/min", sustained)
+	}
+	if peak != 60 {
+		t.Errorf("peak = %g jobs/min", peak)
+	}
+	s0, p0 := submitRates(tr, start, 0)
+	if s0 != 0 || p0 != 0 {
+		t.Error("degenerate duration")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	dur := 2 * time.Hour
+	tr := smallTrace(t, 800, 2, 8, dur, 0.8, 4)
+	cfg := Config{
+		Sites: 2, CoresPerSite: 8, Start: start, Duration: dur,
+		PolicyShares: workload.BaselineShares(), Trace: tr, Seed: 4,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.Utilization != b.Utilization {
+		t.Errorf("runs diverged: %d/%f vs %d/%f", a.Completed, a.Utilization, b.Completed, b.Utilization)
+	}
+	sa, sb := a.UsageShares[workload.U65], b.UsageShares[workload.U65]
+	if sa.Len() != sb.Len() {
+		t.Fatal("sample counts differ")
+	}
+	for i := range sa.Values {
+		if sa.Values[i] != sb.Values[i] {
+			t.Fatal("usage-share series diverged")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The text trace format is one job per line, whitespace separated, in the
+// spirit of the Standard Workload Format:
+//
+//	<id> <user> <submit-unix-seconds> <duration-seconds> <procs> [site] [admin]
+//
+// Lines starting with '#' or ';' are comments.
+
+// Write serializes the trace to w in the text format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# id user submit duration procs site admin"); err != nil {
+		return err
+	}
+	for _, j := range t.Jobs {
+		site := j.Site
+		if site == "" {
+			site = "-"
+		}
+		admin := 0
+		if j.Admin {
+			admin = 1
+		}
+		_, err := fmt.Fprintf(bw, "%d %s %d %.3f %d %s %d\n",
+			j.ID, j.User, j.Submit.Unix(), j.Duration.Seconds(), j.Procs, site, admin)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace in the text format.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == ';' {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 5 {
+			return nil, fmt.Errorf("trace: line %d: want at least 5 fields, got %d", lineNo, len(f))
+		}
+		id, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad id %q", lineNo, f[0])
+		}
+		submit, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad submit %q", lineNo, f[2])
+		}
+		durSec, err := strconv.ParseFloat(f[3], 64)
+		if err != nil || durSec < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad duration %q", lineNo, f[3])
+		}
+		procs, err := strconv.Atoi(f[4])
+		if err != nil || procs < 1 {
+			return nil, fmt.Errorf("trace: line %d: bad procs %q", lineNo, f[4])
+		}
+		j := Job{
+			ID:       id,
+			User:     f[1],
+			Submit:   time.Unix(submit, 0).UTC(),
+			Duration: time.Duration(durSec * float64(time.Second)),
+			Procs:    procs,
+		}
+		if len(f) >= 6 && f[5] != "-" {
+			j.Site = f[5]
+		}
+		if len(f) >= 7 && f[6] == "1" {
+			j.Admin = true
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != in.Len() {
+		t.Fatalf("len %d, want %d", out.Len(), in.Len())
+	}
+	for i := range in.Jobs {
+		a, b := in.Jobs[i], out.Jobs[i]
+		if a.ID != b.ID || a.User != b.User || !a.Submit.Equal(b.Submit) ||
+			a.Procs != b.Procs || a.Site != b.Site || a.Admin != b.Admin {
+			t.Errorf("job %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if d := a.Duration - b.Duration; d > time.Millisecond || d < -time.Millisecond {
+			t.Errorf("job %d duration drift %v", i, d)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	src := `# comment
+; another comment
+
+1 alice 1325376000 60.0 1
+`
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Jobs[0].User != "alice" {
+		t.Fatalf("parsed %+v", tr.Jobs)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"1 alice 1325376000 60.0",    // too few fields
+		"x alice 1325376000 60.0 1",  // bad id
+		"1 alice notatime 60.0 1",    // bad submit
+		"1 alice 1325376000 -5 1",    // negative duration
+		"1 alice 1325376000 60.0 0",  // zero procs
+		"1 alice 1325376000 sixty 1", // bad duration
+	}
+	for _, line := range bad {
+		if _, err := Read(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}
+
+func TestReadOptionalFields(t *testing.T) {
+	src := "7 bob 1325376000 30.5 2 siteA 1\n8 eve 1325376001 10 1 - 0\n"
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].Site != "siteA" || !tr.Jobs[0].Admin {
+		t.Errorf("job0 = %+v", tr.Jobs[0])
+	}
+	if tr.Jobs[1].Site != "" || tr.Jobs[1].Admin {
+		t.Errorf("job1 = %+v", tr.Jobs[1])
+	}
+}

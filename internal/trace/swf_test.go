@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadSWFBasic(t *testing.T) {
+	src := `; Comment line
+; UnixStartTime: 1325376000
+1 0 10 3600 1 -1 -1 1 3600 -1 1 7 -1 -1 -1 -1 -1 -1
+2 60 5 1800 4 -1 -1 4 1800 -1 1 8 -1 -1 -1 -1 -1 -1
+3 120 -1 -1 1 -1 -1 1 -1 -1 0 7 -1 -1 -1 -1 -1 -1
+`
+	tr, err := ReadSWF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	epoch := time.Unix(1325376000, 0).UTC()
+	j := tr.Jobs[0]
+	if !j.Submit.Equal(epoch) || j.Duration != time.Hour || j.Procs != 1 || j.User != "swf7" {
+		t.Errorf("job0 = %+v", j)
+	}
+	if tr.Jobs[1].Procs != 4 || tr.Jobs[1].User != "swf8" {
+		t.Errorf("job1 = %+v", tr.Jobs[1])
+	}
+	// -1 runtime becomes zero duration (cancelled), cleanable.
+	if tr.Jobs[2].Duration != 0 {
+		t.Errorf("cancelled job duration = %v", tr.Jobs[2].Duration)
+	}
+	clean, rep := Clean(tr)
+	if clean.Len() != 2 || rep.JobsRemoved != 1 {
+		t.Errorf("cleaning: %d left, %d removed", clean.Len(), rep.JobsRemoved)
+	}
+}
+
+func TestReadSWFDefaultEpoch(t *testing.T) {
+	tr, err := ReadSWF(strings.NewReader("1 0 -1 60 1 -1 -1 1 60 -1 1 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Jobs[0].Submit.Equal(SWFEpoch) {
+		t.Errorf("submit = %v, want SWFEpoch", tr.Jobs[0].Submit)
+	}
+}
+
+func TestReadSWFMalformed(t *testing.T) {
+	bad := []string{
+		"1 0 -1 60",                        // too few fields
+		"x 0 -1 60 1 -1 -1 1 60 -1 1 3",    // bad id
+		"1 zero -1 60 1 -1 -1 1 60 -1 1 3", // bad submit
+		"1 0 -1 sixty 1 -1 -1 1 60 -1 1 3", // bad runtime
+		"1 0 -1 60 quad -1 -1 1 60 -1 1 3", // bad procs
+	}
+	for _, line := range bad {
+		if _, err := ReadSWF(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}
+
+func TestReadSWFUnknownUserAndProcClamp(t *testing.T) {
+	tr, err := ReadSWF(strings.NewReader("5 10 -1 60 0 -1 -1 1 60 -1 1 -1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].User != "swfunknown" {
+		t.Errorf("user = %q", tr.Jobs[0].User)
+	}
+	if tr.Jobs[0].Procs != 1 {
+		t.Errorf("procs = %d, want clamp to 1", tr.Jobs[0].Procs)
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	in := &Trace{Jobs: []Job{
+		{ID: 1, User: "alice", Submit: t0, Duration: time.Hour, Procs: 2},
+		{ID: 2, User: "bob", Submit: t0.Add(time.Minute), Duration: 30 * time.Minute, Procs: 1},
+		{ID: 3, User: "alice", Submit: t0.Add(2 * time.Minute), Duration: 0, Procs: 1},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != in.Len() {
+		t.Fatalf("len = %d", out.Len())
+	}
+	for i := range in.Jobs {
+		a, b := in.Jobs[i], out.Jobs[i]
+		if a.ID != b.ID || !a.Submit.Equal(b.Submit) || a.Duration != b.Duration || a.Procs != b.Procs {
+			t.Errorf("job %d: %+v vs %+v", i, a, b)
+		}
+	}
+	// Same original user -> same mapped user.
+	if out.Jobs[0].User != out.Jobs[2].User {
+		t.Error("user identity not preserved through mapping")
+	}
+	if out.Jobs[0].User == out.Jobs[1].User {
+		t.Error("distinct users collapsed")
+	}
+}

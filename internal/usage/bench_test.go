@@ -1,0 +1,59 @@
+package usage
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func buildHistogram(users, binsPerUser int) *Histogram {
+	h := NewHistogram(time.Minute)
+	for u := 0; u < users; u++ {
+		name := fmt.Sprintf("user%03d", u)
+		for b := 0; b < binsPerUser; b++ {
+			h.Add(name, t0.Add(time.Duration(b)*time.Minute), float64(b+1))
+		}
+	}
+	return h
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram(time.Minute)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add("user", t0.Add(time.Duration(i%360)*time.Minute), 1)
+	}
+}
+
+func BenchmarkDecayedTotals(b *testing.B) {
+	h := buildHistogram(10, 360) // 10 users × 6h of minute bins
+	d := ExponentialHalfLife{HalfLife: time.Hour}
+	now := t0.Add(7 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.DecayedTotals(now, d)
+	}
+}
+
+func BenchmarkRecordsExport(b *testing.B) {
+	h := buildHistogram(10, 360)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(h.Records("site")) == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	src := buildHistogram(10, 360)
+	recs := src.Records("site")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewHistogram(time.Minute)
+		h.Ingest(recs)
+	}
+}

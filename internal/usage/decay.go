@@ -1,0 +1,86 @@
+// Package usage implements Aequus usage accounting: per-user resource
+// consumption records, time-binned usage histograms with configurable decay
+// functions, and the compact per-user/per-site exchange records the Usage
+// Statistics Services trade between sites ("relaying the combined usage of
+// each user on each site while omitting the details of individual jobs").
+package usage
+
+import (
+	"math"
+	"time"
+)
+
+// Decay weights historical usage by age, controlling "how the impact of
+// previous usage is decreased over time". Weight must be in [0, 1], equal to
+// 1 at age 0, and non-increasing in age.
+type Decay interface {
+	// Weight returns the multiplier applied to usage of the given age.
+	Weight(age time.Duration) float64
+	// Name identifies the decay function.
+	Name() string
+}
+
+// ExponentialHalfLife decays usage by a factor of two every HalfLife.
+// This is the default decay in the Aequus production configuration.
+type ExponentialHalfLife struct {
+	HalfLife time.Duration
+}
+
+// Name implements Decay.
+func (d ExponentialHalfLife) Name() string { return "exp-half-life" }
+
+// Weight implements Decay.
+func (d ExponentialHalfLife) Weight(age time.Duration) float64 {
+	if age <= 0 {
+		return 1
+	}
+	if d.HalfLife <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(age) / float64(d.HalfLife))
+}
+
+// Linear decays usage linearly to zero over Window.
+type Linear struct {
+	Window time.Duration
+}
+
+// Name implements Decay.
+func (d Linear) Name() string { return "linear" }
+
+// Weight implements Decay.
+func (d Linear) Weight(age time.Duration) float64 {
+	if age <= 0 {
+		return 1
+	}
+	if d.Window <= 0 || age >= d.Window {
+		return 0
+	}
+	return 1 - float64(age)/float64(d.Window)
+}
+
+// Step keeps full weight inside Window and drops to zero beyond it (a
+// sliding-window accumulation).
+type Step struct {
+	Window time.Duration
+}
+
+// Name implements Decay.
+func (d Step) Name() string { return "step" }
+
+// Weight implements Decay.
+func (d Step) Weight(age time.Duration) float64 {
+	if d.Window > 0 && age > d.Window {
+		return 0
+	}
+	return 1
+}
+
+// None applies no decay: all history counts equally.
+type None struct{}
+
+// Name implements Decay.
+func (None) Name() string { return "none" }
+
+// Weight implements Decay.
+func (None) Weight(time.Duration) float64 { return 1 }

@@ -1,0 +1,265 @@
+package usage
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record is the compact inter-site exchange unit: the combined usage of one
+// user at one site over one histogram interval.
+type Record struct {
+	// User is the grid user identity.
+	User string `json:"user"`
+	// Site is the reporting site.
+	Site string `json:"site"`
+	// IntervalStart is the start of the histogram bin.
+	IntervalStart time.Time `json:"intervalStart"`
+	// CoreSeconds is the combined usage in the interval.
+	CoreSeconds float64 `json:"coreSeconds"`
+}
+
+// Histogram accumulates per-user usage into fixed-width time bins. It is
+// safe for concurrent use — local resource managers report job completions
+// while the UMS reads totals.
+type Histogram struct {
+	mu       sync.RWMutex
+	binWidth time.Duration
+	// bins[user][binStartUnix] = core-seconds
+	bins map[string]map[int64]float64
+}
+
+// NewHistogram creates a histogram with the given bin width (the "per-user
+// histograms for configurable time intervals" produced by the USS).
+// Non-positive widths default to one hour.
+func NewHistogram(binWidth time.Duration) *Histogram {
+	if binWidth <= 0 {
+		binWidth = time.Hour
+	}
+	return &Histogram{
+		binWidth: binWidth,
+		bins:     map[string]map[int64]float64{},
+	}
+}
+
+// BinWidth returns the histogram's interval width.
+func (h *Histogram) BinWidth() time.Duration { return h.binWidth }
+
+func (h *Histogram) binStart(at time.Time) int64 {
+	w := int64(h.binWidth / time.Second)
+	if w <= 0 {
+		w = 1
+	}
+	u := at.Unix()
+	// Floor division handles pre-epoch times correctly.
+	q := u / w
+	if u%w < 0 {
+		q--
+	}
+	return q * w
+}
+
+// Add accumulates coreSeconds of usage for user at the bin containing `at`.
+func (h *Histogram) Add(user string, at time.Time, coreSeconds float64) {
+	if coreSeconds <= 0 || user == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.bins[user]
+	if m == nil {
+		m = map[int64]float64{}
+		h.bins[user] = m
+	}
+	m[h.binStart(at)] += coreSeconds
+}
+
+// AddSpread distributes a job's usage across the bins it executed in — a job
+// running from start for dur at procs cores contributes proportionally to
+// each overlapped interval.
+func (h *Histogram) AddSpread(user string, start time.Time, dur time.Duration, procs int) {
+	if dur <= 0 || user == "" {
+		return
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	end := start.Add(dur)
+	cur := start
+	for cur.Before(end) {
+		binStart := time.Unix(h.binStart(cur), 0).UTC()
+		binEnd := binStart.Add(h.binWidth)
+		sliceEnd := end
+		if binEnd.Before(sliceEnd) {
+			sliceEnd = binEnd
+		}
+		h.Add(user, cur, sliceEnd.Sub(cur).Seconds()*float64(procs))
+		cur = sliceEnd
+	}
+}
+
+// SetBin replaces the value of user's bin starting at binStart (the bin
+// containing binStart). A non-positive value removes the bin. This is the
+// ingestion primitive for incremental inter-site exchange, where a re-fetched
+// interval must overwrite rather than accumulate.
+func (h *Histogram) SetBin(user string, binStart time.Time, v float64) {
+	if user == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := h.binStart(binStart)
+	m := h.bins[user]
+	if v <= 0 {
+		if m != nil {
+			delete(m, key)
+			if len(m) == 0 {
+				delete(h.bins, user)
+			}
+		}
+		return
+	}
+	if m == nil {
+		m = map[int64]float64{}
+		h.bins[user] = m
+	}
+	m[key] = v
+}
+
+// Users returns the sorted user names with recorded usage.
+func (h *Histogram) Users() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.bins))
+	for u := range h.bins {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total returns the undecayed total usage of user.
+func (h *Histogram) Total(user string) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var sum float64
+	for _, v := range h.bins[user] {
+		sum += v
+	}
+	return sum
+}
+
+// DecayedTotal returns user's usage with each bin weighted by its age at
+// `now` under the given decay function. Bin age is measured from the bin
+// midpoint so freshly written bins are not over- or under-weighted.
+func (h *Histogram) DecayedTotal(user string, now time.Time, d Decay) float64 {
+	if d == nil {
+		d = None{}
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	// Sum bins in key order so repeated runs produce bit-identical floats.
+	bins := h.bins[user]
+	keys := make([]int64, 0, len(bins))
+	for start := range bins {
+		keys = append(keys, start)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var sum float64
+	half := h.binWidth / 2
+	for _, start := range keys {
+		mid := time.Unix(start, 0).Add(half)
+		age := now.Sub(mid)
+		if age < 0 {
+			age = 0
+		}
+		sum += bins[start] * d.Weight(age)
+	}
+	return sum
+}
+
+// DecayedTotals returns the decayed totals for every user.
+func (h *Histogram) DecayedTotals(now time.Time, d Decay) map[string]float64 {
+	out := map[string]float64{}
+	for _, u := range h.Users() {
+		out[u] = h.DecayedTotal(u, now, d)
+	}
+	return out
+}
+
+// Records exports the histogram as compact exchange records for the given
+// site, sorted by user then interval.
+func (h *Histogram) Records(site string) []Record {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []Record
+	for user, bins := range h.bins {
+		for start, v := range bins {
+			out = append(out, Record{
+				User:          user,
+				Site:          site,
+				IntervalStart: time.Unix(start, 0).UTC(),
+				CoreSeconds:   v,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].IntervalStart.Before(out[j].IntervalStart)
+	})
+	return out
+}
+
+// RecordsSince exports only records whose interval starts at or after t —
+// the incremental exchange between USS instances.
+func (h *Histogram) RecordsSince(site string, t time.Time) []Record {
+	all := h.Records(site)
+	out := all[:0]
+	for _, r := range all {
+		if !r.IntervalStart.Before(t) {
+			out = append(out, r)
+		}
+	}
+	return append([]Record(nil), out...)
+}
+
+// Ingest merges exchange records into the histogram (used when a site folds
+// remote usage into its global view). Records land in the bin containing
+// their interval start.
+func (h *Histogram) Ingest(records []Record) {
+	for _, r := range records {
+		h.Add(r.User, r.IntervalStart, r.CoreSeconds)
+	}
+}
+
+// Merge folds other's bins into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	other.mu.RLock()
+	type cell struct {
+		user  string
+		start int64
+		v     float64
+	}
+	var cells []cell
+	for user, bins := range other.bins {
+		for start, v := range bins {
+			cells = append(cells, cell{user, start, v})
+		}
+	}
+	other.mu.RUnlock()
+	for _, c := range cells {
+		h.Add(c.user, time.Unix(c.start, 0), c.v)
+	}
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	out := NewHistogram(h.binWidth)
+	out.Merge(h)
+	return out
+}

@@ -1,0 +1,268 @@
+package usage
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestDecayWeightsAtZeroAge(t *testing.T) {
+	ds := []Decay{
+		ExponentialHalfLife{HalfLife: time.Hour},
+		Linear{Window: time.Hour},
+		Step{Window: time.Hour},
+		None{},
+	}
+	for _, d := range ds {
+		if w := d.Weight(0); w != 1 {
+			t.Errorf("%s Weight(0) = %g, want 1", d.Name(), w)
+		}
+		if w := d.Weight(-time.Minute); w != 1 && d.Name() != "step" {
+			t.Errorf("%s Weight(neg) = %g, want 1", d.Name(), w)
+		}
+	}
+}
+
+func TestExponentialHalfLife(t *testing.T) {
+	d := ExponentialHalfLife{HalfLife: time.Hour}
+	if w := d.Weight(time.Hour); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("weight at one half-life = %g", w)
+	}
+	if w := d.Weight(2 * time.Hour); math.Abs(w-0.25) > 1e-12 {
+		t.Errorf("weight at two half-lives = %g", w)
+	}
+	// Degenerate half-life means no decay.
+	if w := (ExponentialHalfLife{}).Weight(time.Hour); w != 1 {
+		t.Errorf("zero half-life weight = %g", w)
+	}
+}
+
+func TestLinearDecay(t *testing.T) {
+	d := Linear{Window: 10 * time.Minute}
+	if w := d.Weight(5 * time.Minute); math.Abs(w-0.5) > 1e-12 {
+		t.Errorf("half-window weight = %g", w)
+	}
+	if w := d.Weight(10 * time.Minute); w != 0 {
+		t.Errorf("full-window weight = %g", w)
+	}
+	if w := d.Weight(time.Hour); w != 0 {
+		t.Errorf("past-window weight = %g", w)
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	d := Step{Window: time.Hour}
+	if w := d.Weight(59 * time.Minute); w != 1 {
+		t.Errorf("inside-window weight = %g", w)
+	}
+	if w := d.Weight(61 * time.Minute); w != 0 {
+		t.Errorf("outside-window weight = %g", w)
+	}
+}
+
+func TestDecayMonotoneNonIncreasing(t *testing.T) {
+	ds := []Decay{
+		ExponentialHalfLife{HalfLife: 30 * time.Minute},
+		Linear{Window: 2 * time.Hour},
+		Step{Window: time.Hour},
+		None{},
+	}
+	for _, d := range ds {
+		f := func(a, b uint32) bool {
+			x := time.Duration(a%100000) * time.Second
+			y := time.Duration(b%100000) * time.Second
+			if x > y {
+				x, y = y, x
+			}
+			wx, wy := d.Weight(x), d.Weight(y)
+			return wy <= wx+1e-12 && wx >= 0 && wx <= 1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", d.Name(), err)
+		}
+	}
+}
+
+func TestHistogramAddAndTotal(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	h.Add("alice", t0, 100)
+	h.Add("alice", t0.Add(30*time.Minute), 50) // same bin
+	h.Add("alice", t0.Add(2*time.Hour), 25)
+	h.Add("bob", t0, 10)
+	if got := h.Total("alice"); got != 175 {
+		t.Errorf("alice total = %g", got)
+	}
+	if got := h.Total("bob"); got != 10 {
+		t.Errorf("bob total = %g", got)
+	}
+	if got := h.Total("carol"); got != 0 {
+		t.Errorf("carol total = %g", got)
+	}
+	// Ignored inputs.
+	h.Add("", t0, 5)
+	h.Add("alice", t0, 0)
+	h.Add("alice", t0, -3)
+	if got := h.Total("alice"); got != 175 {
+		t.Errorf("after ignored adds, total = %g", got)
+	}
+}
+
+func TestHistogramUsersSorted(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	h.Add("zed", t0, 1)
+	h.Add("amy", t0, 1)
+	us := h.Users()
+	if len(us) != 2 || us[0] != "amy" || us[1] != "zed" {
+		t.Errorf("Users = %v", us)
+	}
+}
+
+func TestHistogramDecayedTotal(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	h.Add("u", t0, 100)                   // bin [t0, t0+1h), midpoint t0+30m
+	h.Add("u", t0.Add(10*time.Hour), 100) // midpoint t0+10.5h
+	now := t0.Add(11 * time.Hour)
+	d := ExponentialHalfLife{HalfLife: time.Hour}
+	// Ages: 10.5h and 0.5h.
+	want := 100*math.Exp2(-10.5) + 100*math.Exp2(-0.5)
+	if got := h.DecayedTotal("u", now, d); math.Abs(got-want) > 1e-9 {
+		t.Errorf("decayed = %g, want %g", got, want)
+	}
+	// nil decay treated as None.
+	if got := h.DecayedTotal("u", now, nil); got != 200 {
+		t.Errorf("nil decay total = %g", got)
+	}
+	// Future bins clamp to age zero.
+	h2 := NewHistogram(time.Hour)
+	h2.Add("u", t0.Add(5*time.Hour), 100)
+	if got := h2.DecayedTotal("u", t0, d); got != 100 {
+		t.Errorf("future bin decayed = %g, want 100", got)
+	}
+}
+
+func TestHistogramAddSpread(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	// 90-minute job starting at t0+30m, 2 procs: 60m in bin0, 30m in bin1.
+	h.AddSpread("u", t0.Add(30*time.Minute), 90*time.Minute, 2)
+	recs := h.Records("s")
+	if len(recs) != 2 {
+		t.Fatalf("records = %v", recs)
+	}
+	if math.Abs(recs[0].CoreSeconds-3600) > 1e-9 {
+		t.Errorf("bin0 = %g, want 3600 (30m × 2 procs)", recs[0].CoreSeconds)
+	}
+	if math.Abs(recs[1].CoreSeconds-7200) > 1e-9 {
+		t.Errorf("bin1 = %g, want 7200 (60m × 2 procs)", recs[1].CoreSeconds)
+	}
+	if got := h.Total("u"); math.Abs(got-10800) > 1e-9 {
+		t.Errorf("total = %g, want 90m × 2 = 10800", got)
+	}
+}
+
+func TestHistogramRecordsAndIngest(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	h.Add("b", t0, 10)
+	h.Add("a", t0.Add(time.Hour), 20)
+	h.Add("a", t0, 5)
+	recs := h.Records("site1")
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	// Sorted by user then interval.
+	if recs[0].User != "a" || recs[1].User != "a" || recs[2].User != "b" {
+		t.Errorf("order = %v", recs)
+	}
+	if !recs[0].IntervalStart.Before(recs[1].IntervalStart) {
+		t.Error("intervals not sorted")
+	}
+	if recs[0].Site != "site1" {
+		t.Errorf("site = %q", recs[0].Site)
+	}
+
+	// Ingesting into another histogram reproduces totals.
+	h2 := NewHistogram(time.Hour)
+	h2.Ingest(recs)
+	if got := h2.Total("a"); got != 25 {
+		t.Errorf("ingested a = %g", got)
+	}
+	if got := h2.Total("b"); got != 10 {
+		t.Errorf("ingested b = %g", got)
+	}
+}
+
+func TestRecordsSince(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	h.Add("u", t0, 1)
+	h.Add("u", t0.Add(5*time.Hour), 2)
+	recs := h.RecordsSince("s", t0.Add(2*time.Hour))
+	if len(recs) != 1 || recs[0].CoreSeconds != 2 {
+		t.Errorf("RecordsSince = %v", recs)
+	}
+}
+
+func TestHistogramMergeAndClone(t *testing.T) {
+	a := NewHistogram(time.Hour)
+	a.Add("u", t0, 10)
+	b := NewHistogram(time.Hour)
+	b.Add("u", t0, 5)
+	b.Add("v", t0, 7)
+	a.Merge(b)
+	if got := a.Total("u"); got != 15 {
+		t.Errorf("merged u = %g", got)
+	}
+	if got := a.Total("v"); got != 7 {
+		t.Errorf("merged v = %g", got)
+	}
+	a.Merge(nil) // no-op
+
+	c := a.Clone()
+	c.Add("u", t0, 100)
+	if a.Total("u") != 15 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestHistogramConcurrentAccess(t *testing.T) {
+	h := NewHistogram(time.Minute)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Add("u", t0.Add(time.Duration(i)*time.Second), 1)
+				_ = h.DecayedTotal("u", t0.Add(time.Hour), ExponentialHalfLife{HalfLife: time.Hour})
+				_ = h.Users()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Total("u"); got != 8*500 {
+		t.Errorf("concurrent total = %g, want 4000", got)
+	}
+}
+
+func TestHistogramPreEpochBinning(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	old := time.Date(1969, 12, 31, 23, 30, 0, 0, time.UTC)
+	h.Add("u", old, 10)
+	recs := h.Records("s")
+	if len(recs) != 1 {
+		t.Fatalf("records = %v", recs)
+	}
+	want := time.Date(1969, 12, 31, 23, 0, 0, 0, time.UTC)
+	if !recs[0].IntervalStart.Equal(want) {
+		t.Errorf("pre-epoch bin start = %v, want %v", recs[0].IntervalStart, want)
+	}
+}
+
+func TestNewHistogramDefaultsWidth(t *testing.T) {
+	h := NewHistogram(0)
+	if h.BinWidth() != time.Hour {
+		t.Errorf("default width = %v", h.BinWidth())
+	}
+}

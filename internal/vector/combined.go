@@ -1,0 +1,61 @@
+package vector
+
+import "math"
+
+// CombinedOrdering implements the direction sketched in the paper's future
+// work: instead of projecting fairshare vectors down to a scalar (losing a
+// property per Table I), other scheduling factors are modelled "using a
+// representation combinable with the fairshare vectors". Factors such as
+// job age or QoS become additional, less-significant vector levels:
+//
+//	combined = [ quantize(fs_1), ..., quantize(fs_n), age, qos, ... ]
+//
+// Comparison stays lexicographic, so fairshare retains strict top-down
+// dominance at the configured Quantum granularity, and the extra factors
+// order jobs whose fairshare standing is effectively equal. No projection —
+// and therefore no loss of depth, precision within the quantum, isolation
+// or proportionality — is involved.
+type CombinedOrdering struct {
+	// Resolution is the value range of all levels (default 10000).
+	Resolution float64
+	// Quantum is the bucket size applied to fairshare elements before the
+	// extra factors can influence ordering (default Resolution/64). A
+	// larger quantum gives the secondary factors more say.
+	Quantum float64
+}
+
+func (c CombinedOrdering) params() (res, quantum float64) {
+	res = c.Resolution
+	if res <= 0 {
+		res = 10000
+	}
+	quantum = c.Quantum
+	if quantum <= 0 {
+		quantum = res / 64
+	}
+	return res, quantum
+}
+
+// Combine builds the combined vector: each fairshare element is quantized
+// to the configured granularity and the factors (each in [0,1]) are
+// appended, scaled to the value range.
+func (c CombinedOrdering) Combine(fs Vector, factors ...float64) Vector {
+	res, quantum := c.params()
+	out := make(Vector, 0, len(fs)+len(factors))
+	for _, e := range fs {
+		out = append(out, math.Floor(e/quantum)*quantum)
+	}
+	for _, f := range factors {
+		f = math.Max(0, math.Min(1, f))
+		out = append(out, f*(res-1))
+	}
+	return out
+}
+
+// Less compares two jobs' combined vectors (true when a ranks below b). The
+// vectors must have been built with the same factor count; shorter vectors
+// compare at the balance point like plain fairshare vectors.
+func (c CombinedOrdering) Less(a, b Vector) bool {
+	res, _ := c.params()
+	return a.Compare(b, res/2) < 0
+}

@@ -1,0 +1,70 @@
+package vector
+
+import (
+	"testing"
+)
+
+func TestCombinedFairshareDominates(t *testing.T) {
+	c := CombinedOrdering{Resolution: 10000, Quantum: 250}
+	// Clearly different fairshare: the old job's age cannot beat the
+	// under-served user's fairshare.
+	under := c.Combine(Vector{7000}, 0.0) // no age credit
+	over := c.Combine(Vector{3000}, 1.0)  // maximal age credit
+	if !c.Less(over, under) {
+		t.Errorf("fairshare should dominate: over=%v under=%v", over, under)
+	}
+}
+
+func TestCombinedAgeBreaksNearTies(t *testing.T) {
+	c := CombinedOrdering{Resolution: 10000, Quantum: 250}
+	// Within one quantum (5010 vs 5120 with quantum 250 → same bucket),
+	// the older job wins.
+	youngish := c.Combine(Vector{5120}, 0.1)
+	oldish := c.Combine(Vector{5010}, 0.9)
+	if !c.Less(youngish, oldish) {
+		t.Errorf("age should break the near-tie: young=%v old=%v", youngish, oldish)
+	}
+}
+
+func TestCombinedQuantization(t *testing.T) {
+	c := CombinedOrdering{Resolution: 10000, Quantum: 100}
+	v := c.Combine(Vector{5678, 1234}, 0.5)
+	if v[0] != 5600 || v[1] != 1200 {
+		t.Errorf("quantized = %v", v)
+	}
+	if len(v) != 3 {
+		t.Fatalf("combined length = %d", len(v))
+	}
+	if v[2] != 0.5*9999 {
+		t.Errorf("age level = %g", v[2])
+	}
+}
+
+func TestCombinedFactorClamping(t *testing.T) {
+	c := CombinedOrdering{}
+	v := c.Combine(Vector{5000}, -3, 7)
+	if v[1] != 0 {
+		t.Errorf("negative factor = %g, want 0", v[1])
+	}
+	if v[2] != 9999 {
+		t.Errorf("oversized factor = %g, want 9999", v[2])
+	}
+}
+
+func TestCombinedDefaults(t *testing.T) {
+	c := CombinedOrdering{}
+	res, quantum := c.params()
+	if res != 10000 || quantum != 10000.0/64 {
+		t.Errorf("defaults = %g, %g", res, quantum)
+	}
+}
+
+func TestCombinedMultiLevelIsolationPreserved(t *testing.T) {
+	c := CombinedOrdering{Resolution: 10000, Quantum: 250}
+	// Top-level fairshare difference dominates deeper levels AND factors.
+	a := c.Combine(Vector{6000, 0}, 0)
+	b := c.Combine(Vector{5500, 9999}, 1)
+	if !c.Less(b, a) {
+		t.Errorf("top level must dominate: a=%v b=%v", a, b)
+	}
+}

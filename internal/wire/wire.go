@@ -1,0 +1,133 @@
+// Package wire defines the JSON message types exchanged between the Aequus
+// services, the libaequus client library, and custom identity-resolution
+// endpoints — the "minimalist JSON based protocol" of Section III-B —
+// together with small HTTP helpers shared by servers and clients.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/usage"
+)
+
+// FairshareResponse carries one user's pre-calculated fairshare data.
+type FairshareResponse struct {
+	// User is the grid identity.
+	User string `json:"user"`
+	// Value is the projected priority in [0,1].
+	Value float64 `json:"value"`
+	// Vector is the raw fairshare vector (resolution-scaled).
+	Vector []float64 `json:"vector,omitempty"`
+	// Priority is the raw leaf priority (unprojected).
+	Priority float64 `json:"priority"`
+	// ComputedAt is when the FCS pre-calculated this value.
+	ComputedAt time.Time `json:"computedAt"`
+}
+
+// FairshareTableResponse carries the full pre-calculated table.
+type FairshareTableResponse struct {
+	Entries    []FairshareResponse `json:"entries"`
+	Projection string              `json:"projection"`
+	ComputedAt time.Time           `json:"computedAt"`
+}
+
+// UsageReport carries job-completion usage from a resource manager (via
+// libaequus) to the USS.
+type UsageReport struct {
+	// User is the grid identity that owns the job.
+	User string `json:"user"`
+	// Start is the job's execution start time.
+	Start time.Time `json:"start"`
+	// DurationSeconds is the wall-clock duration.
+	DurationSeconds float64 `json:"durationSeconds"`
+	// Procs is the processor count.
+	Procs int `json:"procs"`
+}
+
+// RecordsResponse carries compact usage records between USS instances.
+type RecordsResponse struct {
+	Records []usage.Record `json:"records"`
+}
+
+// UsageTreeResponse carries the UMS's pre-computed per-user decayed usage.
+type UsageTreeResponse struct {
+	// Totals maps grid user to decayed core-seconds.
+	Totals map[string]float64 `json:"totals"`
+	// ComputedAt is the pre-computation time.
+	ComputedAt time.Time `json:"computedAt"`
+}
+
+// ResolveRequest asks the IRS (or a custom endpoint) to revert a site
+// mapping.
+type ResolveRequest struct {
+	Site      string `json:"site"`
+	LocalUser string `json:"localUser"`
+}
+
+// ResolveResponse returns the grid identity for a local account.
+type ResolveResponse struct {
+	GridID string `json:"gridId"`
+}
+
+// MappingRequest stores a mapping in the IRS lookup table.
+type MappingRequest struct {
+	GridID    string `json:"gridId"`
+	Site      string `json:"site"`
+	LocalUser string `json:"localUser"`
+}
+
+// MountRequest asks a PDS to mount a remote sub-policy.
+type MountRequest struct {
+	// ParentPath is where to mount, e.g. "" for the root.
+	ParentPath string `json:"parentPath"`
+	// Name is the mount-point name.
+	Name string `json:"name"`
+	// Share is the local share assigned to the mounted subtree.
+	Share float64 `json:"share"`
+	// Origin is the URL of the remote PDS serving the subtree.
+	Origin string `json:"origin"`
+}
+
+// ErrorResponse is the error envelope all services use.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON writes v as a JSON response with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes an ErrorResponse.
+func WriteError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	WriteJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// ReadJSON decodes a request body into v, limiting size to 8 MiB.
+func ReadJSON(r io.Reader, v interface{}) error {
+	dec := json.NewDecoder(io.LimitReader(r, 8<<20))
+	return dec.Decode(v)
+}
+
+// DecodeResponse decodes an HTTP response, translating error envelopes into
+// Go errors.
+func DecodeResponse(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if err := ReadJSON(resp.Body, &e); err == nil && e.Error != "" {
+			return fmt.Errorf("wire: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("wire: unexpected status %s", resp.Status)
+	}
+	if v == nil {
+		return nil
+	}
+	return ReadJSON(resp.Body, v)
+}
