@@ -1,6 +1,7 @@
 // Command aequusctl is the control client for a running aequusd: it queries
 // fairshare priorities, policies and usage, stores identity mappings,
-// triggers exchanges and switches the projection algorithm at run time.
+// triggers exchanges, switches the projection algorithm at run time, and
+// inspects a site's telemetry.
 //
 // Usage:
 //
@@ -11,13 +12,18 @@
 //	aequusctl -addr ... report <gridUser> <durationSeconds> [procs]
 //	aequusctl -addr ... exchange
 //	aequusctl -addr ... projection <dictionary|bitwise|percental>
+//	aequusctl -addr ... metrics [prefix]
+//	aequusctl -addr ... ready
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -49,9 +55,13 @@ func main() {
 	case "report":
 		err = cmdReport(c, args[1:])
 	case "exchange":
-		err = c.TriggerExchange()
+		err = c.TriggerExchange(context.Background())
 	case "projection":
 		err = cmdProjection(c, args[1:])
+	case "metrics":
+		err = cmdMetrics(c, args[1:])
+	case "ready":
+		err = cmdReady(c)
 	default:
 		usage()
 	}
@@ -61,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aequusctl [-addr URL] <fairshare|policy|resolve|map|report|exchange|projection> [args]")
+	fmt.Fprintln(os.Stderr, "usage: aequusctl [-addr URL] <fairshare|policy|resolve|map|report|exchange|projection|metrics|ready> [args]")
 	os.Exit(2)
 }
 
@@ -135,6 +145,84 @@ func cmdReport(c *httpapi.Client, args []string) error {
 	}
 	start := time.Now().Add(-time.Duration(dur * float64(time.Second)))
 	return c.ReportJobErr(args[0], start, time.Duration(dur*float64(time.Second)), procs)
+}
+
+// cmdMetrics fetches /metrics and pretty-prints it: one aligned
+// series/value row per sample, grouped under the family's HELP text. An
+// optional prefix argument filters by metric name.
+func cmdMetrics(c *httpapi.Client, args []string) error {
+	prefix := ""
+	if len(args) >= 1 {
+		prefix = args[0]
+	}
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if prefix != "" && !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			fmt.Fprintf(tw, "# %s\t— %s\n", name, help)
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			continue
+		}
+		series, value := line[:idx], line[idx+1:]
+		if prefix != "" && !strings.HasPrefix(series, prefix) {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", series, value)
+	}
+	return sc.Err()
+}
+
+// cmdReady fetches /readyz and prints the per-service readiness breakdown,
+// exiting non-zero when the site is not ready.
+func cmdReady(c *httpapi.Client) error {
+	r, err := c.Ready(context.Background())
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(r.Components))
+	for n := range r.Components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SERVICE\tREADY\tAGE\tREASON")
+	for _, n := range names {
+		comp := r.Components[n]
+		age := "-"
+		if !comp.ComputedAt.IsZero() {
+			age = fmt.Sprintf("%.1fs", comp.AgeSeconds)
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%s\t%s\n", n, comp.Ready, age, comp.Reason)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if !r.Ready {
+		return fmt.Errorf("site not ready")
+	}
+	fmt.Println("ready")
+	return nil
 }
 
 func cmdProjection(c *httpapi.Client, args []string) error {

@@ -1,26 +1,33 @@
 // Command aequusd runs one site's full Aequus service stack (PDS, USS, UMS,
 // FCS, IRS) over HTTP — the deployment unit installed alongside each
 // cluster's resource manager. Peers are other aequusd instances; usage is
-// exchanged periodically through the USS layer.
+// exchanged periodically through the USS layer. The server exposes
+// Prometheus metrics at /metrics, liveness at /healthz and per-service
+// readiness at /readyz, and logs structured records via log/slog.
 //
 // Example:
 //
 //	aequusd -site hpc2n -listen :7470 -policy policy.txt \
-//	        -peers http://other-site:7470 -half-life 168h
+//	        -peers http://other-site:7470 -half-life 168h -log-format json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fairshare"
 	"repro/internal/policy"
 	"repro/internal/services/httpapi"
+	"repro/internal/telemetry"
 	"repro/internal/usage"
 	"repro/internal/vector"
 )
@@ -41,25 +48,40 @@ func main() {
 		libTTL        = flag.Duration("cache-ttl", 30*time.Second, "libaequus cache TTL")
 		k             = flag.Float64("distance-weight", 0.5, "fairshare distance weight k")
 		resolution    = flag.Float64("resolution", 10000, "fairshare value resolution")
+		logFormat     = flag.String("log-format", "text", "log output format: text|json")
+		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		readyStale    = flag.Duration("ready-max-stale", 0, "max pre-computation age before /readyz reports 503 (default 3x refresh-interval)")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		slog.Error("aequusd: bad logging flags", "err", err)
+		os.Exit(1)
+	}
+	logger = logger.With(slog.String("site", *site))
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	pol := policy.NewTree()
 	if *policyFile != "" {
 		f, err := os.Open(*policyFile)
 		if err != nil {
-			log.Fatalf("aequusd: %v", err)
+			fatal("opening policy", err)
 		}
 		pol, err = policy.ReadText(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("aequusd: parsing policy: %v", err)
+			fatal("parsing policy", err)
 		}
 	}
 
 	proj, ok := vector.ByName(*projection)
 	if !ok {
-		log.Fatalf("aequusd: unknown projection %q", *projection)
+		fatal("unknown projection", errors.New(*projection))
 	}
 
 	s, err := core.NewSite(core.SiteConfig{
@@ -77,31 +99,62 @@ func main() {
 		PolicyFetcher: httpapi.PolicyFetcher(nil),
 	})
 	if err != nil {
-		log.Fatalf("aequusd: %v", err)
+		fatal("assembling site", err)
+	}
+	for _, name := range []string{"pds", "uss", "ums", "fcs", "irs"} {
+		logger.Info("service started", slog.String("service", name))
 	}
 
 	for _, peer := range splitList(*peers) {
 		s.ConnectPeer(httpapi.NewClient(peer, peer))
-		log.Printf("aequusd: peering with %s", peer)
+		logger.Info("peering", slog.String("peer", peer))
 	}
 
 	go periodic(*exchangeEvery, func() {
 		if err := s.Exchange(); err != nil {
-			log.Printf("aequusd: exchange: %v", err)
+			logger.Warn("exchange failed", "err", err)
 		}
 	})
 	go periodic(*refreshEvery, func() {
 		if err := s.Refresh(); err != nil {
-			log.Printf("aequusd: refresh: %v", err)
+			logger.Warn("refresh failed", "err", err)
 		}
 	})
 
-	srv := httpapi.NewServer(s.PDS, s.USS, s.UMS, s.FCS, s.IRS)
-	log.Printf("aequusd: site %s serving on %s (contribute=%v use-global=%v projection=%s)",
-		*site, *listen, *contribute, *useGlobal, proj.Name())
-	if err := http.ListenAndServe(*listen, srv); err != nil {
-		log.Fatalf("aequusd: %v", err)
+	maxStale := *readyStale
+	if maxStale == 0 {
+		maxStale = 3 * *refreshEvery
 	}
+	srv := httpapi.NewServerWith(s.PDS, s.USS, s.UMS, s.FCS, s.IRS, httpapi.ServerOptions{
+		Log:           logger,
+		ReadyMaxStale: maxStale,
+	})
+	logger.Info("serving",
+		slog.String("listen", *listen),
+		slog.Bool("contribute", *contribute),
+		slog.Bool("use_global", *useGlobal),
+		slog.String("projection", proj.Name()),
+		slog.Duration("ready_max_stale", maxStale))
+
+	hs := &http.Server{Addr: *listen, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Info("shutdown requested")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("shutdown", "err", err)
+		}
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal("serving", err)
+	}
+	for _, name := range []string{"irs", "fcs", "ums", "uss", "pds"} {
+		logger.Info("service stopped", slog.String("service", name))
+	}
+	logger.Info("shutdown complete")
 }
 
 func periodic(every time.Duration, fn func()) {

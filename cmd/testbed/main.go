@@ -12,11 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 	"repro/internal/vector"
@@ -25,6 +26,8 @@ import (
 
 func main() {
 	var (
+		logFormat = flag.String("log-format", "text", "log output format: text|json")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		sites     = flag.Int("sites", 6, "number of clusters")
 		cores     = flag.Int("cores", 40, "cores per cluster")
 		jobs      = flag.Int("jobs", 43200, "synthetic trace size (ignored with -trace)")
@@ -41,6 +44,17 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		slog.Error("testbed: bad logging flags", "err", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	start := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
 
 	var m workload.Model
@@ -50,19 +64,19 @@ func main() {
 	case "bursty":
 		m = workload.Bursty2012(*duration)
 	default:
-		log.Fatalf("testbed: unknown model %q", *model)
+		fatal("unknown model", "model", *model)
 	}
 
 	var tr *trace.Trace
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			log.Fatalf("testbed: %v", err)
+			fatal("opening trace", "err", err)
 		}
 		tr, err = trace.Read(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("testbed: reading trace: %v", err)
+			fatal("reading trace", "err", err)
 		}
 	} else {
 		var err error
@@ -71,7 +85,7 @@ func main() {
 			CalibrateUsage: true, MaxDuration: *duration / 4,
 		})
 		if err != nil {
-			log.Fatalf("testbed: %v", err)
+			fatal("generating workload", "err", err)
 		}
 		tr = workload.ScaleToLoad(tr, *sites**cores, *load, *duration)
 	}
@@ -85,12 +99,12 @@ func main() {
 	case "nonoptimal":
 		targets = workload.NonOptimalShares()
 	default:
-		log.Fatalf("testbed: unknown policy %q", *policyArg)
+		fatal("unknown policy", "policy", *policyArg)
 	}
 
 	projection, ok := vector.ByName(*proj)
 	if !ok {
-		log.Fatalf("testbed: unknown projection %q", *proj)
+		fatal("unknown projection", "projection", *proj)
 	}
 
 	cfg := testbed.Config{
@@ -112,7 +126,7 @@ func main() {
 
 	res, err := testbed.Run(cfg)
 	if err != nil {
-		log.Fatalf("testbed: %v", err)
+		fatal("run failed", "err", err)
 	}
 
 	users := res.UsageShares.Users()

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/services/ums"
 	"repro/internal/services/uss"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/usage"
 	"repro/internal/vector"
 )
@@ -51,6 +53,10 @@ type SiteConfig struct {
 	// ResolveEndpoint is the custom identity-resolution endpoint (optional;
 	// without it, only explicitly stored mappings resolve).
 	ResolveEndpoint irs.Endpoint
+	// Metrics receives every service's instruments (default registry if
+	// nil). Give each site its own registry to keep multi-site processes
+	// (tests, the testbed) separable.
+	Metrics *telemetry.Registry
 }
 
 // Site is a complete Aequus installation.
@@ -87,6 +93,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		BinWidth:   cfg.BinWidth,
 		Contribute: cfg.Contribute,
 		Clock:      cfg.Clock,
+		Metrics:    cfg.Metrics,
 	})
 
 	source := ums.SourceFunc(func(now time.Time, d usage.Decay) (map[string]float64, error) {
@@ -99,6 +106,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		Decay:    cfg.Decay,
 		CacheTTL: cfg.UMSCacheTTL,
 		Clock:    cfg.Clock,
+		Metrics:  cfg.Metrics,
 	}, source)
 
 	f := fcs.New(fcs.Config{
@@ -106,6 +114,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		Projection: cfg.Projection,
 		CacheTTL:   cfg.FCSCacheTTL,
 		Clock:      cfg.Clock,
+		Metrics:    cfg.Metrics,
 	}, p, m)
 
 	i := irs.New()
@@ -117,6 +126,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		Site:     cfg.Name,
 		CacheTTL: cfg.LibCacheTTL,
 		Clock:    cfg.Clock,
+		Metrics:  cfg.Metrics,
 	}, f, irsAdapter{i}, ussAdapter{u})
 
 	return &Site{Name: cfg.Name, PDS: p, USS: u, UMS: m, FCS: f, IRS: i, Lib: lib}, nil
@@ -139,7 +149,7 @@ func (s *Site) ConnectPeer(p uss.Peer) { s.USS.AddPeer(p) }
 
 // Exchange pulls usage from all connected peers.
 func (s *Site) Exchange() error {
-	_, err := s.USS.Exchange()
+	_, err := s.USS.Exchange(context.Background())
 	return err
 }
 

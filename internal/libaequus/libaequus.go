@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -41,6 +42,8 @@ type Config struct {
 	CacheTTL time.Duration
 	// Clock provides time (default wall clock).
 	Clock simclock.Clock
+	// Metrics receives the cache instruments (default registry if nil).
+	Metrics *telemetry.Registry
 }
 
 // Client is a libaequus instance. It is safe for concurrent use by a
@@ -55,6 +58,11 @@ type Client struct {
 	fairshare map[string]cachedValue // grid user -> value
 	ids       map[string]cachedID    // local user -> grid id
 	stats     Stats
+
+	mHits     *telemetry.CounterVec
+	mMisses   *telemetry.CounterVec
+	mExpiries *telemetry.CounterVec
+	mReports  *telemetry.Counter
 }
 
 type cachedValue struct {
@@ -67,11 +75,13 @@ type cachedID struct {
 	at   time.Time
 }
 
-// Stats counts cache behaviour, useful for the cache-TTL ablation.
+// Stats counts cache behaviour, useful for the cache-TTL ablation. An
+// expiry is a miss whose entry existed but had outlived the TTL (every
+// expiry is also counted as a miss).
 type Stats struct {
-	FairshareHits, FairshareMisses int
-	IdentityHits, IdentityMisses   int
-	UsageReports                   int
+	FairshareHits, FairshareMisses, FairshareExpiries int
+	IdentityHits, IdentityMisses, IdentityExpiries    int
+	UsageReports                                      int
 }
 
 // New creates a client. Any source may be nil if unused (e.g. a pure
@@ -80,6 +90,7 @@ func New(cfg Config, fcs FairshareSource, irs IdentitySource, uss UsageSink) *Cl
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
 	}
+	reg := telemetry.OrDefault(cfg.Metrics)
 	return &Client{
 		cfg:       cfg,
 		fcs:       fcs,
@@ -87,6 +98,14 @@ func New(cfg Config, fcs FairshareSource, irs IdentitySource, uss UsageSink) *Cl
 		uss:       uss,
 		fairshare: map[string]cachedValue{},
 		ids:       map[string]cachedID{},
+		mHits: reg.CounterVec("aequus_lib_cache_hits_total",
+			"libaequus cache hits, by cache (fairshare or identity).", "cache"),
+		mMisses: reg.CounterVec("aequus_lib_cache_misses_total",
+			"libaequus cache misses, by cache (fairshare or identity).", "cache"),
+		mExpiries: reg.CounterVec("aequus_lib_cache_expiries_total",
+			"libaequus cache misses caused by TTL expiry, by cache.", "cache"),
+		mReports: reg.Counter("aequus_lib_usage_reports_total",
+			"Job-completion reports forwarded to the USS by libaequus."),
 	}
 }
 
@@ -95,13 +114,20 @@ func New(cfg Config, fcs FairshareSource, irs IdentitySource, uss UsageSink) *Cl
 func (c *Client) ResolveGridID(localUser string) (string, error) {
 	now := c.cfg.Clock.Now()
 	c.mu.Lock()
-	if e, ok := c.ids[localUser]; ok && now.Sub(e.at) < c.cfg.CacheTTL {
+	e, ok := c.ids[localUser]
+	if ok && now.Sub(e.at) < c.cfg.CacheTTL {
 		c.stats.IdentityHits++
 		c.mu.Unlock()
+		c.mHits.With("identity").Inc()
 		return e.grid, nil
+	}
+	if ok {
+		c.stats.IdentityExpiries++
+		c.mExpiries.With("identity").Inc()
 	}
 	c.stats.IdentityMisses++
 	c.mu.Unlock()
+	c.mMisses.With("identity").Inc()
 
 	grid, err := c.irs.Resolve(c.cfg.Site, localUser)
 	if err != nil {
@@ -117,13 +143,20 @@ func (c *Client) ResolveGridID(localUser string) (string, error) {
 func (c *Client) Fairshare(gridUser string) (wire.FairshareResponse, error) {
 	now := c.cfg.Clock.Now()
 	c.mu.Lock()
-	if e, ok := c.fairshare[gridUser]; ok && now.Sub(e.at) < c.cfg.CacheTTL {
+	e, ok := c.fairshare[gridUser]
+	if ok && now.Sub(e.at) < c.cfg.CacheTTL {
 		c.stats.FairshareHits++
 		c.mu.Unlock()
+		c.mHits.With("fairshare").Inc()
 		return e.resp, nil
+	}
+	if ok {
+		c.stats.FairshareExpiries++
+		c.mExpiries.With("fairshare").Inc()
 	}
 	c.stats.FairshareMisses++
 	c.mu.Unlock()
+	c.mMisses.With("fairshare").Inc()
 
 	resp, err := c.fcs.Priority(gridUser)
 	if err != nil {
@@ -164,6 +197,7 @@ func (c *Client) JobComplete(localUser string, start time.Time, dur time.Duratio
 	c.mu.Lock()
 	c.stats.UsageReports++
 	c.mu.Unlock()
+	c.mReports.Inc()
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fairshare"
 	"repro/internal/policy"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/vector"
 	"repro/internal/wire"
 )
@@ -38,6 +39,8 @@ type Config struct {
 	CacheTTL time.Duration
 	// Clock provides time (default wall clock).
 	Clock simclock.Clock
+	// Metrics receives the service's instruments (default registry if nil).
+	Metrics *telemetry.Registry
 }
 
 // Service is a Fairshare Calculation Service instance.
@@ -50,6 +53,11 @@ type Service struct {
 	tree       *fairshare.Tree
 	priorities map[string]float64
 	computedAt time.Time
+
+	mRecalcs   *telemetry.Counter
+	mRecalcDur *telemetry.Histogram
+	mTreeNodes *telemetry.Gauge
+	mTreeUsers *telemetry.Gauge
 }
 
 // ErrUnknownUser is returned for users absent from the policy.
@@ -66,7 +74,19 @@ func New(cfg Config, pds PolicySource, ums UsageSource) *Service {
 	if cfg.Fairshare.Resolution <= 0 {
 		cfg.Fairshare = fairshare.DefaultConfig()
 	}
-	return &Service{cfg: cfg, pds: pds, ums: ums}
+	reg := telemetry.OrDefault(cfg.Metrics)
+	return &Service{
+		cfg: cfg, pds: pds, ums: ums,
+		mRecalcs: reg.Counter("aequus_fcs_recalcs_total",
+			"Fairshare tree pre-calculations performed."),
+		mRecalcDur: reg.Histogram("aequus_fcs_recalc_duration_seconds",
+			"Wall-clock duration of one fairshare tree pre-calculation.",
+			telemetry.DefBuckets()),
+		mTreeNodes: reg.Gauge("aequus_fcs_tree_nodes",
+			"Nodes in the last pre-calculated fairshare tree."),
+		mTreeUsers: reg.Gauge("aequus_fcs_tree_users",
+			"Leaf users with a pre-calculated priority."),
+	}
 }
 
 // SetProjection switches the projection algorithm at run time (the paper:
@@ -89,6 +109,9 @@ func (s *Service) Refresh() error {
 }
 
 func (s *Service) refreshLocked() error {
+	// Durations are measured in wall time, not the (possibly simulated)
+	// service clock: the metric reports real compute cost.
+	started := time.Now()
 	totals, _, err := s.ums.UsageTotals()
 	if err != nil {
 		return err
@@ -98,7 +121,33 @@ func (s *Service) refreshLocked() error {
 	s.tree = tree
 	s.priorities = tree.Priorities(s.cfg.Projection)
 	s.computedAt = s.cfg.Clock.Now()
+	s.mRecalcs.Inc()
+	s.mRecalcDur.Observe(time.Since(started).Seconds())
+	s.mTreeNodes.Set(float64(countNodes(tree.Root)))
+	s.mTreeUsers.Set(float64(len(s.priorities)))
 	return nil
+}
+
+func countNodes(n *fairshare.Node) int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// ComputedAt reports when the current tree was pre-calculated (zero if no
+// calculation has happened yet) — the staleness input of /readyz.
+func (s *Service) ComputedAt() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tree == nil {
+		return time.Time{}
+	}
+	return s.computedAt
 }
 
 func (s *Service) ensureFresh() error {

@@ -2,8 +2,10 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strings"
@@ -11,6 +13,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/services/pds"
+	"repro/internal/telemetry"
 	"repro/internal/usage"
 	"repro/internal/wire"
 )
@@ -37,26 +40,59 @@ func NewClient(baseURL, siteName string) *Client {
 	}
 }
 
-func (c *Client) get(path string, out interface{}) error {
-	resp, err := c.HTTP.Get(c.BaseURL + path)
+// do issues one request. Request IDs propagate: an ID carried by ctx (e.g.
+// from an instrumented handler that triggered this call) is forwarded in
+// X-Aequus-Request-ID; without one a fresh ID is generated, so every
+// outgoing call is traceable. The response body is always drained and
+// closed (via wire.DecodeResponse), keeping keep-alive connections
+// reusable, and non-2xx statuses become errors.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(in); err != nil {
+			return err
+		}
+		body = &buf
+	}
+	req, err := c.newRequest(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
 	return wire.DecodeResponse(resp, out)
 }
 
-func (c *Client) post(path string, in, out interface{}) error {
-	var body bytes.Buffer
-	if in != nil {
-		if err := json.NewEncoder(&body).Encode(in); err != nil {
-			return err
-		}
+// newRequest builds a request with the propagated (or freshly generated)
+// request ID attached.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", &body)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return wire.DecodeResponse(resp, out)
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	id := telemetry.RequestID(ctx)
+	if id == "" {
+		id = telemetry.NewRequestID()
+	}
+	req.Header.Set(telemetry.RequestIDHeader, id)
+	return req, nil
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	return c.do(ctx, http.MethodPost, path, in, out)
 }
 
 // --- libaequus sources ---
@@ -64,27 +100,28 @@ func (c *Client) post(path string, in, out interface{}) error {
 // Priority implements libaequus.FairshareSource against the remote FCS.
 func (c *Client) Priority(gridUser string) (wire.FairshareResponse, error) {
 	var out wire.FairshareResponse
-	err := c.get("/fairshare?user="+url.QueryEscape(gridUser), &out)
+	err := c.get(context.Background(), "/fairshare?user="+url.QueryEscape(gridUser), &out)
 	return out, err
 }
 
 // Table fetches the full pre-calculated fairshare table.
 func (c *Client) Table() (wire.FairshareTableResponse, error) {
 	var out wire.FairshareTableResponse
-	err := c.get("/fairshare", &out)
+	err := c.get(context.Background(), "/fairshare", &out)
 	return out, err
 }
 
 // Resolve implements libaequus.IdentitySource against the remote IRS.
 func (c *Client) Resolve(site, localUser string) (string, error) {
 	var out wire.ResolveResponse
-	err := c.post("/identity/resolve", wire.ResolveRequest{Site: site, LocalUser: localUser}, &out)
+	err := c.post(context.Background(), "/identity/resolve",
+		wire.ResolveRequest{Site: site, LocalUser: localUser}, &out)
 	return out.GridID, err
 }
 
 // StoreMapping records an identity mapping in the remote IRS.
 func (c *Client) StoreMapping(gridID, site, localUser string) error {
-	return c.post("/identity/mapping",
+	return c.post(context.Background(), "/identity/mapping",
 		wire.MappingRequest{GridID: gridID, Site: site, LocalUser: localUser}, nil)
 }
 
@@ -97,7 +134,7 @@ func (c *Client) ReportJob(gridUser string, start time.Time, dur time.Duration, 
 
 // ReportJobErr reports usage and returns any transport error.
 func (c *Client) ReportJobErr(gridUser string, start time.Time, dur time.Duration, procs int) error {
-	return c.post("/usage", wire.UsageReport{
+	return c.post(context.Background(), "/usage", wire.UsageReport{
 		User:            gridUser,
 		Start:           start,
 		DurationSeconds: dur.Seconds(),
@@ -110,38 +147,90 @@ func (c *Client) ReportJobErr(gridUser string, start time.Time, dur time.Duratio
 // Site implements uss.Peer.
 func (c *Client) Site() string { return c.SiteName }
 
-// RecordsSince implements uss.Peer against the remote USS.
-func (c *Client) RecordsSince(t time.Time) ([]usage.Record, error) {
+// RecordsSince implements uss.Peer against the remote USS. A request ID
+// carried by ctx — typically placed there by the instrumented
+// /usage/exchange handler that triggered this pull — is forwarded to the
+// peer site, making one exchange traceable across the federation.
+func (c *Client) RecordsSince(ctx context.Context, t time.Time) ([]usage.Record, error) {
 	path := "/usage/records"
 	if !t.IsZero() {
 		path += "?since=" + url.QueryEscape(t.Format(time.RFC3339))
 	}
 	var out wire.RecordsResponse
-	if err := c.get(path, &out); err != nil {
+	if err := c.get(ctx, path, &out); err != nil {
 		return nil, err
 	}
 	return out.Records, nil
 }
 
-// TriggerExchange asks the remote USS to pull from its peers now.
-func (c *Client) TriggerExchange() error {
-	return c.post("/usage/exchange", nil, nil)
+// TriggerExchange asks the remote USS to pull from its peers now,
+// forwarding ctx's request ID.
+func (c *Client) TriggerExchange(ctx context.Context) error {
+	return c.post(ctx, "/usage/exchange", nil, nil)
+}
+
+// MetricsText fetches the site's /metrics snapshot in Prometheus text
+// exposition format.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer wire.DrainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("httpapi: metrics fetch: %s", resp.Status)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, 16<<20)); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// Ready fetches the site's /readyz readiness report. A 503 from a stale
+// pre-computation is not an error: the decoded report carries the verdict.
+func (c *Client) Ready(ctx context.Context) (wire.ReadyResponse, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/readyz", nil)
+	if err != nil {
+		return wire.ReadyResponse{}, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return wire.ReadyResponse{}, err
+	}
+	defer wire.DrainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return wire.ReadyResponse{}, fmt.Errorf("httpapi: readyz: %s", resp.Status)
+	}
+	var out wire.ReadyResponse
+	if err := wire.ReadJSON(resp.Body, &out); err != nil {
+		return wire.ReadyResponse{}, err
+	}
+	return out, nil
 }
 
 // --- PDS ---
 
 // Policy fetches the remote site's full policy tree.
 func (c *Client) Policy() (*policy.Tree, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/policy")
+	req, err := c.newRequest(context.Background(), http.MethodGet, "/policy", nil)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer wire.DrainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("httpapi: policy fetch: %s", resp.Status)
 	}
 	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(resp.Body); err != nil {
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, 16<<20)); err != nil {
 		return nil, err
 	}
 	return policy.FromJSON(buf.Bytes())
@@ -153,7 +242,11 @@ func (c *Client) SetPolicy(t *policy.Tree) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/policy", "application/json", bytes.NewReader(data))
+	req, err := c.newRequest(context.Background(), http.MethodPost, "/policy", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -163,7 +256,7 @@ func (c *Client) SetPolicy(t *policy.Tree) error {
 // Subtree fetches a policy subtree by path.
 func (c *Client) Subtree(path string) (*policy.Node, error) {
 	var out policy.Node
-	if err := c.get("/policy/subtree?path="+url.QueryEscape(path), &out); err != nil {
+	if err := c.get(context.Background(), "/policy/subtree?path="+url.QueryEscape(path), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -171,7 +264,7 @@ func (c *Client) Subtree(path string) (*policy.Node, error) {
 
 // Mount asks the remote PDS to mount a subtree from origin.
 func (c *Client) Mount(parentPath, name string, share float64, origin string) error {
-	return c.post("/policy/mount", wire.MountRequest{
+	return c.post(context.Background(), "/policy/mount", wire.MountRequest{
 		ParentPath: parentPath, Name: name, Share: share, Origin: origin,
 	}, nil)
 }

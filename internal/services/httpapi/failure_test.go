@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -35,13 +36,13 @@ func TestClientAgainstDeadServer(t *testing.T) {
 	if err := c.ReportJobErr("u", time.Now(), time.Minute, 1); err == nil {
 		t.Error("ReportJobErr against dead server succeeded")
 	}
-	if _, err := c.RecordsSince(time.Time{}); err == nil {
+	if _, err := c.RecordsSince(context.Background(), time.Time{}); err == nil {
 		t.Error("RecordsSince against dead server succeeded")
 	}
 	if _, err := c.Policy(); err == nil {
 		t.Error("Policy against dead server succeeded")
 	}
-	if err := c.TriggerExchange(); err == nil {
+	if err := c.TriggerExchange(context.Background()); err == nil {
 		t.Error("TriggerExchange against dead server succeeded")
 	}
 	// Fire-and-forget ReportJob must not panic.
@@ -97,7 +98,7 @@ func TestExchangeSurvivesDeadPeer(t *testing.T) {
 	dead := NewClient(deadURL(t), "dead")
 	dead.HTTP = &http.Client{Timeout: 500 * time.Millisecond}
 	s.uss.AddPeer(dead)
-	if _, err := s.uss.Exchange(); err == nil {
+	if _, err := s.uss.Exchange(context.Background()); err == nil {
 		t.Error("exchange with dead peer should report an error")
 	}
 	// The site keeps operating.

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -83,7 +84,7 @@ func TestFullStackOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	clock.Advance(2 * time.Hour)
-	if err := ca.TriggerExchange(); err != nil {
+	if err := ca.TriggerExchange(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -250,14 +251,14 @@ func TestProjectionSwitchEndpoint(t *testing.T) {
 	s := newSite(t, "s", clock, map[string]float64{"a": 0.5, "b": 0.5})
 	c := NewClient(s.server.URL, "s")
 
-	if err := c.post("/fairshare/projection", map[string]string{"name": "dictionary"}, nil); err != nil {
+	if err := c.post(context.Background(), "/fairshare/projection", map[string]string{"name": "dictionary"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	tab, _ := c.Table()
 	if tab.Projection != "dictionary" {
 		t.Errorf("projection = %q", tab.Projection)
 	}
-	if err := c.post("/fairshare/projection", map[string]string{"name": "bogus"}, nil); err == nil {
+	if err := c.post(context.Background(), "/fairshare/projection", map[string]string{"name": "bogus"}, nil); err == nil {
 		t.Error("unknown projection accepted")
 	}
 }

@@ -7,6 +7,7 @@ package httpapi
 
 import (
 	"errors"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -17,11 +18,37 @@ import (
 	"repro/internal/services/pds"
 	"repro/internal/services/ums"
 	"repro/internal/services/uss"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/vector"
 	"repro/internal/wire"
 )
 
-// Server serves a site's Aequus services over HTTP.
+// DefaultReadyMaxStale is the /readyz staleness threshold used when
+// ServerOptions leaves ReadyMaxStale zero.
+const DefaultReadyMaxStale = 5 * time.Minute
+
+// ServerOptions tunes a Server's observability wiring.
+type ServerOptions struct {
+	// Registry receives the HTTP instruments and is served at /metrics
+	// (default: telemetry.Default()).
+	Registry *telemetry.Registry
+	// Log receives per-request debug records and service lifecycle events
+	// (default: slog.Default()).
+	Log *slog.Logger
+	// ReadyMaxStale is how old the FCS/UMS pre-computation may be before
+	// /readyz reports 503 (default DefaultReadyMaxStale; negative disables
+	// the staleness check).
+	ReadyMaxStale time.Duration
+	// Clock measures pre-computation age for /readyz; it must be the same
+	// clock the services run on (default wall clock).
+	Clock simclock.Clock
+}
+
+// Server serves a site's Aequus services over HTTP. Every route is
+// instrumented with request/error counters, an in-flight gauge and a
+// latency histogram labeled by route, exposed at /metrics; request IDs are
+// propagated per telemetry.RequestIDHeader.
 type Server struct {
 	PDS *pds.Service
 	USS *uss.Service
@@ -29,41 +56,75 @@ type Server struct {
 	FCS *fcs.Service
 	IRS *irs.Service
 
-	mux *http.ServeMux
+	registry      *telemetry.Registry
+	log           *slog.Logger
+	readyMaxStale time.Duration
+	clock         simclock.Clock
+	mux           *http.ServeMux
 }
 
-// NewServer wires the handlers. Any nil service leaves its endpoints
-// unregistered.
+// NewServer wires the handlers with default observability options. Any nil
+// service leaves its endpoints unregistered.
 func NewServer(p *pds.Service, u *uss.Service, m *ums.Service, f *fcs.Service, i *irs.Service) *Server {
-	s := &Server{PDS: p, USS: u, UMS: m, FCS: f, IRS: i, mux: http.NewServeMux()}
+	return NewServerWith(p, u, m, f, i, ServerOptions{})
+}
+
+// NewServerWith wires the handlers with explicit observability options.
+func NewServerWith(p *pds.Service, u *uss.Service, m *ums.Service, f *fcs.Service, i *irs.Service, o ServerOptions) *Server {
+	if o.Log == nil {
+		o.Log = slog.Default()
+	}
+	if o.ReadyMaxStale == 0 {
+		o.ReadyMaxStale = DefaultReadyMaxStale
+	}
+	if o.Clock == nil {
+		o.Clock = simclock.Real{}
+	}
+	s := &Server{
+		PDS: p, USS: u, UMS: m, FCS: f, IRS: i,
+		registry:      telemetry.OrDefault(o.Registry),
+		log:           o.Log,
+		readyMaxStale: o.ReadyMaxStale,
+		clock:         o.Clock,
+		mux:           http.NewServeMux(),
+	}
+	httpm := telemetry.NewHTTPMetrics(s.registry, s.log)
+	handle := func(route string, h http.HandlerFunc) {
+		s.mux.Handle(route, httpm.Instrument(route, h))
+	}
 	if p != nil {
-		s.mux.HandleFunc("/policy", s.handlePolicy)
-		s.mux.HandleFunc("/policy/subtree", s.handlePolicySubtree)
-		s.mux.HandleFunc("/policy/mount", s.handlePolicyMount)
-		s.mux.HandleFunc("/policy/refresh", s.handlePolicyRefresh)
+		handle("/policy", s.handlePolicy)
+		handle("/policy/subtree", s.handlePolicySubtree)
+		handle("/policy/mount", s.handlePolicyMount)
+		handle("/policy/refresh", s.handlePolicyRefresh)
 	}
 	if u != nil {
-		s.mux.HandleFunc("/usage", s.handleUsageReport)
-		s.mux.HandleFunc("/usage/records", s.handleUsageRecords)
-		s.mux.HandleFunc("/usage/exchange", s.handleUsageExchange)
+		handle("/usage", s.handleUsageReport)
+		handle("/usage/records", s.handleUsageRecords)
+		handle("/usage/exchange", s.handleUsageExchange)
 	}
 	if m != nil {
-		s.mux.HandleFunc("/usage/tree", s.handleUsageTree)
+		handle("/usage/tree", s.handleUsageTree)
 	}
 	if f != nil {
-		s.mux.HandleFunc("/fairshare", s.handleFairshare)
-		s.mux.HandleFunc("/fairshare/refresh", s.handleFairshareRefresh)
-		s.mux.HandleFunc("/fairshare/projection", s.handleProjection)
+		handle("/fairshare", s.handleFairshare)
+		handle("/fairshare/refresh", s.handleFairshareRefresh)
+		handle("/fairshare/projection", s.handleProjection)
 	}
 	if i != nil {
-		s.mux.HandleFunc("/identity/mapping", s.handleMapping)
-		s.mux.HandleFunc("/identity/resolve", s.handleResolve)
+		handle("/identity/mapping", s.handleMapping)
+		handle("/identity/resolve", s.handleResolve)
 	}
+	s.mux.Handle("/metrics", s.registry.Handler())
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	handle("/readyz", s.handleReadyz)
 	return s
 }
+
+// Registry returns the registry served at /metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.registry }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -186,7 +247,7 @@ func (s *Server) handleUsageRecords(w http.ResponseWriter, r *http.Request) {
 		}
 		since = t
 	}
-	recs, err := s.USS.RecordsSince(since)
+	recs, err := s.USS.RecordsSince(r.Context(), since)
 	if err != nil {
 		wire.WriteError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -199,7 +260,9 @@ func (s *Server) handleUsageExchange(w http.ResponseWriter, r *http.Request) {
 		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
 		return
 	}
-	n, err := s.USS.Exchange()
+	// The request context carries the request ID, so the triggered peer
+	// pulls propagate it across the site hop.
+	n, err := s.USS.Exchange(r.Context())
 	if err != nil {
 		wire.WriteError(w, http.StatusBadGateway, "exchange: %v (after %d records)", err, n)
 		return
@@ -278,6 +341,61 @@ func (s *Server) handleProjection(w http.ResponseWriter, r *http.Request) {
 	}
 	s.FCS.SetProjection(p)
 	wire.WriteJSON(w, http.StatusOK, map[string]string{"projection": p.Name()})
+}
+
+// handleReadyz reports per-service readiness. The stateless services are
+// ready by existing; FCS and UMS are ready once their pre-computation is
+// fresh enough (ComputedAt within ReadyMaxStale). Any stale or never-run
+// pre-computation turns the whole endpoint 503, which is what a load
+// balancer or orchestrator should act on.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	resp := wire.ReadyResponse{Ready: true, Components: map[string]wire.ReadyComponent{}}
+	if s.PDS != nil {
+		resp.Components["pds"] = wire.ReadyComponent{Ready: true}
+	}
+	if s.USS != nil {
+		resp.Components["uss"] = wire.ReadyComponent{Ready: true}
+	}
+	if s.IRS != nil {
+		resp.Components["irs"] = wire.ReadyComponent{Ready: true}
+	}
+	now := s.clock.Now()
+	if s.UMS != nil {
+		resp.Components["ums"] = s.precomputeStatus(now, s.UMS.ComputedAt())
+	}
+	if s.FCS != nil {
+		resp.Components["fcs"] = s.precomputeStatus(now, s.FCS.ComputedAt())
+	}
+	for _, c := range resp.Components {
+		if !c.Ready {
+			resp.Ready = false
+		}
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	wire.WriteJSON(w, code, resp)
+}
+
+func (s *Server) precomputeStatus(now, computedAt time.Time) wire.ReadyComponent {
+	c := wire.ReadyComponent{ComputedAt: computedAt}
+	switch {
+	case computedAt.IsZero():
+		c.Reason = "no pre-computation yet"
+	default:
+		c.AgeSeconds = now.Sub(computedAt).Seconds()
+		if s.readyMaxStale > 0 && now.Sub(computedAt) > s.readyMaxStale {
+			c.Reason = "pre-computation stale"
+		} else {
+			c.Ready = true
+		}
+	}
+	return c
 }
 
 func (s *Server) handleMapping(w http.ResponseWriter, r *http.Request) {

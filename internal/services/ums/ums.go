@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/usage"
 )
 
@@ -37,6 +38,8 @@ type Config struct {
 	CacheTTL time.Duration
 	// Clock provides time (default wall clock).
 	Clock simclock.Clock
+	// Metrics receives the service's instruments (default registry if nil).
+	Metrics *telemetry.Registry
 }
 
 // Service is a Usage Monitoring Service instance.
@@ -48,6 +51,10 @@ type Service struct {
 	cached   map[string]float64
 	cachedAt time.Time
 	valid    bool
+
+	mRecomputes   *telemetry.Counter
+	mRecomputeDur *telemetry.Histogram
+	mUsers        *telemetry.Gauge
 }
 
 // New creates a UMS reading from the given sources.
@@ -58,7 +65,17 @@ func New(cfg Config, sources ...Source) *Service {
 	if cfg.Decay == nil {
 		cfg.Decay = usage.None{}
 	}
-	return &Service{cfg: cfg, sources: sources}
+	reg := telemetry.OrDefault(cfg.Metrics)
+	return &Service{
+		cfg: cfg, sources: sources,
+		mRecomputes: reg.Counter("aequus_ums_recomputes_total",
+			"Decayed usage-tree recomputations performed."),
+		mRecomputeDur: reg.Histogram("aequus_ums_recompute_duration_seconds",
+			"Wall-clock duration of one decay recomputation over all sources.",
+			telemetry.DefBuckets()),
+		mUsers: reg.Gauge("aequus_ums_users",
+			"Users in the last pre-computed usage tree."),
+	}
 }
 
 // AddSource registers an additional USS source.
@@ -77,6 +94,7 @@ func (s *Service) UsageTotals() (map[string]float64, time.Time, error) {
 	if s.valid && now.Sub(s.cachedAt) < s.cfg.CacheTTL {
 		return copyTotals(s.cached), s.cachedAt, nil
 	}
+	started := time.Now() // wall time: the metric reports real compute cost
 	combined := map[string]float64{}
 	for _, src := range s.sources {
 		totals, err := src.Totals(now, s.cfg.Decay)
@@ -90,7 +108,21 @@ func (s *Service) UsageTotals() (map[string]float64, time.Time, error) {
 	s.cached = combined
 	s.cachedAt = now
 	s.valid = true
+	s.mRecomputes.Inc()
+	s.mRecomputeDur.Observe(time.Since(started).Seconds())
+	s.mUsers.Set(float64(len(combined)))
 	return copyTotals(combined), now, nil
+}
+
+// ComputedAt reports when the cached usage tree was computed (zero if the
+// cache is invalid) — the staleness input of /readyz.
+func (s *Service) ComputedAt() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid {
+		return time.Time{}
+	}
+	return s.cachedAt
 }
 
 // Invalidate drops the cache so the next read recomputes.

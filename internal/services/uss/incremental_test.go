@@ -1,6 +1,7 @@
 package uss
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -16,8 +17,8 @@ type countingPeer struct {
 }
 
 func (c *countingPeer) Site() string { return c.inner.Site() }
-func (c *countingPeer) RecordsSince(t time.Time) ([]usage.Record, error) {
-	recs, err := c.inner.RecordsSince(t)
+func (c *countingPeer) RecordsSince(ctx context.Context, t time.Time) ([]usage.Record, error) {
+	recs, err := c.inner.RecordsSince(ctx, t)
 	c.fetched = append(c.fetched, len(recs))
 	return recs, err
 }
@@ -32,7 +33,7 @@ func TestExchangeIsIncremental(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		a.ReportJob("alice", t0.Add(time.Duration(i)*time.Hour), time.Minute, 1)
 	}
-	if _, err := b.Exchange(); err != nil {
+	if _, err := b.Exchange(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	first := peer.fetched[0]
@@ -42,7 +43,7 @@ func TestExchangeIsIncremental(t *testing.T) {
 
 	// No new usage: the next exchange must fetch at most the open interval,
 	// not the full history.
-	if _, err := b.Exchange(); err != nil {
+	if _, err := b.Exchange(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	second := peer.fetched[1]
@@ -52,7 +53,7 @@ func TestExchangeIsIncremental(t *testing.T) {
 
 	// New usage in a fresh bin: only the delta transfers.
 	a.ReportJob("alice", t0.Add(100*time.Hour), time.Minute, 1)
-	if _, err := b.Exchange(); err != nil {
+	if _, err := b.Exchange(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	third := peer.fetched[2]
@@ -77,9 +78,9 @@ func TestExchangeOpenBinGrowsWithoutDoubleCount(t *testing.T) {
 	// between: the second exchange must replace, not add.
 	at := t0.Add(30 * time.Minute)
 	a.ReportJob("alice", at, 10*time.Minute, 1)
-	b.Exchange()
+	b.Exchange(context.Background())
 	a.ReportJob("alice", at.Add(time.Minute), 10*time.Minute, 1)
-	b.Exchange()
+	b.Exchange(context.Background())
 
 	got := b.GlobalTotals(t0.Add(2*time.Hour), usage.None{})["alice"]
 	if math.Abs(got-1200) > 1e-9 {

@@ -7,11 +7,13 @@
 package uss
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/usage"
 )
 
@@ -20,8 +22,10 @@ import (
 type Peer interface {
 	// Site identifies the remote site.
 	Site() string
-	// RecordsSince returns the remote site's local records from t on.
-	RecordsSince(t time.Time) ([]usage.Record, error)
+	// RecordsSince returns the remote site's local records from t on. The
+	// context carries the request ID of the exchange that triggered the
+	// pull, so one exchange is traceable across site hops.
+	RecordsSince(ctx context.Context, t time.Time) ([]usage.Record, error)
 }
 
 // Config configures a USS instance.
@@ -35,6 +39,8 @@ type Config struct {
 	Contribute bool
 	// Clock provides time (default wall clock).
 	Clock simclock.Clock
+	// Metrics receives the service's instruments (default registry if nil).
+	Metrics *telemetry.Registry
 }
 
 // Service is a Usage Statistics Service instance.
@@ -50,6 +56,12 @@ type Service struct {
 	remote    map[string]*usage.Histogram
 	watermark map[string]time.Time
 	peers     []Peer
+
+	mReports        *telemetry.Counter
+	mExchanges      *telemetry.Counter
+	mExchangeBatch  *telemetry.Histogram
+	mExchangeRecs   *telemetry.CounterVec
+	mExchangeErrors *telemetry.CounterVec
 }
 
 // New creates a USS.
@@ -60,11 +72,23 @@ func New(cfg Config) *Service {
 	if cfg.BinWidth <= 0 {
 		cfg.BinWidth = time.Hour
 	}
+	reg := telemetry.OrDefault(cfg.Metrics)
 	return &Service{
 		cfg:       cfg,
 		local:     usage.NewHistogram(cfg.BinWidth),
 		remote:    map[string]*usage.Histogram{},
 		watermark: map[string]time.Time{},
+		mReports: reg.Counter("aequus_uss_usage_reports_total",
+			"Job-completion usage reports ingested by the local USS."),
+		mExchanges: reg.Counter("aequus_uss_exchanges_total",
+			"Inter-site usage exchange rounds performed."),
+		mExchangeBatch: reg.Histogram("aequus_uss_exchange_batch_records",
+			"Records pulled from one peer in one exchange round.",
+			telemetry.CountBuckets()),
+		mExchangeRecs: reg.CounterVec("aequus_uss_exchange_records_total",
+			"Compact usage records ingested from peers, by peer site.", "peer"),
+		mExchangeErrors: reg.CounterVec("aequus_uss_exchange_errors_total",
+			"Failed peer pulls during usage exchange, by peer site.", "peer"),
 	}
 }
 
@@ -89,12 +113,13 @@ func (s *Service) ReportJob(user string, start time.Time, dur time.Duration, pro
 	if procs < 1 {
 		procs = 1
 	}
+	s.mReports.Inc()
 	s.local.Add(user, start.Add(dur), dur.Seconds()*float64(procs))
 }
 
 // RecordsSince serves this site's local records from t on — the compact
 // inter-site exchange format. A non-contributing site serves nothing.
-func (s *Service) RecordsSince(t time.Time) ([]usage.Record, error) {
+func (s *Service) RecordsSince(_ context.Context, t time.Time) ([]usage.Record, error) {
 	if !s.cfg.Contribute {
 		return nil, nil
 	}
@@ -106,11 +131,14 @@ func (s *Service) RecordsSince(t time.Time) ([]usage.Record, error) {
 // peer's remote histogram, making the exchange incremental (closed intervals
 // transfer once) yet idempotent (the open interval is re-fetched and
 // overwritten). It returns the number of records ingested and the first
-// error (all peers are still attempted).
-func (s *Service) Exchange() (int, error) {
+// error (all peers are still attempted). The context's request ID is
+// forwarded to every peer pull, so one exchange round is traceable across
+// the federation.
+func (s *Service) Exchange(ctx context.Context) (int, error) {
 	s.mu.Lock()
 	peers := append([]Peer(nil), s.peers...)
 	s.mu.Unlock()
+	s.mExchanges.Inc()
 
 	total := 0
 	var firstErr error
@@ -123,13 +151,16 @@ func (s *Service) Exchange() (int, error) {
 			// Re-fetch the last (possibly still-filling) interval.
 			since = since.Add(-s.cfg.BinWidth)
 		}
-		recs, err := p.RecordsSince(since)
+		recs, err := p.RecordsSince(ctx, since)
 		if err != nil {
+			s.mExchangeErrors.With(site).Inc()
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
+		s.mExchangeBatch.Observe(float64(len(recs)))
+		s.mExchangeRecs.With(site).Add(float64(len(recs)))
 		if len(recs) == 0 {
 			continue
 		}

@@ -1,6 +1,7 @@
 package uss
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -35,7 +36,7 @@ func TestExchangePullsPeerRecords(t *testing.T) {
 	b := newUSS("b", true)
 	a.ReportJob("alice", t0, time.Hour, 1)
 	b.AddPeer(a)
-	n, err := b.Exchange()
+	n, err := b.Exchange(context.Background())
 	if err != nil || n == 0 {
 		t.Fatalf("Exchange = %d, %v", n, err)
 	}
@@ -54,16 +55,16 @@ func TestExchangeIdempotent(t *testing.T) {
 	b := newUSS("b", true)
 	a.ReportJob("alice", t0, time.Hour, 1)
 	b.AddPeer(a)
-	b.Exchange()
-	b.Exchange()
-	b.Exchange()
+	b.Exchange(context.Background())
+	b.Exchange(context.Background())
+	b.Exchange(context.Background())
 	global := b.GlobalTotals(t0.Add(2*time.Hour), usage.None{})
 	if math.Abs(global["alice"]-3600) > 1e-9 {
 		t.Errorf("repeated exchange double-counted: %g", global["alice"])
 	}
 	// New usage at the peer appears after the next exchange.
 	a.ReportJob("alice", t0.Add(time.Hour), time.Hour, 1)
-	b.Exchange()
+	b.Exchange(context.Background())
 	global = b.GlobalTotals(t0.Add(3*time.Hour), usage.None{})
 	if math.Abs(global["alice"]-7200) > 1e-9 {
 		t.Errorf("after new usage = %g, want 7200", global["alice"])
@@ -76,7 +77,7 @@ func TestNonContributingSiteServesNothing(t *testing.T) {
 	// does not contribute".
 	silent := newUSS("silent", false)
 	silent.ReportJob("alice", t0, time.Hour, 1)
-	recs, err := silent.RecordsSince(time.Time{})
+	recs, err := silent.RecordsSince(context.Background(), time.Time{})
 	if err != nil || recs != nil {
 		t.Errorf("non-contributing records = %v, %v", recs, err)
 	}
@@ -94,8 +95,8 @@ func TestReaderOnlySiteSeesOthers(t *testing.T) {
 	reader.AddPeer(contributor)
 	contributor.AddPeer(reader)
 
-	reader.Exchange()
-	contributor.Exchange()
+	reader.Exchange(context.Background())
+	contributor.Exchange(context.Background())
 
 	// Reader sees both.
 	rg := reader.GlobalTotals(t0.Add(2*time.Hour), usage.None{})
@@ -112,7 +113,7 @@ func TestReaderOnlySiteSeesOthers(t *testing.T) {
 type failingPeer struct{}
 
 func (failingPeer) Site() string { return "down" }
-func (failingPeer) RecordsSince(time.Time) ([]usage.Record, error) {
+func (failingPeer) RecordsSince(context.Context, time.Time) ([]usage.Record, error) {
 	return nil, errors.New("connection refused")
 }
 
@@ -122,7 +123,7 @@ func TestExchangeToleratesFailingPeer(t *testing.T) {
 	a.ReportJob("alice", t0, time.Hour, 1)
 	b.AddPeer(failingPeer{})
 	b.AddPeer(a)
-	n, err := b.Exchange()
+	n, err := b.Exchange(context.Background())
 	if err == nil {
 		t.Error("peer failure not reported")
 	}

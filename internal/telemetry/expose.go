@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series sorted
+// by label values, histograms expanded into cumulative le-buckets plus
+// _sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	families := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		families = append(families, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		values []string
+		m      interface{}
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		var vals []string
+		if len(f.labels) > 0 {
+			vals = strings.Split(k, keySep)
+		}
+		rows = append(rows, row{values: vals, m: f.series[k]})
+	}
+	f.mu.RUnlock()
+
+	if len(rows) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		w.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+	}
+	w.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
+	for _, rw := range rows {
+		switch m := rw.m.(type) {
+		case *Counter:
+			writeSample(w, f.name, f.labels, rw.values, "", "", m.Value())
+		case *Gauge:
+			writeSample(w, f.name, f.labels, rw.values, "", "", m.Value())
+		case *Histogram:
+			cum := m.Snapshot()
+			for i, ub := range m.upper {
+				writeSample(w, f.name+"_bucket", f.labels, rw.values,
+					"le", formatFloat(ub), float64(cum[i]))
+			}
+			writeSample(w, f.name+"_bucket", f.labels, rw.values,
+				"le", "+Inf", float64(cum[len(cum)-1]))
+			writeSample(w, f.name+"_sum", f.labels, rw.values, "", "", m.Sum())
+			writeSample(w, f.name+"_count", f.labels, rw.values, "", "", float64(m.Count()))
+		}
+	}
+	return nil
+}
+
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraLabel, extraValue string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraLabel != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l + `="` + escapeLabel(values[i]) + `"`)
+		}
+		if extraLabel != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraLabel + `="` + escapeLabel(extraValue) + `"`)
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry's metrics — mount it
+// at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		w.WriteHeader(http.StatusOK)
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}

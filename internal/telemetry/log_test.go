@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("hidden")
+	logger.Info("visible", "k", "v")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("expected one record (debug filtered), got %d: %s", len(lines), buf.String())
+	}
+	var rec map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("record is not JSON: %v", err)
+	}
+	if rec["msg"] != "visible" || rec["k"] != "v" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Errorf("text output = %q", buf.String())
+	}
+}
+
+func TestNewLoggerRejectsBadInputs(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "xml", "info"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "json", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"":        "INFO",
+		"debug":   "DEBUG",
+		"WARN":    "WARN",
+		"warning": "WARN",
+		"Error":   "ERROR",
+	} {
+		lvl, err := ParseLevel(in)
+		if err != nil {
+			t.Errorf("ParseLevel(%q): %v", in, err)
+			continue
+		}
+		if lvl.String() != want {
+			t.Errorf("ParseLevel(%q) = %s, want %s", in, lvl, want)
+		}
+	}
+}

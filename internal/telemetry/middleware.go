@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics bundles the standard server-side HTTP instruments: request
+// and error counters, an in-flight gauge and a latency histogram, all
+// labeled by route. One instance is shared by every instrumented handler of
+// a server.
+type HTTPMetrics struct {
+	requests *CounterVec
+	errors   *CounterVec
+	inflight *GaugeVec
+	latency  *HistogramVec
+	log      *slog.Logger
+}
+
+// NewHTTPMetrics registers the HTTP server instruments on reg. The logger
+// (may be nil) receives one debug-level access-log record per request,
+// carrying the route, status and request ID.
+func NewHTTPMetrics(reg *Registry, log *slog.Logger) *HTTPMetrics {
+	reg = OrDefault(reg)
+	return &HTTPMetrics{
+		requests: reg.CounterVec("aequus_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		errors: reg.CounterVec("aequus_http_request_errors_total",
+			"HTTP requests answered with a 4xx/5xx status, by route.", "route"),
+		inflight: reg.GaugeVec("aequus_http_in_flight_requests",
+			"HTTP requests currently being served, by route.", "route"),
+		latency: reg.HistogramVec("aequus_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", DefBuckets(), "route"),
+		log: log,
+	}
+}
+
+// statusWriter captures the response status code.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Instrument wraps next with request counting, in-flight tracking, latency
+// observation and request-ID handling: an incoming X-Aequus-Request-ID is
+// propagated (into the request context and the response), a missing one is
+// generated, so every hop of a cross-site call chain shares one ID.
+func (m *HTTPMetrics) Instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = RequestID(r.Context())
+		}
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(WithRequestID(r.Context(), id))
+
+		g := m.inflight.With(route)
+		g.Inc()
+		defer g.Dec()
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+
+		m.latency.With(route).Observe(dur.Seconds())
+		m.requests.With(route, strconv.Itoa(sw.code)).Inc()
+		if sw.code >= 400 {
+			m.errors.With(route).Inc()
+		}
+		if m.log != nil {
+			m.log.Debug("http request",
+				slog.String("route", route),
+				slog.String("method", r.Method),
+				slog.Int("code", sw.code),
+				slog.Duration("duration", dur),
+				slog.String("request_id", id))
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDContext(t *testing.T) {
+	if RequestID(context.Background()) != "" {
+		t.Error("empty context carries a request ID")
+	}
+	ctx := WithRequestID(context.Background(), "abc")
+	if RequestID(ctx) != "abc" {
+		t.Errorf("RequestID = %q, want abc", RequestID(ctx))
+	}
+	if WithRequestID(context.Background(), "") != context.Background() {
+		t.Error("empty ID should not allocate a new context")
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || len(a) != 16 {
+		t.Errorf("NewRequestID not unique/16-hex: %q %q", a, b)
+	}
+}
+
+func TestInstrumentPropagatesRequestID(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, nil)
+	var seen string
+	h := m.Instrument("/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}))
+
+	// Incoming header is propagated into the context and the response.
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "incoming-id")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "incoming-id" {
+		t.Errorf("handler saw request ID %q, want incoming-id", seen)
+	}
+	if got := rec.Header().Get(RequestIDHeader); got != "incoming-id" {
+		t.Errorf("response header = %q, want incoming-id", got)
+	}
+
+	// A missing header gets a generated ID.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if seen == "" || seen == "incoming-id" {
+		t.Errorf("generated request ID = %q", seen)
+	}
+	if rec.Header().Get(RequestIDHeader) != seen {
+		t.Error("generated ID not echoed in the response header")
+	}
+}
+
+func TestInstrumentRecordsMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, nil)
+	ok := m.Instrument("/ok", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	bad := m.Instrument("/bad", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	for i := 0; i < 3; i++ {
+		ok.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+	}
+	bad.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/bad", nil))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`aequus_http_requests_total{route="/ok",code="200"} 3`,
+		`aequus_http_requests_total{route="/bad",code="404"} 1`,
+		`aequus_http_request_errors_total{route="/bad"} 1`,
+		`aequus_http_request_duration_seconds_count{route="/ok"} 3`,
+		`aequus_http_in_flight_requests{route="/ok"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `aequus_http_request_errors_total{route="/ok"}`) {
+		t.Error("error counter has a series for an error-free route")
+	}
+}
+
+func TestInstrumentInFlightGauge(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, nil)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := m.Instrument("/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}))
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/slow", nil))
+		close(done)
+	}()
+	<-entered
+	if v := reg.GaugeVec("aequus_http_in_flight_requests", "", "route").With("/slow").Value(); v != 1 {
+		t.Errorf("in-flight during request = %g, want 1", v)
+	}
+	close(release)
+	<-done
+	if v := reg.GaugeVec("aequus_http_in_flight_requests", "", "route").With("/slow").Value(); v != 0 {
+		t.Errorf("in-flight after request = %g, want 0", v)
+	}
+}
+
+func TestInstrumentAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, logger)
+	h := m.Instrument("/logged", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest("GET", "/logged", nil)
+	req.Header.Set(RequestIDHeader, "log-me")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	var rec map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("access log is not JSON: %v (%s)", err, buf.String())
+	}
+	if rec["route"] != "/logged" || rec["request_id"] != "log-me" || rec["code"] != float64(200) {
+		t.Errorf("access log record = %v", rec)
+	}
+}

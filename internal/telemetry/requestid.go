@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header that carries the cross-site request
+// correlation ID. A priority query entering a site through libaequus keeps
+// one ID through FCS/UMS/IRS handling and across site-to-site
+// /usage/exchange hops, so a single submission burst can be traced through
+// the whole federation's logs and metrics.
+const RequestIDHeader = "X-Aequus-Request-ID"
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+var ridFallback atomic.Uint64
+
+// NewRequestID generates a fresh 16-hex-digit request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively impossible; degrade to a
+		// process-local counter rather than failing the request.
+		return fmt.Sprintf("fallback-%016x", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -92,6 +92,25 @@ type MountRequest struct {
 	Origin string `json:"origin"`
 }
 
+// ReadyComponent reports one service's readiness inside a ReadyResponse.
+type ReadyComponent struct {
+	Ready bool `json:"ready"`
+	// ComputedAt is the last pre-computation time for services that cache
+	// (FCS, UMS); zero for stateless services.
+	ComputedAt time.Time `json:"computedAt"`
+	// AgeSeconds is how old that pre-computation is.
+	AgeSeconds float64 `json:"ageSeconds,omitempty"`
+	// Reason explains a not-ready verdict.
+	Reason string `json:"reason,omitempty"`
+}
+
+// ReadyResponse is the /readyz envelope: overall readiness plus a
+// per-service breakdown.
+type ReadyResponse struct {
+	Ready      bool                      `json:"ready"`
+	Components map[string]ReadyComponent `json:"components"`
+}
+
 // ErrorResponse is the error envelope all services use.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -116,9 +135,11 @@ func ReadJSON(r io.Reader, v interface{}) error {
 }
 
 // DecodeResponse decodes an HTTP response, translating error envelopes into
-// Go errors.
+// Go errors. The body is always drained and closed — even when the caller
+// wants no payload or the status is unexpected — so the underlying
+// keep-alive connection returns to the pool instead of being torn down.
 func DecodeResponse(resp *http.Response, v interface{}) error {
-	defer resp.Body.Close()
+	defer DrainClose(resp.Body)
 	if resp.StatusCode/100 != 2 {
 		var e ErrorResponse
 		if err := ReadJSON(resp.Body, &e); err == nil && e.Error != "" {
@@ -130,4 +151,12 @@ func DecodeResponse(resp *http.Response, v interface{}) error {
 		return nil
 	}
 	return ReadJSON(resp.Body, v)
+}
+
+// DrainClose consumes any unread remainder of body (bounded, so a huge or
+// malicious response cannot stall the client) and closes it. Fully reading
+// the body is what lets net/http reuse the connection.
+func DrainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 4<<20))
+	_ = body.Close()
 }
