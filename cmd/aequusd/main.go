@@ -17,6 +17,7 @@ import (
 	"flag"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -51,6 +52,7 @@ func main() {
 		logFormat     = flag.String("log-format", "text", "log output format: text|json")
 		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		readyStale    = flag.Duration("ready-max-stale", 0, "max pre-computation age before /readyz reports 503 (default 3x refresh-interval)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -108,6 +110,17 @@ func main() {
 	for _, peer := range splitList(*peers) {
 		s.ConnectPeer(httpapi.NewClient(peer, peer))
 		logger.Info("peering", slog.String("peer", peer))
+	}
+
+	if *pprofAddr != "" {
+		// The pprof handlers live on the DefaultServeMux; the service API
+		// runs on its own mux, so profiling stays off the public port.
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Warn("pprof server", "err", err)
+			}
+		}()
 	}
 
 	go periodic(*exchangeEvery, func() {

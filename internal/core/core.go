@@ -48,6 +48,11 @@ type SiteConfig struct {
 	// UMSCacheTTL / FCSCacheTTL / LibCacheTTL are the update-delay
 	// components (II) and (III).
 	UMSCacheTTL, FCSCacheTTL, LibCacheTTL time.Duration
+	// FCSSynchronousRefresh makes stale fairshare reads recompute in-line
+	// instead of serving the previous snapshot while a background refresh
+	// runs. Sim-clock testbeds set it for determinism; live sites leave it
+	// false so readers never block on the UMS.
+	FCSSynchronousRefresh bool
 	// PolicyFetcher resolves PDS mount origins (optional).
 	PolicyFetcher pds.Fetcher
 	// ResolveEndpoint is the custom identity-resolution endpoint (optional;
@@ -110,11 +115,12 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	}, source)
 
 	f := fcs.New(fcs.Config{
-		Fairshare:  cfg.Fairshare,
-		Projection: cfg.Projection,
-		CacheTTL:   cfg.FCSCacheTTL,
-		Clock:      cfg.Clock,
-		Metrics:    cfg.Metrics,
+		Fairshare:          cfg.Fairshare,
+		Projection:         cfg.Projection,
+		CacheTTL:           cfg.FCSCacheTTL,
+		SynchronousRefresh: cfg.FCSSynchronousRefresh,
+		Clock:              cfg.Clock,
+		Metrics:            cfg.Metrics,
 	}, p, m)
 
 	i := irs.New()

@@ -20,6 +20,7 @@ package fairshare
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/policy"
 	"repro/internal/vector"
@@ -78,40 +79,66 @@ type Tree struct {
 	Config Config
 }
 
+// parallelComputeThreshold is the tree size (node count) above which Compute
+// scores top-level sibling subtrees concurrently. Small trees stay serial:
+// goroutine setup would dominate the arithmetic.
+const parallelComputeThreshold = 4096
+
 // Compute builds the fairshare tree for a policy and decayed per-user usage
 // (keyed by leaf user name). This is the pre-calculation the FCS performs
 // periodically so that "no real-time calculations need to take place when
-// new jobs arrive".
+// new jobs arrive". Large policies are scored in parallel across the root's
+// sibling subtrees — each sibling group is independent once its parent's
+// usage totals are fixed.
 func Compute(p *policy.Tree, usage map[string]float64, cfg Config) *Tree {
 	cfg = cfg.normalized()
 	norm := p.Normalize()
-	root := buildNode(norm.Root, usage)
+	root, nodes := buildNode(norm.Root, usage)
 	root.Share = 1
 	root.UsageShare = 1
 	root.Priority = 0
 	root.Value = cfg.Balance()
-	scoreChildren(root, cfg)
+	scoreGroup(root, cfg)
+	if nodes >= parallelComputeThreshold && len(root.Children) > 1 {
+		var wg sync.WaitGroup
+		for _, c := range root.Children {
+			wg.Add(1)
+			go func(c *Node) {
+				defer wg.Done()
+				scoreDescendants(c, cfg)
+			}(c)
+		}
+		wg.Wait()
+	} else {
+		for _, c := range root.Children {
+			scoreDescendants(c, cfg)
+		}
+	}
 	return &Tree{Root: root, Config: cfg}
 }
 
-// buildNode copies the policy structure and accumulates subtree usage.
-func buildNode(pn *policy.Node, usage map[string]float64) *Node {
+// buildNode copies the policy structure and accumulates subtree usage,
+// returning the subtree's node count.
+func buildNode(pn *policy.Node, usage map[string]float64) (*Node, int) {
 	n := &Node{Name: pn.Name, Share: pn.Share}
 	if len(pn.Children) == 0 {
 		n.Usage = usage[pn.Name]
-		return n
+		return n, 1
 	}
+	nodes := 1
+	n.Children = make([]*Node, 0, len(pn.Children))
 	for _, pc := range pn.Children {
-		c := buildNode(pc, usage)
+		c, cn := buildNode(pc, usage)
 		n.Children = append(n.Children, c)
 		n.Usage += c.Usage
+		nodes += cn
 	}
-	return n
+	return n, nodes
 }
 
-// scoreChildren computes usage shares, priorities and values for every
-// sibling group below n, recursively.
-func scoreChildren(n *Node, cfg Config) {
+// scoreGroup computes usage shares, priorities and values for n's immediate
+// children (one sibling group), without recursing.
+func scoreGroup(n *Node, cfg Config) {
 	var groupUsage float64
 	for _, c := range n.Children {
 		groupUsage += c.Usage
@@ -132,7 +159,15 @@ func scoreChildren(n *Node, cfg Config) {
 		// Priority ∈ [−1, 1]; map linearly so 0 lands on the balance point.
 		v := cfg.Balance() * (1 + c.Priority)
 		c.Value = math.Max(0, math.Min(cfg.Resolution-1e-9, v))
-		scoreChildren(c, cfg)
+	}
+}
+
+// scoreDescendants scores every sibling group in n's subtree, including n's
+// own children.
+func scoreDescendants(n *Node, cfg Config) {
+	scoreGroup(n, cfg)
+	for _, c := range n.Children {
+		scoreDescendants(c, cfg)
 	}
 }
 
@@ -190,29 +225,52 @@ func (t *Tree) Depth() int {
 }
 
 // Entries returns one projection entry per leaf user: vector plus the
-// per-level policy and usage shares.
+// per-level policy and usage shares. Every entry owns its slices — nothing
+// aliases the walk's scratch stacks or any other entry, so callers may
+// retain or mutate entries freely.
 func (t *Tree) Entries() []vector.Entry {
 	var out []vector.Entry
-	var walk func(n *Node, vec vector.Vector, shares, usages []float64)
-	walk = func(n *Node, vec vector.Vector, shares, usages []float64) {
+	walkLeaves(t.Root, func(n *Node, vec vector.Vector, shares, usages []float64) {
+		out = append(out, vector.Entry{
+			User:       n.Name,
+			Vec:        vec.Clone(),
+			PathShares: append([]float64(nil), shares...),
+			PathUsage:  append([]float64(nil), usages...),
+		})
+	})
+	return out
+}
+
+// walkLeaves visits every leaf below the root in DFS order, passing the path
+// state (values, target shares, usage shares from the first level below the
+// root down to the leaf). The slices handed to fn are scratch stacks reused
+// across leaves: fn must copy anything it retains. Maintaining one explicit
+// push/pop stack per quantity keeps the walk safe by construction — the old
+// per-call `append(vec, …)` pattern shared backing arrays across sibling
+// iterations and was only correct because each leaf cloned before the next
+// sibling's append overwrote the slot.
+func walkLeaves(root *Node, fn func(leaf *Node, vec vector.Vector, shares, usages []float64)) {
+	var vec vector.Vector
+	var shares, usages []float64
+	var walk func(n *Node)
+	walk = func(n *Node) {
 		if len(n.Children) == 0 {
-			if len(vec) == 0 {
-				return
+			if len(vec) > 0 {
+				fn(n, vec, shares, usages)
 			}
-			out = append(out, vector.Entry{
-				User:       n.Name,
-				Vec:        vec.Clone(),
-				PathShares: append([]float64(nil), shares...),
-				PathUsage:  append([]float64(nil), usages...),
-			})
 			return
 		}
 		for _, c := range n.Children {
-			walk(c, append(vec, c.Value), append(shares, c.Share), append(usages, c.UsageShare))
+			vec = append(vec, c.Value)
+			shares = append(shares, c.Share)
+			usages = append(usages, c.UsageShare)
+			walk(c)
+			vec = vec[:len(vec)-1]
+			shares = shares[:len(shares)-1]
+			usages = usages[:len(usages)-1]
 		}
 	}
-	walk(t.Root, nil, nil, nil)
-	return out
+	walk(root)
 }
 
 // Priorities projects every user's fairshare vector to a scalar in [0,1]
@@ -230,6 +288,21 @@ func (t *Tree) LeafPriority(user string) (float64, bool) {
 		return 0, false
 	}
 	return path[len(path)-1].Priority, true
+}
+
+// Lookup returns a user's fairshare vector and raw leaf priority from a
+// single tree walk — callers needing both must not pay for two
+// (Vector + LeafPriority each repeat the same depth-first search).
+func (t *Tree) Lookup(user string) (vector.Vector, float64, bool) {
+	path := t.lookupPath(user)
+	if path == nil {
+		return nil, 0, false
+	}
+	v := make(vector.Vector, len(path))
+	for i, n := range path {
+		v[i] = n.Value
+	}
+	return v, path[len(path)-1].Priority, true
 }
 
 // Find returns the node at the given policy path.

@@ -1,0 +1,78 @@
+package fairshare
+
+import (
+	"repro/internal/vector"
+)
+
+// IndexEntry is one user's fully resolved serving record: the projection
+// entry (vector, per-level target and usage shares) plus the raw leaf
+// priority. The embedded slices are owned by the entry and immutable once
+// the index is built, so they can be handed out without copying.
+type IndexEntry struct {
+	vector.Entry
+	// LeafPriority is the raw (unprojected) priority of the user's leaf.
+	LeafPriority float64
+}
+
+// Index is an immutable O(1) lookup table over a fairshare tree's leaves,
+// built from a single depth-first walk at pre-calculation time. It is what
+// lets the FCS serve `Priority()` without walking the tree: "no real-time
+// calculations need to take place when new jobs arrive". An Index is safe
+// for concurrent use by any number of readers because nothing mutates it
+// after construction.
+type Index struct {
+	entries []IndexEntry
+	// pos maps a user name to its first entry (matching Tree.Vector /
+	// Tree.LeafPriority, which return the first leaf with that name when a
+	// degenerate policy repeats names across groups).
+	pos map[string]int
+	// projEntries is a prebuilt []vector.Entry view over entries, sharing
+	// their slices, so projections run without re-walking or re-copying.
+	projEntries []vector.Entry
+}
+
+// NewIndex builds the index for a computed tree in one walk.
+func NewIndex(t *Tree) *Index {
+	ix := &Index{pos: make(map[string]int)}
+	walkLeaves(t.Root, func(n *Node, vec vector.Vector, shares, usages []float64) {
+		e := IndexEntry{
+			Entry: vector.Entry{
+				User:       n.Name,
+				Vec:        vec.Clone(),
+				PathShares: append([]float64(nil), shares...),
+				PathUsage:  append([]float64(nil), usages...),
+			},
+			LeafPriority: n.Priority,
+		}
+		if _, dup := ix.pos[n.Name]; !dup {
+			ix.pos[n.Name] = len(ix.entries)
+		}
+		ix.entries = append(ix.entries, e)
+	})
+	ix.projEntries = make([]vector.Entry, len(ix.entries))
+	for i := range ix.entries {
+		ix.projEntries[i] = ix.entries[i].Entry
+	}
+	return ix
+}
+
+// Index builds the serving index for the tree. Equivalent to NewIndex(t).
+func (t *Tree) Index() *Index { return NewIndex(t) }
+
+// Lookup returns the serving record for a user. The returned entry shares
+// the index's immutable slices; callers must not mutate them.
+func (ix *Index) Lookup(user string) (IndexEntry, bool) {
+	i, ok := ix.pos[user]
+	if !ok {
+		return IndexEntry{}, false
+	}
+	return ix.entries[i], true
+}
+
+// Entries returns the projection view of every leaf in DFS order (including
+// any duplicate-named leaves, matching Tree.Entries). The slice and its
+// entries are shared and immutable; callers must not mutate them.
+func (ix *Index) Entries() []vector.Entry { return ix.projEntries }
+
+// Len returns the number of indexed leaves.
+func (ix *Index) Len() int { return len(ix.entries) }

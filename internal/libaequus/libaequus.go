@@ -23,6 +23,14 @@ type FairshareSource interface {
 	Priority(gridUser string) (wire.FairshareResponse, error)
 }
 
+// BatchFairshareSource is the optional batch extension of FairshareSource:
+// many users resolved against one fairshare snapshot in one round trip.
+// Both fcs.Service and httpapi.Client implement it; FairshareBatch falls
+// back to per-user lookups when the source does not.
+type BatchFairshareSource interface {
+	PriorityBatch(gridUsers []string) (wire.FairshareBatchResponse, error)
+}
+
 // IdentitySource reverts local accounts to grid identities (the IRS).
 type IdentitySource interface {
 	Resolve(site, localUser string) (string, error)
@@ -166,6 +174,107 @@ func (c *Client) Fairshare(gridUser string) (wire.FairshareResponse, error) {
 	c.fairshare[gridUser] = cachedValue{resp: resp, at: now}
 	c.mu.Unlock()
 	return resp, nil
+}
+
+// FairshareBatch returns fairshare responses for many grid users at once:
+// cached entries are served locally, and all misses are fetched in a single
+// round trip when the source supports batching (falling back to per-user
+// lookups otherwise), then filled into the per-user cache. Users unknown to
+// the policy are simply absent from the result map. This is how a resource
+// manager reprioritizes a whole queue without N network round trips.
+func (c *Client) FairshareBatch(gridUsers []string) (map[string]wire.FairshareResponse, error) {
+	now := c.cfg.Clock.Now()
+	out := make(map[string]wire.FairshareResponse, len(gridUsers))
+	var misses []string
+	queued := map[string]bool{}
+	var hits, expiries int
+	c.mu.Lock()
+	for _, u := range gridUsers {
+		if _, done := out[u]; done || queued[u] {
+			continue
+		}
+		e, ok := c.fairshare[u]
+		if ok && now.Sub(e.at) < c.cfg.CacheTTL {
+			c.stats.FairshareHits++
+			hits++
+			out[u] = e.resp
+			continue
+		}
+		if ok {
+			c.stats.FairshareExpiries++
+			expiries++
+		}
+		c.stats.FairshareMisses++
+		queued[u] = true
+		misses = append(misses, u)
+	}
+	c.mu.Unlock()
+	c.mHits.With("fairshare").Add(float64(hits))
+	c.mExpiries.With("fairshare").Add(float64(expiries))
+	c.mMisses.With("fairshare").Add(float64(len(misses)))
+	if len(misses) == 0 {
+		return out, nil
+	}
+	if bs, ok := c.fcs.(BatchFairshareSource); ok {
+		resp, err := bs.PriorityBatch(misses)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		for _, e := range resp.Entries {
+			c.fairshare[e.User] = cachedValue{resp: e, at: now}
+			out[e.User] = e
+		}
+		c.mu.Unlock()
+		return out, nil
+	}
+	for _, u := range misses {
+		resp, err := c.fcs.Priority(u)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.fairshare[u] = cachedValue{resp: resp, at: now}
+		c.mu.Unlock()
+		out[u] = resp
+	}
+	return out, nil
+}
+
+// PrioritiesForLocalUsers is the batch scheduler call-out: it resolves each
+// local account to a grid identity (cached) and fetches all fairshare
+// values in one batch, returning projected priorities keyed by local user.
+// Accounts that fail identity resolution or are unknown to the policy are
+// absent from the result.
+func (c *Client) PrioritiesForLocalUsers(localUsers []string) (map[string]float64, error) {
+	grid := make(map[string]string, len(localUsers)) // local -> grid
+	var gridUsers []string
+	seen := map[string]bool{}
+	for _, lu := range localUsers {
+		if _, done := grid[lu]; done {
+			continue
+		}
+		g, err := c.ResolveGridID(lu)
+		if err != nil {
+			continue
+		}
+		grid[lu] = g
+		if !seen[g] {
+			seen[g] = true
+			gridUsers = append(gridUsers, g)
+		}
+	}
+	vals, err := c.FairshareBatch(gridUsers)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(grid))
+	for lu, g := range grid {
+		if resp, ok := vals[g]; ok {
+			out[lu] = resp.Value
+		}
+	}
+	return out, nil
 }
 
 // PriorityForLocalUser is the scheduler call-out: it resolves the local

@@ -1,0 +1,177 @@
+package fcs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fairshare"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+	"repro/internal/vector"
+	"repro/internal/wire"
+)
+
+// benchPolicy builds a two-level policy (groups × users) by constructing
+// nodes directly — policy.Tree.Add's duplicate-sibling scan is quadratic
+// and would dominate setup at the 1M-user scale.
+func benchPolicy(groups, perGroup int) (*policy.Tree, map[string]float64, []string) {
+	rng := rand.New(rand.NewSource(1))
+	root := &policy.Node{Name: "", Share: 1}
+	root.Children = make([]*policy.Node, 0, groups)
+	usage := make(map[string]float64, groups*perGroup)
+	users := make([]string, 0, groups*perGroup)
+	for g := 0; g < groups; g++ {
+		gn := &policy.Node{Name: fmt.Sprintf("g%04d", g), Share: rng.Float64() + 0.1}
+		gn.Children = make([]*policy.Node, 0, perGroup)
+		for u := 0; u < perGroup; u++ {
+			name := fmt.Sprintf("u%04d_%04d", g, u)
+			gn.Children = append(gn.Children, &policy.Node{Name: name, Share: rng.Float64() + 0.1})
+			usage[name] = rng.Float64() * 1e6
+			users = append(users, name)
+		}
+		root.Children = append(root.Children, gn)
+	}
+	return &policy.Tree{Root: root}, usage, users
+}
+
+func benchService(b *testing.B, groups, perGroup int) (*Service, []string) {
+	b.Helper()
+	p, usage, users := benchPolicy(groups, perGroup)
+	svc := New(Config{
+		Clock:    simclock.Real{},
+		CacheTTL: 24 * time.Hour, // never stale during the benchmark
+		Metrics:  telemetry.NewRegistry(),
+	}, staticPDS{p}, &staticUMS{totals: usage})
+	if err := svc.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	return svc, users
+}
+
+// BenchmarkPriorityLookupParallel measures serving throughput of the
+// lock-free snapshot path under b.RunParallel — lookups/sec must scale
+// with cores because the hot path takes no lock and allocates nothing.
+func BenchmarkPriorityLookupParallel(b *testing.B) {
+	cases := []struct {
+		name             string
+		groups, perGroup int
+	}{
+		{"10k", 100, 100},
+		{"100k", 320, 320},
+		{"1M", 1000, 1000},
+	}
+	var seq atomic.Int64
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			svc, users := benchService(b, c.groups, c.perGroup)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seq.Add(1)) * 7919 // spread goroutines over the user set
+				for pb.Next() {
+					u := users[i%len(users)]
+					i++
+					if _, err := svc.Priority(u); err != nil {
+						panic(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPriorityLookupSeedStyle reproduces the seed's serving discipline
+// — a global mutex around two full tree walks — against the same tree, as
+// the baseline the snapshot path is measured against.
+func BenchmarkPriorityLookupSeedStyle(b *testing.B) {
+	cases := []struct {
+		name             string
+		groups, perGroup int
+	}{
+		{"10k", 100, 100},
+		{"100k", 320, 320},
+	}
+	var seq atomic.Int64
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			p, usage, users := benchPolicy(c.groups, c.perGroup)
+			tree := fairshare.Compute(p, usage, fairshare.DefaultConfig())
+			prior := tree.Priorities(vector.Percental{})
+			var mu sync.Mutex
+			lookup := func(user string) (wire.FairshareResponse, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				v, ok := prior[user]
+				if !ok {
+					return wire.FairshareResponse{}, ErrUnknownUser
+				}
+				resp := wire.FairshareResponse{User: user, Value: v}
+				if vec, ok := tree.Vector(user); ok {
+					resp.Vector = vec
+				}
+				if pr, ok := tree.LeafPriority(user); ok {
+					resp.Priority = pr
+				}
+				return resp, nil
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seq.Add(1)) * 7919
+				for pb.Next() {
+					u := users[i%len(users)]
+					i++
+					if _, err := lookup(u); err != nil {
+						panic(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPriorityBatch1000 resolves a 1000-user queue in one call — one
+// snapshot load, 1000 map lookups.
+func BenchmarkPriorityBatch1000(b *testing.B) {
+	svc, users := benchService(b, 320, 320)
+	batch := users[:1000]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.PriorityBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Entries) != 1000 {
+			b.Fatalf("entries = %d", len(resp.Entries))
+		}
+	}
+}
+
+// BenchmarkSnapshotRebuild measures the full pre-calculation (compute +
+// index + projection + table assembly) the background refresh pays.
+func BenchmarkSnapshotRebuild(b *testing.B) {
+	for _, c := range []struct {
+		name             string
+		groups, perGroup int
+	}{
+		{"10k", 100, 100},
+		{"100k", 320, 320},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			svc, _ := benchService(b, c.groups, c.perGroup)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Refresh(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

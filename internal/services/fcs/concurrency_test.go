@@ -1,0 +1,119 @@
+package fcs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+	"repro/internal/vector"
+)
+
+// TestConcurrentReadersDuringRefresh hammers the lock-free read path from
+// many goroutines while Refresh and SetProjection churn snapshots, and
+// verifies no reader ever observes a torn or partially built snapshot:
+// every Priority response is internally consistent, and every Table
+// response is uniform (all entries share one ComputedAt and one projection
+// regime). Run under -race this also proves the publication is data-race
+// free.
+func TestConcurrentReadersDuringRefresh(t *testing.T) {
+	shares := map[string]float64{"a": 0.4, "b": 0.3, "c": 0.2, "d": 0.1}
+	totals := map[string]float64{"a": 10, "b": 20, "c": 30, "d": 40}
+	p, err := policy.FromShares(shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ums := &staticUMS{totals: totals}
+	// Async mode with a tiny TTL on a real clock: stale reads continuously
+	// kick background refreshes on top of the explicit Refresh churn.
+	svc := New(Config{Clock: simclock.Real{}, CacheTTL: time.Millisecond,
+		Metrics: telemetry.NewRegistry()}, staticPDS{p}, ums)
+	if err := svc.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers = 8
+		rounds  = 500
+	)
+	stop := make(chan struct{})
+	var readersWG, writersWG sync.WaitGroup
+
+	// Writers: forced refreshes and projection flips until readers finish.
+	writersWG.Add(2)
+	go func() {
+		defer writersWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := svc.Refresh(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer writersWG.Done()
+		projs := []vector.Projection{vector.Percental{}, vector.Dictionary{}, vector.Bitwise{}}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			svc.SetProjection(projs[i%len(projs)])
+		}
+	}()
+
+	users := []string{"a", "b", "c", "d"}
+	validProj := map[string]bool{"percental": true, "dictionary": true, "bitwise": true}
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func(r int) {
+			defer readersWG.Done()
+			for i := 0; i < rounds; i++ {
+				u := users[(r+i)%len(users)]
+				resp, err := svc.Priority(u)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.User != u || resp.ComputedAt.IsZero() ||
+					len(resp.Vector) != 1 || resp.Value < 0 || resp.Value > 1 {
+					t.Errorf("torn Priority response: %+v", resp)
+					return
+				}
+				tab, err := svc.Table()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(tab.Entries) != len(users) || !validProj[tab.Projection] {
+					t.Errorf("torn Table response: %d entries, projection %q",
+						len(tab.Entries), tab.Projection)
+					return
+				}
+				for _, e := range tab.Entries {
+					if e.ComputedAt != tab.ComputedAt {
+						t.Errorf("table mixes snapshots: entry %v vs table %v",
+							e.ComputedAt, tab.ComputedAt)
+						return
+					}
+				}
+				if _, err := svc.Tree(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	readersWG.Wait()
+	close(stop)
+	writersWG.Wait()
+}

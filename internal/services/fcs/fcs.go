@@ -2,11 +2,22 @@
 // usage trees from the UMS and policy trees from the PDS periodically, and
 // pre-calculates fairshare trees with current values for all users — "this
 // way, no real-time calculations need to take place when new jobs arrive".
+//
+// The serving path is lock-free: every pre-calculation publishes an
+// immutable snapshot (tree + per-user index + projected priorities + the
+// full wire table) through an atomic pointer, so Priority/Table/Tree are
+// O(1) pointer loads and map lookups with no mutex and no tree walks.
+// Staleness is handled with single-flight stale-while-revalidate: the first
+// reader past the TTL kicks one asynchronous recomputation while every
+// reader (including itself) keeps serving the previous snapshot; errors
+// from the background refresh are surfaced through telemetry and
+// LastRefreshError (wired into /readyz).
 package fcs
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fairshare"
@@ -27,6 +38,13 @@ type UsageSource interface {
 	UsageTotals() (map[string]float64, time.Time, error)
 }
 
+// DefaultCacheTTL is the snapshot lifetime used when Config.CacheTTL is
+// zero. A zero TTL used to force a full recomputation on every Priority
+// call — the opposite of the paper's pre-calculation discipline — so the
+// zero value now means "default", and a negative TTL means "never stale"
+// (refresh only via Refresh).
+const DefaultCacheTTL = time.Minute
+
 // Config configures an FCS instance.
 type Config struct {
 	// Fairshare parameterizes the calculation (distance weight, resolution).
@@ -34,31 +52,65 @@ type Config struct {
 	// Projection collapses vectors to [0,1] priorities (default percental,
 	// "the configuration currently used in production").
 	Projection vector.Projection
-	// CacheTTL bounds how stale the pre-calculated tree may be — update
-	// delay component (II).
+	// CacheTTL bounds how stale the pre-calculated snapshot may be — update
+	// delay component (II). Zero means DefaultCacheTTL; negative disables
+	// expiry entirely (snapshots refresh only via Refresh).
 	CacheTTL time.Duration
+	// SynchronousRefresh makes a stale read recompute in-line before
+	// serving, instead of serving the previous snapshot while one
+	// background refresh runs. Deterministic sim-clock environments (the
+	// testbed) want this; live services should leave it false so readers
+	// never block on the UMS.
+	SynchronousRefresh bool
 	// Clock provides time (default wall clock).
 	Clock simclock.Clock
 	// Metrics receives the service's instruments (default registry if nil).
 	Metrics *telemetry.Registry
 }
 
+// snapshot is one immutable pre-calculation result. Everything reachable
+// from a published snapshot is read-only, which is what makes the lock-free
+// read path safe.
+type snapshot struct {
+	tree       *fairshare.Tree
+	index      *fairshare.Index
+	priorities map[string]float64
+	projName   string
+	computedAt time.Time
+	table      wire.FairshareTableResponse
+}
+
 // Service is a Fairshare Calculation Service instance.
 type Service struct {
-	cfg Config
+	cfg Config // Projection is mutated under refreshMu; the rest is fixed.
+	ttl time.Duration
 	pds PolicySource
 	ums UsageSource
 
-	mu         sync.Mutex
-	tree       *fairshare.Tree
-	priorities map[string]float64
-	computedAt time.Time
+	// snap is the published snapshot; nil until the first computation.
+	snap atomic.Pointer[snapshot]
+	// refreshMu serializes recomputation and projection changes. Readers
+	// never take it once a snapshot exists.
+	refreshMu sync.Mutex
+	// refreshing is the single-flight latch for asynchronous refreshes.
+	refreshing atomic.Bool
+	// lastErr records the most recent refresh outcome (nil error = ok).
+	lastErr atomic.Pointer[refreshOutcome]
 
-	mRecalcs   *telemetry.Counter
-	mRecalcDur *telemetry.Histogram
-	mTreeNodes *telemetry.Gauge
-	mTreeUsers *telemetry.Gauge
+	mRecalcs     *telemetry.Counter
+	mRecalcDur   *telemetry.Histogram
+	mTreeNodes   *telemetry.Gauge
+	mTreeUsers   *telemetry.Gauge
+	mSnapAge     *telemetry.Gauge
+	mStaleServes *telemetry.Counter
+	mAsyncKicks  *telemetry.Counter
+	mAsyncDedup  *telemetry.Counter
+	mRefreshErrs *telemetry.Counter
+	mBatchReqs   *telemetry.Counter
+	mBatchUsers  *telemetry.Histogram
 }
+
+type refreshOutcome struct{ err error }
 
 // ErrUnknownUser is returned for users absent from the policy.
 var ErrUnknownUser = errors.New("fcs: user not in policy")
@@ -74,9 +126,13 @@ func New(cfg Config, pds PolicySource, ums UsageSource) *Service {
 	if cfg.Fairshare.Resolution <= 0 {
 		cfg.Fairshare = fairshare.DefaultConfig()
 	}
+	ttl := cfg.CacheTTL
+	if ttl == 0 {
+		ttl = DefaultCacheTTL
+	}
 	reg := telemetry.OrDefault(cfg.Metrics)
 	return &Service{
-		cfg: cfg, pds: pds, ums: ums,
+		cfg: cfg, ttl: ttl, pds: pds, ums: ums,
 		mRecalcs: reg.Counter("aequus_fcs_recalcs_total",
 			"Fairshare tree pre-calculations performed."),
 		mRecalcDur: reg.Histogram("aequus_fcs_recalc_duration_seconds",
@@ -86,46 +142,100 @@ func New(cfg Config, pds PolicySource, ums UsageSource) *Service {
 			"Nodes in the last pre-calculated fairshare tree."),
 		mTreeUsers: reg.Gauge("aequus_fcs_tree_users",
 			"Leaf users with a pre-calculated priority."),
+		mSnapAge: reg.Gauge("aequus_fcs_snapshot_age_seconds",
+			"Age of the published fairshare snapshot at last observation."),
+		mStaleServes: reg.Counter("aequus_fcs_stale_serves_total",
+			"Reads served from an expired snapshot while a refresh ran."),
+		mAsyncKicks: reg.Counter("aequus_fcs_refresh_async_total",
+			"Asynchronous snapshot refreshes started by stale reads."),
+		mAsyncDedup: reg.Counter("aequus_fcs_refresh_dedup_total",
+			"Stale-read refresh kicks suppressed by the single-flight latch."),
+		mRefreshErrs: reg.Counter("aequus_fcs_refresh_errors_total",
+			"Snapshot recomputations that failed."),
+		mBatchReqs: reg.Counter("aequus_fcs_batch_requests_total",
+			"Batch priority requests served."),
+		mBatchUsers: reg.Histogram("aequus_fcs_batch_users",
+			"Users per batch priority request.", telemetry.CountBuckets()),
 	}
 }
+
+// CacheTTL reports the effective snapshot lifetime (after defaulting).
+func (s *Service) CacheTTL() time.Duration { return s.ttl }
 
 // SetProjection switches the projection algorithm at run time (the paper:
 // "the approach to use is configurable and can be changed during
-// run-time"). The cache is invalidated.
+// run-time"). The current tree is re-projected immediately — no UMS
+// round trip — and published as a new snapshot with the same ComputedAt.
 func (s *Service) SetProjection(p vector.Projection) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p != nil {
-		s.cfg.Projection = p
-		s.tree = nil
+	if p == nil {
+		return
 	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	s.cfg.Projection = p
+	sn := s.snap.Load()
+	if sn == nil {
+		return
+	}
+	s.snap.Store(s.buildSnapshot(sn.tree, sn.index, sn.computedAt))
 }
 
-// Refresh forces recomputation of the fairshare tree.
+// Refresh forces recomputation of the fairshare snapshot.
 func (s *Service) Refresh() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.refreshLocked()
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	return s.rebuildLocked()
 }
 
-func (s *Service) refreshLocked() error {
+// rebuildLocked recomputes and publishes a snapshot; refreshMu must be held.
+func (s *Service) rebuildLocked() error {
 	// Durations are measured in wall time, not the (possibly simulated)
 	// service clock: the metric reports real compute cost.
 	started := time.Now()
 	totals, _, err := s.ums.UsageTotals()
 	if err != nil {
+		s.lastErr.Store(&refreshOutcome{err})
+		s.mRefreshErrs.Inc()
 		return err
 	}
 	p := s.pds.Policy()
 	tree := fairshare.Compute(p, totals, s.cfg.Fairshare)
-	s.tree = tree
-	s.priorities = tree.Priorities(s.cfg.Projection)
-	s.computedAt = s.cfg.Clock.Now()
+	sn := s.buildSnapshot(tree, tree.Index(), s.cfg.Clock.Now())
+	s.snap.Store(sn)
+	s.lastErr.Store(&refreshOutcome{nil})
 	s.mRecalcs.Inc()
 	s.mRecalcDur.Observe(time.Since(started).Seconds())
 	s.mTreeNodes.Set(float64(countNodes(tree.Root)))
-	s.mTreeUsers.Set(float64(len(s.priorities)))
+	s.mTreeUsers.Set(float64(sn.index.Len()))
+	s.mSnapAge.Set(0)
 	return nil
+}
+
+// buildSnapshot projects the tree and pre-assembles the full wire table so
+// Table() is also a single pointer load; refreshMu must be held (it reads
+// cfg.Projection).
+func (s *Service) buildSnapshot(tree *fairshare.Tree, ix *fairshare.Index, at time.Time) *snapshot {
+	prior := s.cfg.Projection.Project(ix.Entries(), tree.Config.Resolution)
+	name := s.cfg.Projection.Name()
+	table := wire.FairshareTableResponse{
+		Projection: name,
+		ComputedAt: at,
+		Entries:    make([]wire.FairshareResponse, 0, ix.Len()),
+	}
+	for _, e := range ix.Entries() {
+		pr, _ := ix.Lookup(e.User)
+		table.Entries = append(table.Entries, wire.FairshareResponse{
+			User:       e.User,
+			Value:      prior[e.User],
+			Vector:     e.Vec,
+			Priority:   pr.LeafPriority,
+			ComputedAt: at,
+		})
+	}
+	return &snapshot{
+		tree: tree, index: ix, priorities: prior,
+		projName: name, computedAt: at, table: table,
+	}
 }
 
 func countNodes(n *fairshare.Node) int {
@@ -139,82 +249,169 @@ func countNodes(n *fairshare.Node) int {
 	return total
 }
 
-// ComputedAt reports when the current tree was pre-calculated (zero if no
-// calculation has happened yet) — the staleness input of /readyz.
+// ComputedAt reports when the current snapshot was pre-calculated (zero if
+// no calculation has happened yet) — the staleness input of /readyz. As a
+// side effect it refreshes the snapshot-age gauge, so scraping /metrics
+// alongside periodic readiness checks keeps the gauge current.
 func (s *Service) ComputedAt() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.tree == nil {
+	sn := s.snap.Load()
+	if sn == nil {
 		return time.Time{}
 	}
-	return s.computedAt
+	s.mSnapAge.Set(s.cfg.Clock.Now().Sub(sn.computedAt).Seconds())
+	return sn.computedAt
 }
 
-func (s *Service) ensureFresh() error {
-	now := s.cfg.Clock.Now()
-	if s.tree != nil && now.Sub(s.computedAt) < s.cfg.CacheTTL {
-		return nil
+// LastRefreshError returns the error from the most recent snapshot
+// recomputation, or nil if it succeeded (or none ran yet). /readyz uses it
+// to report a failing background refresh while stale data is still served.
+func (s *Service) LastRefreshError() error {
+	if o := s.lastErr.Load(); o != nil {
+		return o.err
 	}
-	return s.refreshLocked()
+	return nil
+}
+
+// current returns the snapshot to serve. The hot path is one atomic load
+// plus a clock read; only a cold start (no snapshot yet) ever blocks, and
+// only a stale read in SynchronousRefresh mode recomputes in-line.
+func (s *Service) current() (*snapshot, error) {
+	sn := s.snap.Load()
+	if sn == nil {
+		return s.firstSnapshot()
+	}
+	if s.ttl > 0 && s.cfg.Clock.Now().Sub(sn.computedAt) >= s.ttl {
+		if s.cfg.SynchronousRefresh {
+			return s.refreshStale()
+		}
+		s.kickRefresh()
+		s.mStaleServes.Inc()
+	}
+	return sn, nil
+}
+
+// firstSnapshot computes the initial snapshot; concurrent cold readers are
+// collapsed onto one computation by refreshMu.
+func (s *Service) firstSnapshot() (*snapshot, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	if sn := s.snap.Load(); sn != nil {
+		return sn, nil
+	}
+	if err := s.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return s.snap.Load(), nil
+}
+
+// refreshStale recomputes a stale snapshot in-line (SynchronousRefresh
+// mode), deduplicating concurrent stale readers under refreshMu.
+func (s *Service) refreshStale() (*snapshot, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	if sn := s.snap.Load(); sn != nil && s.cfg.Clock.Now().Sub(sn.computedAt) < s.ttl {
+		return sn, nil
+	}
+	if err := s.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return s.snap.Load(), nil
+}
+
+// kickRefresh starts one background recomputation; concurrent stale readers
+// that lose the latch race return immediately (their read is served from
+// the previous snapshot — stale-while-revalidate).
+func (s *Service) kickRefresh() {
+	if !s.refreshing.CompareAndSwap(false, true) {
+		s.mAsyncDedup.Inc()
+		return
+	}
+	s.mAsyncKicks.Inc()
+	go func() {
+		defer s.refreshing.Store(false)
+		s.refreshMu.Lock()
+		defer s.refreshMu.Unlock()
+		// A forced Refresh may have landed while we waited for the lock.
+		if sn := s.snap.Load(); sn != nil && s.cfg.Clock.Now().Sub(sn.computedAt) < s.ttl {
+			return
+		}
+		// Errors are recorded in lastErr and the error counter; readers
+		// keep serving the previous snapshot.
+		_ = s.rebuildLocked()
+	}()
 }
 
 // Priority returns the pre-calculated projected priority of a grid user.
+// The hot path is lock-free: one snapshot load and one map lookup, zero
+// tree walks, zero allocations. The returned Vector shares the snapshot's
+// immutable backing array and must not be mutated.
 func (s *Service) Priority(user string) (wire.FairshareResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.ensureFresh(); err != nil {
+	sn, err := s.current()
+	if err != nil {
 		return wire.FairshareResponse{}, err
 	}
-	v, ok := s.priorities[user]
+	e, ok := sn.index.Lookup(user)
 	if !ok {
 		return wire.FairshareResponse{}, ErrUnknownUser
 	}
-	resp := wire.FairshareResponse{
+	return wire.FairshareResponse{
 		User:       user,
-		Value:      v,
-		ComputedAt: s.computedAt,
-	}
-	if vec, ok := s.tree.Vector(user); ok {
-		resp.Vector = vec
-	}
-	if pr, ok := s.tree.LeafPriority(user); ok {
-		resp.Priority = pr
-	}
-	return resp, nil
+		Value:      sn.priorities[user],
+		Vector:     e.Vec,
+		Priority:   e.LeafPriority,
+		ComputedAt: sn.computedAt,
+	}, nil
 }
 
-// Table returns the full pre-calculated fairshare table.
-func (s *Service) Table() (wire.FairshareTableResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.ensureFresh(); err != nil {
-		return wire.FairshareTableResponse{}, err
+// PriorityBatch resolves many users against one snapshot load — the single
+// round trip a resource manager uses to reprioritize a whole queue. Users
+// absent from the policy are reported in Missing instead of failing the
+// batch.
+func (s *Service) PriorityBatch(users []string) (wire.FairshareBatchResponse, error) {
+	sn, err := s.current()
+	if err != nil {
+		return wire.FairshareBatchResponse{}, err
 	}
-	out := wire.FairshareTableResponse{
-		Projection: s.cfg.Projection.Name(),
-		ComputedAt: s.computedAt,
+	out := wire.FairshareBatchResponse{
+		Projection: sn.projName,
+		ComputedAt: sn.computedAt,
+		Entries:    make([]wire.FairshareResponse, 0, len(users)),
 	}
-	for _, e := range s.tree.Entries() {
-		resp := wire.FairshareResponse{
-			User:       e.User,
-			Value:      s.priorities[e.User],
+	for _, u := range users {
+		e, ok := sn.index.Lookup(u)
+		if !ok {
+			out.Missing = append(out.Missing, u)
+			continue
+		}
+		out.Entries = append(out.Entries, wire.FairshareResponse{
+			User:       u,
+			Value:      sn.priorities[u],
 			Vector:     e.Vec,
-			ComputedAt: s.computedAt,
-		}
-		if pr, ok := s.tree.LeafPriority(e.User); ok {
-			resp.Priority = pr
-		}
-		out.Entries = append(out.Entries, resp)
+			Priority:   e.LeafPriority,
+			ComputedAt: sn.computedAt,
+		})
 	}
+	s.mBatchReqs.Inc()
+	s.mBatchUsers.Observe(float64(len(users)))
 	return out, nil
 }
 
-// Tree returns the current fairshare tree (refreshing if stale).
+// Table returns the full pre-calculated fairshare table, assembled once at
+// snapshot-publication time; callers must treat it as read-only.
+func (s *Service) Table() (wire.FairshareTableResponse, error) {
+	sn, err := s.current()
+	if err != nil {
+		return wire.FairshareTableResponse{}, err
+	}
+	return sn.table, nil
+}
+
+// Tree returns the current fairshare tree (possibly triggering a refresh if
+// stale); callers must treat it as read-only.
 func (s *Service) Tree() (*fairshare.Tree, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.ensureFresh(); err != nil {
+	sn, err := s.current()
+	if err != nil {
 		return nil, err
 	}
-	return s.tree, nil
+	return sn.tree, nil
 }

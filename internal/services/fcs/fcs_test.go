@@ -3,12 +3,14 @@ package fcs
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/fairshare"
 	"repro/internal/policy"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/vector"
 	"repro/internal/wire"
 )
@@ -19,24 +21,57 @@ type staticPDS struct{ tree *policy.Tree }
 
 func (s staticPDS) Policy() *policy.Tree { return s.tree.Clone() }
 
+// staticUMS is a concurrency-safe usage source: asynchronous snapshot
+// refreshes consult it from background goroutines.
 type staticUMS struct {
+	mu     sync.Mutex
 	totals map[string]float64
 	err    error
 	calls  int
+	// block, when non-nil, is closed by the test to release an in-flight
+	// UsageTotals call (for single-flight tests).
+	block chan struct{}
 }
 
 func (s *staticUMS) UsageTotals() (map[string]float64, time.Time, error) {
+	s.mu.Lock()
 	s.calls++
-	if s.err != nil {
-		return nil, time.Time{}, s.err
-	}
+	err := s.err
+	block := s.block
 	cp := map[string]float64{}
 	for k, v := range s.totals {
 		cp[k] = v
 	}
+	s.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	if err != nil {
+		return nil, time.Time{}, err
+	}
 	return cp, t0, nil
 }
 
+func (s *staticUMS) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func (s *staticUMS) SetErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.err = err
+}
+
+func (s *staticUMS) SetTotals(t map[string]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.totals = t
+}
+
+// newFCS builds a service in SynchronousRefresh mode — the deterministic
+// semantics the pre-snapshot tests were written against.
 func newFCS(t *testing.T, shares, totals map[string]float64, clock simclock.Clock, ttl time.Duration) (*Service, *staticUMS) {
 	t.Helper()
 	p, err := policy.FromShares(shares)
@@ -44,8 +79,22 @@ func newFCS(t *testing.T, shares, totals map[string]float64, clock simclock.Cloc
 		t.Fatal(err)
 	}
 	ums := &staticUMS{totals: totals}
-	svc := New(Config{Clock: clock, CacheTTL: ttl}, staticPDS{p}, ums)
+	svc := New(Config{Clock: clock, CacheTTL: ttl, SynchronousRefresh: true,
+		Metrics: telemetry.NewRegistry()}, staticPDS{p}, ums)
 	return svc, ums
+}
+
+// waitFor polls cond for up to two seconds of real time.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
 }
 
 func TestPriorityReflectsBalance(t *testing.T) {
@@ -90,13 +139,13 @@ func TestPreCalculationCaching(t *testing.T) {
 	svc.Priority("a")
 	svc.Priority("b")
 	svc.Priority("a")
-	if ums.calls != 1 {
-		t.Errorf("UMS consulted %d times within TTL, want 1 (pre-calculated)", ums.calls)
+	if ums.Calls() != 1 {
+		t.Errorf("UMS consulted %d times within TTL, want 1 (pre-calculated)", ums.Calls())
 	}
 	clock.Advance(2 * time.Minute)
 	svc.Priority("a")
-	if ums.calls != 2 {
-		t.Errorf("UMS consulted %d times after expiry", ums.calls)
+	if ums.Calls() != 2 {
+		t.Errorf("UMS consulted %d times after expiry", ums.Calls())
 	}
 }
 
@@ -105,7 +154,7 @@ func TestRefreshPicksUpUsageChanges(t *testing.T) {
 	svc, ums := newFCS(t, map[string]float64{"a": 0.5, "b": 0.5},
 		map[string]float64{"a": 0, "b": 100}, clock, time.Hour)
 	before, _ := svc.Priority("a")
-	ums.totals = map[string]float64{"a": 100, "b": 0}
+	ums.SetTotals(map[string]float64{"a": 100, "b": 0})
 	if err := svc.Refresh(); err != nil {
 		t.Fatal(err)
 	}
@@ -138,9 +187,10 @@ func TestTableListsAllUsers(t *testing.T) {
 }
 
 func TestSetProjectionRuntimeSwitch(t *testing.T) {
-	svc, _ := newFCS(t, map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2},
+	svc, ums := newFCS(t, map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2},
 		map[string]float64{"a": 10, "b": 30, "c": 60}, simclock.NewSim(t0), time.Hour)
 	tab1, _ := svc.Table()
+	calls := ums.Calls()
 	svc.SetProjection(vector.Dictionary{})
 	tab2, err := svc.Table()
 	if err != nil {
@@ -152,6 +202,10 @@ func TestSetProjectionRuntimeSwitch(t *testing.T) {
 	// Dictionary gives evenly spaced ranks; percental does not in general.
 	if tab1.Projection == tab2.Projection {
 		t.Error("projection did not change")
+	}
+	// A projection switch re-projects the existing tree: no UMS round trip.
+	if ums.Calls() != calls {
+		t.Errorf("projection switch consulted the UMS (%d -> %d calls)", calls, ums.Calls())
 	}
 	vals := map[string]float64{}
 	for _, e := range tab2.Entries {
@@ -169,7 +223,7 @@ func TestSetProjectionRuntimeSwitch(t *testing.T) {
 
 func TestUMSErrorPropagates(t *testing.T) {
 	svc, ums := newFCS(t, map[string]float64{"a": 1}, nil, simclock.NewSim(t0), time.Minute)
-	ums.err = errors.New("ums down")
+	ums.SetErr(errors.New("ums down"))
 	if _, err := svc.Priority("a"); err == nil {
 		t.Error("UMS error swallowed")
 	}
@@ -178,6 +232,16 @@ func TestUMSErrorPropagates(t *testing.T) {
 	}
 	if _, err := svc.Tree(); err == nil {
 		t.Error("UMS error swallowed by Tree")
+	}
+	if svc.LastRefreshError() == nil {
+		t.Error("LastRefreshError not recorded")
+	}
+	ums.SetErr(nil)
+	if _, err := svc.Priority("a"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.LastRefreshError() != nil {
+		t.Error("LastRefreshError not cleared after success")
 	}
 }
 
@@ -198,11 +262,188 @@ func TestTreeExposed(t *testing.T) {
 
 func TestDefaultConfigApplied(t *testing.T) {
 	p, _ := policy.FromShares(map[string]float64{"a": 1})
-	svc := New(Config{}, staticPDS{p}, &staticUMS{})
+	svc := New(Config{Metrics: telemetry.NewRegistry()}, staticPDS{p}, &staticUMS{})
 	if svc.cfg.Fairshare.Resolution != fairshare.DefaultConfig().Resolution {
 		t.Error("default fairshare config not applied")
 	}
 	if svc.cfg.Projection == nil {
 		t.Error("default projection not applied")
+	}
+}
+
+// TestCacheTTLZeroDefaults pins the fix for the zero-TTL footgun: a zero
+// CacheTTL used to recompute the whole tree on every Priority call; now it
+// means DefaultCacheTTL.
+func TestCacheTTLZeroDefaults(t *testing.T) {
+	p, _ := policy.FromShares(map[string]float64{"a": 1})
+	ums := &staticUMS{totals: map[string]float64{"a": 1}}
+	svc := New(Config{Clock: simclock.NewSim(t0), Metrics: telemetry.NewRegistry()},
+		staticPDS{p}, ums)
+	if svc.CacheTTL() != DefaultCacheTTL {
+		t.Fatalf("effective TTL = %v, want %v", svc.CacheTTL(), DefaultCacheTTL)
+	}
+	svc.Priority("a")
+	svc.Priority("a")
+	svc.Priority("a")
+	if ums.Calls() != 1 {
+		t.Errorf("zero TTL recomputed per call: %d UMS calls, want 1", ums.Calls())
+	}
+}
+
+// TestNegativeTTLNeverExpires pins the documented semantics of a negative
+// CacheTTL: only explicit Refresh recomputes.
+func TestNegativeTTLNeverExpires(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	svc, ums := newFCS(t, map[string]float64{"a": 1},
+		map[string]float64{"a": 1}, clock, -1)
+	svc.Priority("a")
+	clock.Advance(1000 * time.Hour)
+	svc.Priority("a")
+	if ums.Calls() != 1 {
+		t.Errorf("negative TTL expired: %d UMS calls, want 1", ums.Calls())
+	}
+	if err := svc.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if ums.Calls() != 2 {
+		t.Errorf("explicit Refresh did not recompute: %d calls", ums.Calls())
+	}
+}
+
+// TestStaleWhileRevalidate exercises the asynchronous serving mode: a read
+// past the TTL returns the previous snapshot immediately and one background
+// recomputation replaces it.
+func TestStaleWhileRevalidate(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	p, _ := policy.FromShares(map[string]float64{"a": 0.5, "b": 0.5})
+	ums := &staticUMS{totals: map[string]float64{"a": 0, "b": 100}}
+	svc := New(Config{Clock: clock, CacheTTL: time.Minute,
+		Metrics: telemetry.NewRegistry()}, staticPDS{p}, ums)
+
+	first, err := svc.Priority("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ums.SetTotals(map[string]float64{"a": 100, "b": 0})
+	clock.Advance(2 * time.Minute)
+
+	// Stale read: served from the old snapshot, not the new usage.
+	stale, err := svc.Priority("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.ComputedAt != first.ComputedAt || stale.Value != first.Value {
+		t.Errorf("stale read not served from previous snapshot: %+v vs %+v", stale, first)
+	}
+
+	waitFor(t, func() bool { return ums.Calls() >= 2 }, "background refresh never ran")
+	waitFor(t, func() bool { return svc.ComputedAt().After(first.ComputedAt) },
+		"new snapshot never published")
+	fresh, err := svc.Priority("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fresh.Value < first.Value) {
+		t.Errorf("refreshed value did not reflect new usage: %g -> %g", first.Value, fresh.Value)
+	}
+}
+
+// TestSingleFlightRefresh holds one UMS fetch in flight and checks that a
+// burst of stale readers (a) all return immediately from the old snapshot
+// and (b) trigger exactly one recomputation between them.
+func TestSingleFlightRefresh(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	p, _ := policy.FromShares(map[string]float64{"a": 1})
+	ums := &staticUMS{totals: map[string]float64{"a": 1}}
+	svc := New(Config{Clock: clock, CacheTTL: time.Minute,
+		Metrics: telemetry.NewRegistry()}, staticPDS{p}, ums)
+	if _, err := svc.Priority("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	block := make(chan struct{})
+	ums.mu.Lock()
+	ums.block = block
+	ums.mu.Unlock()
+	clock.Advance(2 * time.Minute)
+
+	const readers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := svc.Priority("a"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait() // all readers return while the refresh is still blocked
+
+	ums.mu.Lock()
+	ums.block = nil
+	ums.mu.Unlock()
+	close(block)
+	waitFor(t, func() bool { return !svc.refreshing.Load() }, "refresh never finished")
+	if got := ums.Calls(); got != 2 {
+		t.Errorf("%d stale readers caused %d UMS fetches, want 2 (1 cold + 1 single-flight)",
+			readers, got)
+	}
+}
+
+// TestPriorityZeroAllocs pins the hot path at zero allocations: one atomic
+// snapshot load plus map lookups, no tree walks, no copies.
+func TestPriorityZeroAllocs(t *testing.T) {
+	svc, _ := newFCS(t, map[string]float64{"a": 0.5, "b": 0.5},
+		map[string]float64{"a": 1, "b": 3}, simclock.Real{}, time.Hour)
+	if _, err := svc.Priority("a"); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := svc.Priority("a"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Priority hot path allocates: %g allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		if _, err := svc.Table(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Table hot path allocates: %g allocs/op, want 0", allocs)
+	}
+}
+
+func TestPriorityBatch(t *testing.T) {
+	svc, ums := newFCS(t, map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2},
+		map[string]float64{"a": 10, "b": 30, "c": 60}, simclock.NewSim(t0), time.Hour)
+	resp, err := svc.PriorityBatch([]string{"a", "ghost", "c", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(resp.Entries))
+	}
+	if len(resp.Missing) != 1 || resp.Missing[0] != "ghost" {
+		t.Errorf("missing = %v", resp.Missing)
+	}
+	if resp.Projection != "percental" {
+		t.Errorf("projection = %q", resp.Projection)
+	}
+	if ums.Calls() != 1 {
+		t.Errorf("batch consulted UMS %d times, want 1 snapshot", ums.Calls())
+	}
+	single, _ := svc.Priority("b")
+	for _, e := range resp.Entries {
+		if e.ComputedAt != resp.ComputedAt {
+			t.Errorf("entry %s has ComputedAt %v, want snapshot-wide %v",
+				e.User, e.ComputedAt, resp.ComputedAt)
+		}
+		if e.User == "b" && e.Value != single.Value {
+			t.Errorf("batch value %g != single lookup %g", e.Value, single.Value)
+		}
 	}
 }

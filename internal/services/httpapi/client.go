@@ -104,6 +104,15 @@ func (c *Client) Priority(gridUser string) (wire.FairshareResponse, error) {
 	return out, err
 }
 
+// PriorityBatch implements libaequus.BatchFairshareSource against the
+// remote FCS: one POST resolves the whole user list from one snapshot.
+func (c *Client) PriorityBatch(gridUsers []string) (wire.FairshareBatchResponse, error) {
+	var out wire.FairshareBatchResponse
+	err := c.post(context.Background(), "/fairshare/batch",
+		wire.FairshareBatchRequest{Users: gridUsers}, &out)
+	return out, err
+}
+
 // Table fetches the full pre-calculated fairshare table.
 func (c *Client) Table() (wire.FairshareTableResponse, error) {
 	var out wire.FairshareTableResponse

@@ -131,6 +131,71 @@ func TestFairshareTableEndpoint(t *testing.T) {
 	}
 }
 
+func TestFairshareBatchEndpoint(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	s := newSite(t, "s", clock, map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2})
+	c := NewClient(s.server.URL, "s")
+
+	resp, err := c.PriorityBatch([]string{"a", "b", "c", "ghost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entries) != 3 {
+		t.Fatalf("entries = %+v", resp.Entries)
+	}
+	if len(resp.Missing) != 1 || resp.Missing[0] != "ghost" {
+		t.Errorf("missing = %v, want [ghost]", resp.Missing)
+	}
+	if resp.Projection != "percental" || resp.ComputedAt.IsZero() {
+		t.Errorf("batch metadata = %q at %v", resp.Projection, resp.ComputedAt)
+	}
+	// One snapshot serves the whole batch: every entry carries the batch's
+	// ComputedAt, and each value matches the single-user endpoint.
+	for _, e := range resp.Entries {
+		if e.ComputedAt != resp.ComputedAt {
+			t.Errorf("entry %s from a different snapshot: %v vs %v", e.User, e.ComputedAt, resp.ComputedAt)
+		}
+		single, err := c.Priority(e.User)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Value != e.Value {
+			t.Errorf("%s: batch value %g, single value %g", e.User, e.Value, single.Value)
+		}
+	}
+
+	// libaequus over HTTP takes the batch path transparently: local "la"
+	// maps to grid user "a", local "nobody" fails resolution and is skipped.
+	if _, ok := interface{}(c).(libaequus.BatchFairshareSource); !ok {
+		t.Fatal("httpapi.Client does not implement BatchFairshareSource")
+	}
+	if err := c.StoreMapping("a", "s", "la"); err != nil {
+		t.Fatal(err)
+	}
+	lib := libaequus.New(libaequus.Config{Site: "s", CacheTTL: time.Minute, Clock: clock}, c, c, c)
+	got, err := lib.PrioritiesForLocalUsers([]string{"la", "nobody"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := c.Priority("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["la"] != wantA.Value {
+		t.Errorf("priorities = %v, want la=%g only", got, wantA.Value)
+	}
+
+	// Method discipline: GET is rejected.
+	httpResp, err := http.Get(s.server.URL + "/fairshare/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /fairshare/batch = %d, want 405", httpResp.StatusCode)
+	}
+}
+
 func TestUnknownUserIs404(t *testing.T) {
 	clock := simclock.NewSim(t0)
 	s := newSite(t, "s", clock, map[string]float64{"a": 1})

@@ -108,6 +108,7 @@ func NewServerWith(p *pds.Service, u *uss.Service, m *ums.Service, f *fcs.Servic
 	}
 	if f != nil {
 		handle("/fairshare", s.handleFairshare)
+		handle("/fairshare/batch", s.handleFairshareBatch)
 		handle("/fairshare/refresh", s.handleFairshareRefresh)
 		handle("/fairshare/projection", s.handleProjection)
 	}
@@ -310,6 +311,26 @@ func (s *Server) handleFairshare(w http.ResponseWriter, r *http.Request) {
 	wire.WriteJSON(w, http.StatusOK, resp)
 }
 
+// handleFairshareBatch resolves a whole queue of users against one
+// fairshare snapshot — one request, one snapshot load, N map lookups.
+func (s *Server) handleFairshareBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	var req wire.FairshareBatchRequest
+	if err := wire.ReadJSON(r.Body, &req); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.FCS.PriorityBatch(req.Users)
+	if err != nil {
+		wire.WriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	wire.WriteJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleFairshareRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
@@ -368,7 +389,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp.Components["ums"] = s.precomputeStatus(now, s.UMS.ComputedAt())
 	}
 	if s.FCS != nil {
-		resp.Components["fcs"] = s.precomputeStatus(now, s.FCS.ComputedAt())
+		c := s.precomputeStatus(now, s.FCS.ComputedAt())
+		// A failing background refresh (stale-while-revalidate) is invisible
+		// to readers — they keep getting the old snapshot — so surface it
+		// here for operators even while the snapshot is still fresh enough.
+		if err := s.FCS.LastRefreshError(); err != nil {
+			if c.Reason != "" {
+				c.Reason += "; "
+			}
+			c.Reason += "last refresh failed: " + err.Error()
+		}
+		resp.Components["fcs"] = c
 	}
 	for _, c := range resp.Components {
 		if !c.Ready {

@@ -235,7 +235,11 @@ func Run(cfg Config) (*Result, error) {
 			Fairshare:   fsCfg,
 			UMSCacheTTL: cfg.RefreshInterval,
 			FCSCacheTTL: cfg.RefreshInterval,
-			LibCacheTTL: cfg.LibTTL,
+			// The testbed runs on a simulated clock with explicitly
+			// scheduled refresh events; asynchronous stale-while-revalidate
+			// would make experiment runs nondeterministic.
+			FCSSynchronousRefresh: true,
+			LibCacheTTL:           cfg.LibTTL,
 			// Run-time identity resolution: strip the site prefix to revert
 			// the local mapping (the small name-resolution endpoint of the
 			// paper's HPC2N deployment).

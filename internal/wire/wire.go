@@ -35,6 +35,23 @@ type FairshareTableResponse struct {
 	ComputedAt time.Time           `json:"computedAt"`
 }
 
+// FairshareBatchRequest asks the FCS for many users' pre-calculated values
+// in one round trip — how a resource manager reprioritizes a whole queue
+// without N sequential lookups.
+type FairshareBatchRequest struct {
+	Users []string `json:"users"`
+}
+
+// FairshareBatchResponse answers a batch lookup from a single fairshare
+// snapshot: every entry carries the same ComputedAt, and users absent from
+// the policy are listed in Missing instead of failing the whole batch.
+type FairshareBatchResponse struct {
+	Entries    []FairshareResponse `json:"entries"`
+	Missing    []string            `json:"missing,omitempty"`
+	Projection string              `json:"projection"`
+	ComputedAt time.Time           `json:"computedAt"`
+}
+
 // UsageReport carries job-completion usage from a resource manager (via
 // libaequus) to the USS.
 type UsageReport struct {
