@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fairshare"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/services/httpapi"
 	"repro/internal/telemetry"
 	"repro/internal/usage"
@@ -53,6 +54,15 @@ func main() {
 		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		readyStale    = flag.Duration("ready-max-stale", 0, "max pre-computation age before /readyz reports 503 (default 3x refresh-interval)")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
+		retryMax      = flag.Int("retry-max", 3, "max attempts for idempotent remote calls (1 disables retries)")
+		retryBase     = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff delay")
+		retryMaxDelay = flag.Duration("retry-max-delay", 5*time.Second, "retry backoff delay cap")
+		breakThresh   = flag.Int("breaker-threshold", 5, "consecutive failures that open a peer's circuit (0 disables breaking)")
+		breakCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open circuit waits before a half-open probe")
+		peerTimeout   = flag.Duration("peer-timeout", 5*time.Second, "per-peer pull timeout inside an exchange round")
+		exchDeadline  = flag.Duration("exchange-deadline", 30*time.Second, "deadline for a whole exchange round (0 = unbounded)")
+		staleFallback = flag.Bool("lib-stale-fallback", true, "serve expired libaequus cache entries when services are unreachable")
 	)
 	flag.Parse()
 
@@ -86,6 +96,11 @@ func main() {
 		fatal("unknown projection", errors.New(*projection))
 	}
 
+	retry := resilience.RetryPolicy{
+		MaxAttempts: *retryMax,
+		BaseDelay:   *retryBase,
+		MaxDelay:    *retryMaxDelay,
+	}
 	s, err := core.NewSite(core.SiteConfig{
 		Name:          *site,
 		Policy:        pol,
@@ -99,6 +114,14 @@ func main() {
 		FCSCacheTTL:   *refreshEvery,
 		LibCacheTTL:   *libTTL,
 		PolicyFetcher: httpapi.PolicyFetcher(nil),
+		PeerTimeout:   *peerTimeout,
+		PeerBreaker: resilience.BreakerConfig{
+			Threshold: *breakThresh,
+			Cooldown:  *breakCooldown,
+		},
+		LibRetry:        retry,
+		LibStaleIfError: *staleFallback,
+		FCSSourceRetry:  retry,
 	})
 	if err != nil {
 		fatal("assembling site", err)
@@ -108,7 +131,9 @@ func main() {
 	}
 
 	for _, peer := range splitList(*peers) {
-		s.ConnectPeer(httpapi.NewClient(peer, peer))
+		// Peer pulls are idempotent (watermark-based), so they retry; the
+		// per-peer breaker lives in the USS, keyed by site, not here.
+		s.ConnectPeer(httpapi.NewClientWith(peer, peer, httpapi.ClientOptions{Retry: retry}))
 		logger.Info("peering", slog.String("peer", peer))
 	}
 
@@ -124,7 +149,13 @@ func main() {
 	}
 
 	go periodic(*exchangeEvery, func() {
-		if err := s.Exchange(); err != nil {
+		ctx := context.Background()
+		if *exchDeadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *exchDeadline)
+			defer cancel()
+		}
+		if err := s.ExchangeContext(ctx); err != nil {
 			logger.Warn("exchange failed", "err", err)
 		}
 	})

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fairshare"
 	"repro/internal/libaequus"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/services/fcs"
 	"repro/internal/services/irs"
 	"repro/internal/services/pds"
@@ -62,6 +63,21 @@ type SiteConfig struct {
 	// nil). Give each site its own registry to keep multi-site processes
 	// (tests, the testbed) separable.
 	Metrics *telemetry.Registry
+	// PeerTimeout bounds each peer pull within an exchange round (zero =
+	// only the round's own deadline applies).
+	PeerTimeout time.Duration
+	// PeerBreaker configures per-peer circuit breaking for the exchange
+	// (zero Threshold disables breaking — every round dials every peer).
+	PeerBreaker resilience.BreakerConfig
+	// LibRetry bounds transient-failure retries of libaequus source lookups
+	// (zero = single attempt).
+	LibRetry resilience.RetryPolicy
+	// LibStaleIfError lets libaequus serve expired cache entries when its
+	// sources are unreachable after retries.
+	LibStaleIfError bool
+	// FCSSourceRetry bounds retries of the UMS fetch inside a fairshare
+	// refresh (zero = single attempt).
+	FCSSourceRetry resilience.RetryPolicy
 }
 
 // Site is a complete Aequus installation.
@@ -94,11 +110,13 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 
 	p := pds.New(cfg.Policy, cfg.PolicyFetcher)
 	u := uss.New(uss.Config{
-		Site:       cfg.Name,
-		BinWidth:   cfg.BinWidth,
-		Contribute: cfg.Contribute,
-		Clock:      cfg.Clock,
-		Metrics:    cfg.Metrics,
+		Site:        cfg.Name,
+		BinWidth:    cfg.BinWidth,
+		Contribute:  cfg.Contribute,
+		Clock:       cfg.Clock,
+		Metrics:     cfg.Metrics,
+		PeerTimeout: cfg.PeerTimeout,
+		Breaker:     cfg.PeerBreaker,
 	})
 
 	source := ums.SourceFunc(func(now time.Time, d usage.Decay) (map[string]float64, error) {
@@ -121,6 +139,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		SynchronousRefresh: cfg.FCSSynchronousRefresh,
 		Clock:              cfg.Clock,
 		Metrics:            cfg.Metrics,
+		SourceRetry:        cfg.FCSSourceRetry,
 	}, p, m)
 
 	i := irs.New()
@@ -129,10 +148,12 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	}
 
 	lib := libaequus.New(libaequus.Config{
-		Site:     cfg.Name,
-		CacheTTL: cfg.LibCacheTTL,
-		Clock:    cfg.Clock,
-		Metrics:  cfg.Metrics,
+		Site:         cfg.Name,
+		CacheTTL:     cfg.LibCacheTTL,
+		Clock:        cfg.Clock,
+		Metrics:      cfg.Metrics,
+		Retry:        cfg.LibRetry,
+		StaleIfError: cfg.LibStaleIfError,
 	}, f, irsAdapter{i}, ussAdapter{u})
 
 	return &Site{Name: cfg.Name, PDS: p, USS: u, UMS: m, FCS: f, IRS: i, Lib: lib}, nil
@@ -155,7 +176,14 @@ func (s *Site) ConnectPeer(p uss.Peer) { s.USS.AddPeer(p) }
 
 // Exchange pulls usage from all connected peers.
 func (s *Site) Exchange() error {
-	_, err := s.USS.Exchange(context.Background())
+	return s.ExchangeContext(context.Background())
+}
+
+// ExchangeContext pulls usage from all connected peers under ctx's deadline
+// — how a periodic driver bounds a whole round even when individual peers
+// hang.
+func (s *Site) ExchangeContext(ctx context.Context) error {
+	_, err := s.USS.Exchange(ctx)
 	return err
 }
 

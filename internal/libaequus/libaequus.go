@@ -9,9 +9,11 @@
 package libaequus
 
 import (
+	"context"
 	"sync"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
@@ -52,6 +54,17 @@ type Config struct {
 	Clock simclock.Clock
 	// Metrics receives the cache instruments (default registry if nil).
 	Metrics *telemetry.Registry
+	// Retry bounds transient-failure retries of source lookups (fairshare,
+	// identity). The zero value performs exactly one attempt. Usage reports
+	// are never retried here — they are not idempotent.
+	Retry resilience.RetryPolicy
+	// StaleIfError, when set, serves expired cache entries when the source
+	// is unreachable after retries: a scheduler keeps prioritizing on the
+	// last known fairshare values instead of failing, trading staleness for
+	// availability (the same degradation the paper accepts for partial
+	// exchanges). Stale serves are counted in Stats and
+	// aequus_lib_stale_served_total.
+	StaleIfError bool
 }
 
 // Client is a libaequus instance. It is safe for concurrent use by a
@@ -70,6 +83,7 @@ type Client struct {
 	mHits     *telemetry.CounterVec
 	mMisses   *telemetry.CounterVec
 	mExpiries *telemetry.CounterVec
+	mStale    *telemetry.CounterVec
 	mReports  *telemetry.Counter
 }
 
@@ -89,7 +103,10 @@ type cachedID struct {
 type Stats struct {
 	FairshareHits, FairshareMisses, FairshareExpiries int
 	IdentityHits, IdentityMisses, IdentityExpiries    int
-	UsageReports                                      int
+	// FairshareStale and IdentityStale count expired entries served because
+	// the source was unreachable (Config.StaleIfError).
+	FairshareStale, IdentityStale int
+	UsageReports                  int
 }
 
 // New creates a client. Any source may be nil if unused (e.g. a pure
@@ -112,9 +129,35 @@ func New(cfg Config, fcs FairshareSource, irs IdentitySource, uss UsageSink) *Cl
 			"libaequus cache misses, by cache (fairshare or identity).", "cache"),
 		mExpiries: reg.CounterVec("aequus_lib_cache_expiries_total",
 			"libaequus cache misses caused by TTL expiry, by cache.", "cache"),
+		mStale: reg.CounterVec("aequus_lib_stale_served_total",
+			"Expired libaequus cache entries served because the source was unreachable, by cache.", "cache"),
 		mReports: reg.Counter("aequus_lib_usage_reports_total",
 			"Job-completion reports forwarded to the USS by libaequus."),
 	}
+}
+
+// retry runs fn under the configured retry policy (a zero policy performs
+// exactly one attempt).
+func (c *Client) retry(fn func() error) error {
+	return c.cfg.Retry.Do(context.Background(), func(context.Context) error { return fn() })
+}
+
+// staleFairshare serves an expired cache entry after a source failure when
+// StaleIfError allows it.
+func (c *Client) staleFairshare(gridUser string) (wire.FairshareResponse, bool) {
+	if !c.cfg.StaleIfError {
+		return wire.FairshareResponse{}, false
+	}
+	c.mu.Lock()
+	e, ok := c.fairshare[gridUser]
+	if ok {
+		c.stats.FairshareStale++
+	}
+	c.mu.Unlock()
+	if ok {
+		c.mStale.With("fairshare").Inc()
+	}
+	return e.resp, ok
 }
 
 // ResolveGridID maps a local system user to its grid identity, caching the
@@ -137,8 +180,22 @@ func (c *Client) ResolveGridID(localUser string) (string, error) {
 	c.mu.Unlock()
 	c.mMisses.With("identity").Inc()
 
-	grid, err := c.irs.Resolve(c.cfg.Site, localUser)
+	var grid string
+	err := c.retry(func() error {
+		g, err := c.irs.Resolve(c.cfg.Site, localUser)
+		grid = g
+		return err
+	})
 	if err != nil {
+		// Identity mappings essentially never change mid-outage: the expired
+		// entry is almost certainly still right.
+		if ok && c.cfg.StaleIfError {
+			c.mu.Lock()
+			c.stats.IdentityStale++
+			c.mu.Unlock()
+			c.mStale.With("identity").Inc()
+			return e.grid, nil
+		}
 		return "", err
 	}
 	c.mu.Lock()
@@ -166,8 +223,16 @@ func (c *Client) Fairshare(gridUser string) (wire.FairshareResponse, error) {
 	c.mu.Unlock()
 	c.mMisses.With("fairshare").Inc()
 
-	resp, err := c.fcs.Priority(gridUser)
+	var resp wire.FairshareResponse
+	err := c.retry(func() error {
+		r, err := c.fcs.Priority(gridUser)
+		resp = r
+		return err
+	})
 	if err != nil {
+		if stale, ok := c.staleFairshare(gridUser); ok {
+			return stale, nil
+		}
 		return wire.FairshareResponse{}, err
 	}
 	c.mu.Lock()
@@ -216,9 +281,14 @@ func (c *Client) FairshareBatch(gridUsers []string) (map[string]wire.FairshareRe
 		return out, nil
 	}
 	if bs, ok := c.fcs.(BatchFairshareSource); ok {
-		resp, err := bs.PriorityBatch(misses)
+		var resp wire.FairshareBatchResponse
+		err := c.retry(func() error {
+			r, err := bs.PriorityBatch(misses)
+			resp = r
+			return err
+		})
 		if err != nil {
-			return nil, err
+			return c.staleBatch(out, misses, err)
 		}
 		c.mu.Lock()
 		for _, e := range resp.Entries {
@@ -229,15 +299,48 @@ func (c *Client) FairshareBatch(gridUsers []string) (map[string]wire.FairshareRe
 		return out, nil
 	}
 	for _, u := range misses {
-		resp, err := c.fcs.Priority(u)
+		var resp wire.FairshareResponse
+		err := c.retry(func() error {
+			r, err := c.fcs.Priority(u)
+			resp = r
+			return err
+		})
 		if err != nil {
-			return nil, err
+			return c.staleBatch(out, misses, err)
 		}
 		c.mu.Lock()
 		c.fairshare[u] = cachedValue{resp: resp, at: now}
 		c.mu.Unlock()
 		out[u] = resp
 	}
+	return out, nil
+}
+
+// staleBatch completes a failed batch fetch from expired cache entries. The
+// fallback only succeeds when every outstanding user has some cached value —
+// a partially answerable batch still fails, so a caller never mistakes a
+// half-empty map for "those users are unknown to the policy".
+func (c *Client) staleBatch(out map[string]wire.FairshareResponse, misses []string, err error) (map[string]wire.FairshareResponse, error) {
+	if !c.cfg.StaleIfError {
+		return nil, err
+	}
+	c.mu.Lock()
+	served := 0
+	for _, u := range misses {
+		if _, done := out[u]; done {
+			continue
+		}
+		e, ok := c.fairshare[u]
+		if !ok {
+			c.mu.Unlock()
+			return nil, err
+		}
+		out[u] = e.resp
+		served++
+	}
+	c.stats.FairshareStale += served
+	c.mu.Unlock()
+	c.mStale.With("fairshare").Add(float64(served))
 	return out, nil
 }
 

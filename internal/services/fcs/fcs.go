@@ -15,6 +15,7 @@
 package fcs
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/fairshare"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 	"repro/internal/vector"
@@ -66,6 +68,12 @@ type Config struct {
 	Clock simclock.Clock
 	// Metrics receives the service's instruments (default registry if nil).
 	Metrics *telemetry.Registry
+	// SourceRetry bounds transient-failure retries of the UMS usage fetch
+	// during a refresh (the zero value performs exactly one attempt). A
+	// refresh that still fails leaves the previous snapshot serving —
+	// stale-while-revalidate — so retries here only shorten how long the
+	// table lags, never block readers.
+	SourceRetry resilience.RetryPolicy
 }
 
 // snapshot is one immutable pre-calculation result. Everything reachable
@@ -192,7 +200,12 @@ func (s *Service) rebuildLocked() error {
 	// Durations are measured in wall time, not the (possibly simulated)
 	// service clock: the metric reports real compute cost.
 	started := time.Now()
-	totals, _, err := s.ums.UsageTotals()
+	var totals map[string]float64
+	err := s.cfg.SourceRetry.Do(context.Background(), func(context.Context) error {
+		t, _, err := s.ums.UsageTotals()
+		totals = t
+		return err
+	})
 	if err != nil {
 		s.lastErr.Store(&refreshOutcome{err})
 		s.mRefreshErrs.Inc()

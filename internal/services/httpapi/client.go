@@ -6,17 +6,49 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/services/pds"
 	"repro/internal/telemetry"
 	"repro/internal/usage"
 	"repro/internal/wire"
 )
+
+// DefaultRequestTimeout caps one HTTP attempt when the caller's context
+// carries no tighter deadline.
+const DefaultRequestTimeout = 10 * time.Second
+
+// NewHTTPClient is the one place Aequus constructs *http.Client values: a
+// per-attempt timeout (DefaultRequestTimeout when timeout <= 0) on top of a
+// transport with bounded dial/TLS handshake times and enough idle keep-alive
+// connections per host that exchange rounds and batch priority calls reuse
+// connections instead of re-dialing.
+func NewHTTPClient(timeout time.Duration) *http.Client {
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ExpectContinueTimeout: 1 * time.Second,
+			MaxIdleConns:          128,
+			MaxIdleConnsPerHost:   32,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
+}
 
 // Client talks to a remote Aequus site's HTTP API. Its methods implement
 // the source/sink interfaces of the in-process packages, so a local resource
@@ -25,45 +57,151 @@ import (
 type Client struct {
 	// BaseURL is the site's service root, e.g. "http://site-a:7470".
 	BaseURL string
-	// HTTP is the underlying client (default: 10 s timeout).
+	// HTTP is the underlying client (default: NewHTTPClient settings).
 	HTTP *http.Client
 	// SiteName labels the remote site for exchange bookkeeping.
 	SiteName string
+	// Retry bounds transient-failure retries of idempotent calls (the zero
+	// value performs exactly one attempt). Non-idempotent calls — usage
+	// reports, which accumulate — are never retried here; the USS's
+	// idempotent exchange protocol recovers them instead.
+	Retry resilience.RetryPolicy
+	// Breaker, when set, guards every call to this site: open means fail
+	// fast with resilience.ErrOpen instead of dialing.
+	Breaker *resilience.Breaker
+
+	metrics *telemetry.ClientMetrics
 }
 
-// NewClient creates a client for the given base URL.
+// ClientOptions tunes a Client's resilience and observability wiring.
+type ClientOptions struct {
+	// HTTP overrides the underlying client (default NewHTTPClient(0)).
+	HTTP *http.Client
+	// Retry bounds transient-failure retries of idempotent calls.
+	Retry resilience.RetryPolicy
+	// Breaker guards all calls to this site (optional).
+	Breaker *resilience.Breaker
+	// Metrics receives the outgoing-call instruments (default registry if
+	// nil).
+	Metrics *telemetry.Registry
+}
+
+// NewClient creates a client for the given base URL with default options:
+// shared transport limits, no retries, no breaker.
 func NewClient(baseURL, siteName string) *Client {
+	return NewClientWith(baseURL, siteName, ClientOptions{})
+}
+
+// NewClientWith creates a client with explicit resilience options.
+func NewClientWith(baseURL, siteName string, o ClientOptions) *Client {
+	if o.HTTP == nil {
+		o.HTTP = NewHTTPClient(0)
+	}
 	return &Client{
 		BaseURL:  strings.TrimRight(baseURL, "/"),
-		HTTP:     &http.Client{Timeout: 10 * time.Second},
+		HTTP:     o.HTTP,
 		SiteName: siteName,
+		Retry:    o.Retry,
+		Breaker:  o.Breaker,
+		metrics:  telemetry.NewClientMetrics(o.Metrics),
 	}
 }
 
-// do issues one request. Request IDs propagate: an ID carried by ctx (e.g.
-// from an instrumented handler that triggered this call) is forwarded in
-// X-Aequus-Request-ID; without one a fresh ID is generated, so every
-// outgoing call is traceable. The response body is always drained and
-// closed (via wire.DecodeResponse), keeping keep-alive connections
-// reusable, and non-2xx statuses become errors.
+// target labels this client's outgoing-call metrics.
+func (c *Client) target() string {
+	if c.SiteName != "" {
+		return c.SiteName
+	}
+	return c.BaseURL
+}
+
+// call runs one logical request through the resilience stack: the breaker
+// rejects without dialing when open, every attempt is observed in the
+// client metrics, and — for idempotent requests — transient failures are
+// retried per c.Retry with exponential backoff. Non-2xx responses that
+// repeating cannot fix (4xx) are marked Permanent so they are never
+// retried.
+func (c *Client) call(ctx context.Context, retryable bool, attempt func(ctx context.Context) error) error {
+	target := c.target()
+	run := func(ctx context.Context) error {
+		if !c.Breaker.Allow() {
+			// Fail fast; Permanent keeps the retry loop from hammering a
+			// breaker whose cooldown is longer than any backoff.
+			return resilience.Permanent(resilience.ErrOpen)
+		}
+		start := time.Now()
+		err := attempt(ctx)
+		c.metrics.Observe(target, time.Since(start), err)
+		if err != nil {
+			c.Breaker.Failure(err)
+			return err
+		}
+		c.Breaker.Success()
+		return nil
+	}
+	if !retryable {
+		return run(ctx)
+	}
+	p := c.Retry
+	if p.OnRetry == nil {
+		p.OnRetry = func(int, error) { c.metrics.Retry(target) }
+	}
+	return p.Do(ctx, run)
+}
+
+// do issues one idempotent request (with retries, when configured). Request
+// IDs propagate: an ID carried by ctx (e.g. from an instrumented handler
+// that triggered this call) is forwarded in X-Aequus-Request-ID; without one
+// a fresh ID is generated, so every outgoing call is traceable. The response
+// body is always drained and closed (via wire.DecodeResponse), keeping
+// keep-alive connections reusable, and non-2xx statuses become errors.
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	return c.call(ctx, true, func(ctx context.Context) error {
+		return c.doOnce(ctx, method, path, in, out)
+	})
+}
+
+// doNoRetry issues one non-idempotent request: breaker and metrics apply,
+// retries do not.
+func (c *Client) doNoRetry(ctx context.Context, method, path string, in, out interface{}) error {
+	return c.call(ctx, false, func(ctx context.Context) error {
+		return c.doOnce(ctx, method, path, in, out)
+	})
+}
+
+// doOnce performs a single HTTP attempt. The request body is re-encoded
+// here so every retry attempt gets a fresh reader.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out interface{}) error {
 	var body io.Reader
 	if in != nil {
 		var buf bytes.Buffer
 		if err := json.NewEncoder(&buf).Encode(in); err != nil {
-			return err
+			return resilience.Permanent(err)
 		}
 		body = &buf
 	}
 	req, err := c.newRequest(ctx, method, path, body)
 	if err != nil {
-		return err
+		return resilience.Permanent(err)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return err
+		return err // transport errors (refused, reset, timeout) are retryable
 	}
-	return wire.DecodeResponse(resp, out)
+	return classifyStatus(resp.StatusCode, wire.DecodeResponse(resp, out))
+}
+
+// classifyStatus marks response errors that repeating the identical request
+// cannot fix (4xx — the request itself is wrong) as Permanent; 5xx and 429
+// stay retryable.
+func classifyStatus(code int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if code/100 == 4 && code != http.StatusTooManyRequests {
+		return resilience.Permanent(err)
+	}
+	return err
 }
 
 // newRequest builds a request with the propagated (or freshly generated)
@@ -141,9 +279,13 @@ func (c *Client) ReportJob(gridUser string, start time.Time, dur time.Duration, 
 	_ = c.ReportJobErr(gridUser, start, dur, procs)
 }
 
-// ReportJobErr reports usage and returns any transport error.
+// ReportJobErr reports usage and returns any transport error. Usage reports
+// accumulate on the remote USS, so the call is not idempotent and is never
+// retried: a report lost to a transient failure is recovered by the
+// idempotent exchange protocol, not by resending it (which could double
+// count).
 func (c *Client) ReportJobErr(gridUser string, start time.Time, dur time.Duration, procs int) error {
-	return c.post(context.Background(), "/usage", wire.UsageReport{
+	return c.doNoRetry(context.Background(), http.MethodPost, "/usage", wire.UsageReport{
 		User:            gridUser,
 		Start:           start,
 		DurationSeconds: dur.Seconds(),
@@ -283,7 +425,7 @@ func (c *Client) Mount(parentPath, name string, share float64, origin string) er
 // PDS-to-PDS mounting over HTTP.
 func PolicyFetcher(httpClient *http.Client) pds.Fetcher {
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 10 * time.Second}
+		httpClient = NewHTTPClient(0)
 	}
 	return func(origin string) (*policy.Node, error) {
 		base, path := origin, ""
@@ -306,7 +448,7 @@ type EndpointClient struct {
 func (e *EndpointClient) Resolve(site, localUser string) (string, error) {
 	h := e.HTTP
 	if h == nil {
-		h = &http.Client{Timeout: 10 * time.Second}
+		h = NewHTTPClient(0)
 	}
 	var body bytes.Buffer
 	if err := json.NewEncoder(&body).Encode(wire.ResolveRequest{Site: site, LocalUser: localUser}); err != nil {

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/identity"
@@ -374,17 +375,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
 		return
 	}
+	now := s.clock.Now()
 	resp := wire.ReadyResponse{Ready: true, Components: map[string]wire.ReadyComponent{}}
 	if s.PDS != nil {
 		resp.Components["pds"] = wire.ReadyComponent{Ready: true}
 	}
 	if s.USS != nil {
-		resp.Components["uss"] = wire.ReadyComponent{Ready: true}
+		resp.Components["uss"] = s.ussStatus(now)
 	}
 	if s.IRS != nil {
 		resp.Components["irs"] = wire.ReadyComponent{Ready: true}
 	}
-	now := s.clock.Now()
 	if s.UMS != nil {
 		resp.Components["ums"] = s.precomputeStatus(now, s.UMS.ComputedAt())
 	}
@@ -411,6 +412,42 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	wire.WriteJSON(w, code, resp)
+}
+
+// ussStatus reports the USS component with per-peer exchange health. A
+// degraded peer — open breaker, consecutive failures, or a pull older than
+// ReadyMaxStale — is named in Reason but does not flip Ready: local priority
+// serving works without that peer, and the global picture merely lags
+// (Section IV's partial-exchange degradation, not an outage).
+func (s *Server) ussStatus(now time.Time) wire.ReadyComponent {
+	c := wire.ReadyComponent{Ready: true}
+	var degraded []string
+	for _, p := range s.USS.PeerStatuses() {
+		ps := wire.PeerStatus{
+			Site:                p.Site,
+			Breaker:             p.Breaker,
+			LastSuccess:         p.LastSuccess,
+			StalenessSeconds:    -1,
+			ConsecutiveFailures: p.ConsecutiveFailures,
+			LastError:           p.LastError,
+		}
+		if !p.LastSuccess.IsZero() {
+			ps.StalenessSeconds = now.Sub(p.LastSuccess).Seconds()
+		}
+		c.Peers = append(c.Peers, ps)
+		switch {
+		case p.Breaker == "open":
+			degraded = append(degraded, p.Site+" (circuit open)")
+		case p.ConsecutiveFailures > 0:
+			degraded = append(degraded, p.Site+" (failing)")
+		case s.readyMaxStale > 0 && !p.LastSuccess.IsZero() && now.Sub(p.LastSuccess) > s.readyMaxStale:
+			degraded = append(degraded, p.Site+" (stale)")
+		}
+	}
+	if len(degraded) > 0 {
+		c.Reason = "degraded peers: " + strings.Join(degraded, ", ")
+	}
+	return c
 }
 
 func (s *Server) precomputeStatus(now, computedAt time.Time) wire.ReadyComponent {

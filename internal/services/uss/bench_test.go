@@ -1,0 +1,73 @@
+package uss
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+	"repro/internal/usage"
+)
+
+// benchPeers builds peers sites, each serving recsPerPeer records spread
+// over distinct hourly bins and users.
+func benchPeers(peers, recsPerPeer int) []Peer {
+	out := make([]Peer, peers)
+	for p := 0; p < peers; p++ {
+		recs := make([]usage.Record, recsPerPeer)
+		for i := range recs {
+			recs[i] = usage.Record{
+				Site:          fmt.Sprintf("peer%02d", p),
+				User:          fmt.Sprintf("user%03d", i%97),
+				IntervalStart: t0.Add(time.Duration(i/97) * time.Hour),
+				CoreSeconds:   float64(100 + i),
+			}
+		}
+		out[p] = &okPeer{site: fmt.Sprintf("peer%02d", p), recs: recs}
+	}
+	return out
+}
+
+// BenchmarkExchangeRound measures one full exchange round — the concurrent
+// peer fan-out plus per-peer histogram ingestion — across federation sizes.
+// The watermark is reset every iteration so each round ingests the full
+// record set (the cold-peer worst case; incremental rounds are strictly
+// cheaper).
+func BenchmarkExchangeRound(b *testing.B) {
+	for _, bc := range []struct{ peers, recs int }{
+		{1, 1000},
+		{5, 1000},
+		{20, 1000},
+		{5, 10000},
+	} {
+		b.Run(fmt.Sprintf("peers=%d/recs=%d", bc.peers, bc.recs), func(b *testing.B) {
+			s := New(Config{
+				Site:       "local",
+				BinWidth:   time.Hour,
+				Contribute: true,
+				Clock:      simclock.NewSim(t0),
+				Metrics:    telemetry.NewRegistry(),
+			})
+			for _, p := range benchPeers(bc.peers, bc.recs) {
+				s.AddPeer(p)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s.mu.Lock()
+				s.remote = map[string]*usage.Histogram{}
+				s.watermark = map[string]time.Time{}
+				s.mu.Unlock()
+				b.StartTimer()
+				if _, err := s.Exchange(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(bc.peers * bc.recs))
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 	"repro/internal/usage"
@@ -41,6 +42,16 @@ type Config struct {
 	Clock simclock.Clock
 	// Metrics receives the service's instruments (default registry if nil).
 	Metrics *telemetry.Registry
+	// PeerTimeout bounds each peer pull of an exchange round in wall-clock
+	// time (0 = only the round's own context deadline applies). A hung peer
+	// costs at most this much, and pulls run concurrently, so it cannot
+	// delay the other peers either.
+	PeerTimeout time.Duration
+	// Breaker configures the per-peer circuit breakers. The zero value
+	// disables breaking: every peer is dialed every round, as before.
+	// With a threshold set, a peer that keeps failing is skipped (not
+	// dialed at all) until the cooldown elapses, then probed half-open.
+	Breaker resilience.BreakerConfig
 }
 
 // Service is a Usage Statistics Service instance.
@@ -56,12 +67,27 @@ type Service struct {
 	remote    map[string]*usage.Histogram
 	watermark map[string]time.Time
 	peers     []Peer
+	// peerState tracks per-peer exchange health (last success, last error,
+	// consecutive failures) — the inputs of /readyz's peer staleness view.
+	peerState map[string]*peerState
+
+	// breakers holds the per-peer circuit breakers (nil when disabled).
+	breakers *resilience.BreakerSet
 
 	mReports        *telemetry.Counter
 	mExchanges      *telemetry.Counter
 	mExchangeBatch  *telemetry.Histogram
 	mExchangeRecs   *telemetry.CounterVec
 	mExchangeErrors *telemetry.CounterVec
+	mExchangeSkips  *telemetry.CounterVec
+	mPeerStaleness  *telemetry.GaugeVec
+}
+
+// peerState is one peer's exchange bookkeeping, guarded by Service.mu.
+type peerState struct {
+	lastSuccess time.Time
+	lastErr     error
+	consecFails int
 }
 
 // New creates a USS.
@@ -72,12 +98,17 @@ func New(cfg Config) *Service {
 	if cfg.BinWidth <= 0 {
 		cfg.BinWidth = time.Hour
 	}
+	if cfg.Breaker.Clock == nil {
+		cfg.Breaker.Clock = cfg.Clock
+	}
 	reg := telemetry.OrDefault(cfg.Metrics)
 	return &Service{
 		cfg:       cfg,
 		local:     usage.NewHistogram(cfg.BinWidth),
 		remote:    map[string]*usage.Histogram{},
 		watermark: map[string]time.Time{},
+		peerState: map[string]*peerState{},
+		breakers:  resilience.NewBreakerSet(cfg.Breaker, reg),
 		mReports: reg.Counter("aequus_uss_usage_reports_total",
 			"Job-completion usage reports ingested by the local USS."),
 		mExchanges: reg.Counter("aequus_uss_exchanges_total",
@@ -89,6 +120,10 @@ func New(cfg Config) *Service {
 			"Compact usage records ingested from peers, by peer site.", "peer"),
 		mExchangeErrors: reg.CounterVec("aequus_uss_exchange_errors_total",
 			"Failed peer pulls during usage exchange, by peer site.", "peer"),
+		mExchangeSkips: reg.CounterVec("aequus_uss_exchange_skipped_total",
+			"Peer pulls skipped because the peer's circuit breaker was open, by peer site.", "peer"),
+		mPeerStaleness: reg.GaugeVec("aequus_uss_peer_staleness_seconds",
+			"Seconds since the last successful pull from each peer (-1 = never succeeded).", "peer"),
 	}
 }
 
@@ -131,59 +166,184 @@ func (s *Service) RecordsSince(_ context.Context, t time.Time) ([]usage.Record, 
 // peer's remote histogram, making the exchange incremental (closed intervals
 // transfer once) yet idempotent (the open interval is re-fetched and
 // overwritten). It returns the number of records ingested and the first
-// error (all peers are still attempted). The context's request ID is
-// forwarded to every peer pull, so one exchange round is traceable across
-// the federation.
+// error in peer order (all reachable peers are still attempted). The
+// context's request ID is forwarded to every peer pull, so one exchange
+// round is traceable across the federation.
+//
+// Resilience semantics: peers are pulled concurrently, each bounded by
+// Config.PeerTimeout (and the round's own context deadline), so one slow or
+// hung peer never blocks the others or the round. A peer whose circuit
+// breaker is open is skipped without dialing — the skip is counted in
+// aequus_uss_exchange_skipped_total but is not an error; the paper's
+// partial-exchange semantics already define priorities over whatever data is
+// available.
 func (s *Service) Exchange(ctx context.Context) (int, error) {
 	s.mu.Lock()
 	peers := append([]Peer(nil), s.peers...)
 	s.mu.Unlock()
 	s.mExchanges.Inc()
 
+	counts := make([]int, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p Peer) {
+			defer wg.Done()
+			counts[i], errs[i] = s.pullPeer(ctx, p)
+		}(i, p)
+	}
+	wg.Wait()
+
 	total := 0
 	var firstErr error
-	for _, p := range peers {
-		site := p.Site()
-		s.mu.Lock()
-		since := s.watermark[site]
-		s.mu.Unlock()
-		if !since.IsZero() {
-			// Re-fetch the last (possibly still-filling) interval.
-			since = since.Add(-s.cfg.BinWidth)
+	for i := range peers {
+		total += counts[i]
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
 		}
-		recs, err := p.RecordsSince(ctx, since)
-		if err != nil {
-			s.mExchangeErrors.With(site).Inc()
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		s.mExchangeBatch.Observe(float64(len(recs)))
-		s.mExchangeRecs.With(site).Add(float64(len(recs)))
-		if len(recs) == 0 {
-			continue
-		}
-		s.mu.Lock()
-		hist := s.remote[site]
-		if hist == nil {
-			hist = usage.NewHistogram(s.cfg.BinWidth)
-			s.remote[site] = hist
-		}
-		newest := s.watermark[site]
-		s.mu.Unlock()
-		for _, r := range recs {
-			hist.SetBin(r.User, r.IntervalStart, r.CoreSeconds)
-			if r.IntervalStart.After(newest) {
-				newest = r.IntervalStart
-			}
-		}
-		s.mu.Lock()
-		s.watermark[site] = newest
-		s.mu.Unlock()
-		total += len(recs)
 	}
 	return total, firstErr
+}
+
+// pullPeer performs one peer's pull-and-ingest of an exchange round. The
+// per-peer state (watermark, remote histogram, health bookkeeping) is
+// independent across peers, so concurrent pulls stay deterministic.
+func (s *Service) pullPeer(ctx context.Context, p Peer) (int, error) {
+	site := p.Site()
+	br := s.breakers.For(site)
+	if !br.Allow() {
+		s.mExchangeSkips.With(site).Inc()
+		return 0, nil
+	}
+
+	s.mu.Lock()
+	since := s.watermark[site]
+	s.mu.Unlock()
+	if !since.IsZero() {
+		// Re-fetch the last (possibly still-filling) interval.
+		since = since.Add(-s.cfg.BinWidth)
+	}
+
+	pctx := ctx
+	if s.cfg.PeerTimeout > 0 {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(ctx, s.cfg.PeerTimeout)
+		defer cancel()
+	}
+	recs, err := p.RecordsSince(pctx, since)
+	if err != nil {
+		br.Failure(err)
+		s.mExchangeErrors.With(site).Inc()
+		s.notePeer(site, err)
+		return 0, err
+	}
+	br.Success()
+	s.mExchangeBatch.Observe(float64(len(recs)))
+	s.mExchangeRecs.With(site).Add(float64(len(recs)))
+	s.notePeer(site, nil)
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	hist := s.remote[site]
+	if hist == nil {
+		hist = usage.NewHistogram(s.cfg.BinWidth)
+		s.remote[site] = hist
+	}
+	newest := s.watermark[site]
+	s.mu.Unlock()
+	for _, r := range recs {
+		hist.SetBin(r.User, r.IntervalStart, r.CoreSeconds)
+		if r.IntervalStart.After(newest) {
+			newest = r.IntervalStart
+		}
+	}
+	s.mu.Lock()
+	s.watermark[site] = newest
+	s.mu.Unlock()
+	return len(recs), nil
+}
+
+// notePeer records one pull outcome in the per-peer health state and keeps
+// the staleness gauge current.
+func (s *Service) notePeer(site string, err error) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	st := s.peerState[site]
+	if st == nil {
+		st = &peerState{}
+		s.peerState[site] = st
+	}
+	if err == nil {
+		st.lastSuccess = now
+		st.lastErr = nil
+		st.consecFails = 0
+	} else {
+		st.lastErr = err
+		st.consecFails++
+	}
+	last := st.lastSuccess
+	s.mu.Unlock()
+	if last.IsZero() {
+		s.mPeerStaleness.With(site).Set(-1)
+	} else {
+		s.mPeerStaleness.With(site).Set(now.Sub(last).Seconds())
+	}
+}
+
+// PeerStatus is one peer's exchange health, as surfaced by /readyz.
+type PeerStatus struct {
+	// Site is the peer's site name.
+	Site string
+	// Breaker is the circuit state ("closed", "open", "half-open", or
+	// "disabled" when breaking is off).
+	Breaker string
+	// LastSuccess is the last successful pull (zero = never).
+	LastSuccess time.Time
+	// LastError is the most recent pull failure ("" when healthy).
+	LastError string
+	// ConsecutiveFailures counts pulls failed since the last success.
+	ConsecutiveFailures int
+}
+
+// PeerStatuses reports every registered peer's exchange health, sorted by
+// site name. As a side effect it refreshes the per-peer staleness gauges, so
+// scraping /metrics alongside periodic readiness checks keeps them current.
+func (s *Service) PeerStatuses() []PeerStatus {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	peers := append([]Peer(nil), s.peers...)
+	out := make([]PeerStatus, 0, len(peers))
+	for _, p := range peers {
+		site := p.Site()
+		ps := PeerStatus{Site: site, Breaker: "disabled"}
+		if st := s.peerState[site]; st != nil {
+			ps.LastSuccess = st.lastSuccess
+			ps.ConsecutiveFailures = st.consecFails
+			if st.lastErr != nil {
+				ps.LastError = st.lastErr.Error()
+			}
+		}
+		out = append(out, ps)
+	}
+	s.mu.Unlock()
+	for i := range out {
+		if br := s.breakers.For(out[i].Site); br != nil {
+			ps := &out[i]
+			ps.Breaker = br.State().String()
+			if ps.LastError == "" && br.LastError() != nil {
+				ps.LastError = br.LastError().Error()
+			}
+		}
+		if out[i].LastSuccess.IsZero() {
+			s.mPeerStaleness.With(out[i].Site).Set(-1)
+		} else {
+			s.mPeerStaleness.With(out[i].Site).Set(now.Sub(out[i].LastSuccess).Seconds())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
 }
 
 // LocalTotals returns decayed per-user totals of locally executed jobs.

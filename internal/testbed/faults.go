@@ -1,0 +1,54 @@
+package testbed
+
+// This file wires faults into testbed experiments: wrappers that put a
+// deterministic fault injector between a site and the peers (or sources) it
+// talks to, so a run can emulate dead, flaky, slow or resetting sites on the
+// simulated clock and assert that prioritization degrades and recovers the
+// way Section IV's partial-exchange analysis predicts.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/services/uss"
+	"repro/internal/usage"
+	"repro/internal/wire"
+)
+
+// FaultyPeer wraps a uss.Peer with a fault injector: every pull first asks
+// the injector for a verdict, so exchange traffic to this peer fails, hangs
+// (to the pull's deadline) or slows per the configured windows while the
+// underlying peer stays healthy.
+type FaultyPeer struct {
+	Peer uss.Peer
+	Inj  *faultinject.Injector
+}
+
+// Site implements uss.Peer.
+func (p *FaultyPeer) Site() string { return p.Peer.Site() }
+
+// RecordsSince implements uss.Peer, subject to injected faults.
+func (p *FaultyPeer) RecordsSince(ctx context.Context, t time.Time) ([]usage.Record, error) {
+	if err := p.Inj.Decide().Resolve(ctx); err != nil {
+		return nil, err
+	}
+	return p.Peer.RecordsSince(ctx, t)
+}
+
+// FaultySource wraps a libaequus fairshare source the same way, emulating an
+// unreachable or flaky FCS in front of a scheduler.
+type FaultySource struct {
+	Source interface {
+		Priority(string) (wire.FairshareResponse, error)
+	}
+	Inj *faultinject.Injector
+}
+
+// Priority implements libaequus.FairshareSource, subject to injected faults.
+func (s *FaultySource) Priority(user string) (wire.FairshareResponse, error) {
+	if err := s.Inj.Decide().Resolve(context.Background()); err != nil {
+		return wire.FairshareResponse{}, err
+	}
+	return s.Source.Priority(user)
+}

@@ -109,6 +109,25 @@ type MountRequest struct {
 	Origin string `json:"origin"`
 }
 
+// PeerStatus reports one exchange peer's health inside the USS readiness
+// component.
+type PeerStatus struct {
+	// Site is the peer site name.
+	Site string `json:"site"`
+	// Breaker is the circuit state: "closed", "open", "half-open", or
+	// "disabled" when no breaker guards the peer.
+	Breaker string `json:"breaker"`
+	// LastSuccess is the last successful pull; zero when never succeeded.
+	LastSuccess time.Time `json:"lastSuccess,omitempty"`
+	// StalenessSeconds is the age of the last successful pull, or -1 when
+	// the peer has never been pulled successfully.
+	StalenessSeconds float64 `json:"stalenessSeconds"`
+	// ConsecutiveFailures counts pulls failed since the last success.
+	ConsecutiveFailures int `json:"consecutiveFailures,omitempty"`
+	// LastError is the most recent pull error, cleared on success.
+	LastError string `json:"lastError,omitempty"`
+}
+
 // ReadyComponent reports one service's readiness inside a ReadyResponse.
 type ReadyComponent struct {
 	Ready bool `json:"ready"`
@@ -119,6 +138,9 @@ type ReadyComponent struct {
 	AgeSeconds float64 `json:"ageSeconds,omitempty"`
 	// Reason explains a not-ready verdict.
 	Reason string `json:"reason,omitempty"`
+	// Peers details exchange-peer health (USS component only). Degraded
+	// peers do not flip Ready: local serving works without them.
+	Peers []PeerStatus `json:"peers,omitempty"`
 }
 
 // ReadyResponse is the /readyz envelope: overall readiness plus a
