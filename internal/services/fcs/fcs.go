@@ -36,6 +36,10 @@ type PolicySource interface {
 }
 
 // UsageSource provides pre-computed per-user decayed usage (the UMS).
+// Implementations must not block unrelated callers while recomputing: the
+// UMS recomputes single-flight outside its lock, so FCS snapshot rebuilds
+// waiting on a slow USS never stall the UMS's own readiness probes, and
+// concurrent rebuild retries coalesce onto one source fan-out.
 type UsageSource interface {
 	UsageTotals() (map[string]float64, time.Time, error)
 }

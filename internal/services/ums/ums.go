@@ -47,10 +47,23 @@ type Service struct {
 	cfg     Config
 	sources []Source
 
+	// mu guards the cache fields and the in-flight latch. It is never held
+	// across a source fetch: recomputation runs outside the lock, so
+	// ComputedAt (and therefore /readyz) stays responsive while a slow or
+	// hanging USS is being queried.
 	mu       sync.Mutex
 	cached   map[string]float64
 	cachedAt time.Time
 	valid    bool
+	// inflight is non-nil while one recompute runs; it is closed when that
+	// recompute finishes. Concurrent stale readers wait on it and adopt
+	// the flight's outcome instead of launching duplicate fetches
+	// (single-flight, mirroring the FCS refresh discipline).
+	inflight    chan struct{}
+	inflightErr error // outcome of the last finished flight, for waiters
+	// gen is bumped by Invalidate; a flight that started before the bump
+	// must not publish its (pre-invalidation) result as valid.
+	gen uint64
 
 	mRecomputes   *telemetry.Counter
 	mRecomputeDur *telemetry.Histogram
@@ -87,31 +100,109 @@ func (s *Service) AddSource(src Source) {
 
 // UsageTotals returns the pre-computed per-user decayed usage, recomputing
 // when the cache has expired. The returned map is a copy.
+//
+// Recomputation is single-flight and runs outside the service mutex: of any
+// number of concurrent stale readers, exactly one fans out to the sources
+// (concurrently, one goroutine per source) while the rest wait for that
+// flight and adopt its result — a slow source delays only the callers that
+// need fresh data, never ComputedAt or cache hits.
 func (s *Service) UsageTotals() (map[string]float64, time.Time, error) {
-	now := s.cfg.Clock.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.valid && now.Sub(s.cachedAt) < s.cfg.CacheTTL {
-		return copyTotals(s.cached), s.cachedAt, nil
-	}
-	started := time.Now() // wall time: the metric reports real compute cost
-	combined := map[string]float64{}
-	for _, src := range s.sources {
-		totals, err := src.Totals(now, s.cfg.Decay)
+	for {
+		now := s.cfg.Clock.Now()
+		s.mu.Lock()
+		if s.valid && now.Sub(s.cachedAt) < s.cfg.CacheTTL {
+			cp, at := copyTotals(s.cached), s.cachedAt
+			s.mu.Unlock()
+			return cp, at, nil
+		}
+		if ch := s.inflight; ch != nil {
+			s.mu.Unlock()
+			<-ch
+			s.mu.Lock()
+			err, valid := s.inflightErr, s.valid
+			cp, at := copyTotals(s.cached), s.cachedAt
+			s.mu.Unlock()
+			if err != nil {
+				return nil, time.Time{}, err
+			}
+			if valid {
+				// Serve the flight's result even when it is already at
+				// the TTL edge (e.g. CacheTTL=0): it was computed while
+				// we waited, which is as fresh as a recompute of our own.
+				return cp, at, nil
+			}
+			continue // flight was invalidated under us; retry
+		}
+		ch := make(chan struct{})
+		s.inflight = ch
+		sources := append([]Source(nil), s.sources...)
+		gen := s.gen
+		s.mu.Unlock()
+
+		started := time.Now() // wall time: the metric reports real compute cost
+		combined, err := fetchSources(sources, now, s.cfg.Decay)
+
+		s.mu.Lock()
+		s.inflight = nil
+		s.inflightErr = err
+		if err == nil {
+			s.cached = combined
+			s.cachedAt = now
+			// An Invalidate that arrived mid-flight wins: the result is
+			// served to the callers that asked for it but not cached as
+			// valid, so the next read recomputes.
+			s.valid = gen == s.gen
+		}
+		s.mu.Unlock()
+		close(ch)
 		if err != nil {
 			return nil, time.Time{}, err
 		}
+		s.mRecomputes.Inc()
+		s.mRecomputeDur.Observe(time.Since(started).Seconds())
+		s.mUsers.Set(float64(len(combined)))
+		return copyTotals(combined), now, nil
+	}
+}
+
+// fetchSources queries every source concurrently and merges the totals.
+// The first error in source order wins (all sources are still awaited).
+func fetchSources(sources []Source, now time.Time, d usage.Decay) (map[string]float64, error) {
+	switch len(sources) {
+	case 0:
+		return map[string]float64{}, nil
+	case 1:
+		totals, err := sources[0].Totals(now, d)
+		if err != nil {
+			return nil, err
+		}
+		combined := make(map[string]float64, len(totals))
 		for u, v := range totals {
 			combined[u] += v
 		}
+		return combined, nil
 	}
-	s.cached = combined
-	s.cachedAt = now
-	s.valid = true
-	s.mRecomputes.Inc()
-	s.mRecomputeDur.Observe(time.Since(started).Seconds())
-	s.mUsers.Set(float64(len(combined)))
-	return copyTotals(combined), now, nil
+	results := make([]map[string]float64, len(sources))
+	errs := make([]error, len(sources))
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i int, src Source) {
+			defer wg.Done()
+			results[i], errs[i] = src.Totals(now, d)
+		}(i, src)
+	}
+	wg.Wait()
+	combined := map[string]float64{}
+	for i := range sources {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for u, v := range results[i] {
+			combined[u] += v
+		}
+	}
+	return combined, nil
 }
 
 // ComputedAt reports when the cached usage tree was computed (zero if the
@@ -125,11 +216,14 @@ func (s *Service) ComputedAt() time.Time {
 	return s.cachedAt
 }
 
-// Invalidate drops the cache so the next read recomputes.
+// Invalidate drops the cache so the next read recomputes. A recompute
+// already in flight still completes and is served to its waiters, but its
+// result is not cached as valid.
 func (s *Service) Invalidate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.valid = false
+	s.gen++
 }
 
 // Decay exposes the configured decay function.

@@ -253,8 +253,11 @@ func (s *Service) pullPeer(ctx context.Context, p Peer) (int, error) {
 	}
 	newest := s.watermark[site]
 	s.mu.Unlock()
+	// Batch replacement: one lock acquisition per histogram stripe instead
+	// of one per record, and all of a user's re-fetched bins land atomically
+	// with respect to GlobalTotals readers.
+	hist.SetRecords(recs)
 	for _, r := range recs {
-		hist.SetBin(r.User, r.IntervalStart, r.CoreSeconds)
 		if r.IntervalStart.After(newest) {
 			newest = r.IntervalStart
 		}
@@ -352,9 +355,12 @@ func (s *Service) LocalTotals(now time.Time, d usage.Decay) map[string]float64 {
 }
 
 // GlobalTotals returns decayed per-user totals combining local and ingested
-// remote usage.
+// remote usage. The combination is one accumulation pass: every histogram
+// adds straight into the result map (no intermediate per-site maps), and
+// all sites share one memoized weight table — the bins of every site are
+// aligned to the same width, so each distinct bin start is weighed once for
+// the whole federation.
 func (s *Service) GlobalTotals(now time.Time, d usage.Decay) map[string]float64 {
-	out := s.local.DecayedTotals(now, d)
 	s.mu.Lock()
 	siteNames := make([]string, 0, len(s.remote))
 	for name := range s.remote {
@@ -366,10 +372,11 @@ func (s *Service) GlobalTotals(now time.Time, d usage.Decay) map[string]float64 
 		remotes = append(remotes, s.remote[name])
 	}
 	s.mu.Unlock()
+	out := map[string]float64{}
+	wt := usage.NewWeightTable(d, now, s.cfg.BinWidth)
+	s.local.AccumulateDecayed(out, now, d, wt)
 	for _, h := range remotes {
-		for u, v := range h.DecayedTotals(now, d) {
-			out[u] += v
-		}
+		h.AccumulateDecayed(out, now, d, wt)
 	}
 	return out
 }

@@ -50,6 +50,49 @@ func TestExchangePullsPeerRecords(t *testing.T) {
 	}
 }
 
+// TestGlobalTotalsOnePassMatchesPerSite pins the one-pass local+remote
+// accumulation (shared weight table, no intermediate per-site maps) to the
+// compute-each-site-then-merge definition, across decay families.
+func TestGlobalTotalsOnePassMatchesPerSite(t *testing.T) {
+	b := newUSS("b", true)
+	for i, site := range []string{"a", "c", "d"} {
+		peer := newUSS(site, true)
+		peer.ReportJob("alice", t0.Add(time.Duration(i)*time.Hour), time.Hour, 1+i)
+		peer.ReportJob("bob", t0.Add(time.Duration(2*i)*time.Hour), 30*time.Minute, 2)
+		b.AddPeer(peer)
+	}
+	b.ReportJob("alice", t0, 2*time.Hour, 1)
+	b.ReportJob("carol", t0.Add(time.Hour), time.Hour, 3)
+	if _, err := b.Exchange(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	now := t0.Add(8 * time.Hour)
+	for _, d := range []usage.Decay{
+		usage.None{},
+		usage.Step{Window: 3 * time.Hour},
+		usage.Linear{Window: 24 * time.Hour},
+		usage.ExponentialHalfLife{HalfLife: 6 * time.Hour},
+	} {
+		got := b.GlobalTotals(now, d)
+		want := b.local.DecayedTotals(now, d)
+		b.mu.Lock()
+		for _, h := range b.remote {
+			for u, v := range h.DecayedTotals(now, d) {
+				want[u] += v
+			}
+		}
+		b.mu.Unlock()
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d users, want %d", d.Name(), len(got), len(want))
+		}
+		for u, w := range want {
+			if math.Abs(got[u]-w) > 1e-9*math.Max(math.Abs(w), 1) {
+				t.Errorf("%s: user %s = %g, want %g", d.Name(), u, got[u], w)
+			}
+		}
+	}
+}
+
 func TestExchangeIdempotent(t *testing.T) {
 	a := newUSS("a", true)
 	b := newUSS("b", true)

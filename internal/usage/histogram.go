@@ -19,14 +19,73 @@ type Record struct {
 	CoreSeconds float64 `json:"coreSeconds"`
 }
 
+// numStripes is the lock-striping factor. Mutations touch exactly one
+// stripe (a user's bins always live in one stripe), so up to numStripes
+// writers proceed in parallel; whole-histogram reads acquire every stripe
+// in index order for a read-consistent view.
+const numStripes = 64
+
+// bin is one (interval start, core-seconds) cell of a user's histogram.
+type bin struct {
+	start int64 // bin start, unix seconds, width-aligned
+	v     float64
+}
+
+// userBins is one user's accounting state. It lives inside a stripe and is
+// guarded by that stripe's lock.
+type userBins struct {
+	// bins is sorted ascending by start. Usage arrives roughly in time
+	// order, so inserts are append-mostly; out-of-order inserts shift.
+	bins []bin
+	// total is the running undecayed sum — Total() in O(1).
+	total float64
+	// exp is per-tracker incremental decayed state, index-aligned with
+	// Histogram.trackers (see incremental.go).
+	exp []expState
+}
+
+// lastStart returns the newest bin start (only valid when bins is non-empty).
+func (u *userBins) lastStart() int64 { return u.bins[len(u.bins)-1].start }
+
+// recomputeTotal re-sums the bins in sorted order, resetting any drift the
+// running total may have picked up.
+func (u *userBins) recomputeTotal() {
+	var sum float64
+	for _, b := range u.bins {
+		sum += b.v
+	}
+	u.total = sum
+}
+
+// stripe is one lock shard: a mutex plus the users hashed onto it.
+type stripe struct {
+	mu    sync.RWMutex
+	users map[string]*userBins
+}
+
 // Histogram accumulates per-user usage into fixed-width time bins. It is
 // safe for concurrent use — local resource managers report job completions
 // while the UMS reads totals.
+//
+// Internally the histogram is striped: users hash onto numStripes shards,
+// each a map of per-user sorted bin slices. Point mutations (Add, SetBin)
+// take one stripe lock; batch mutations (IngestBatch, SetRecords, Merge)
+// take each stripe once per batch; whole-histogram reads (Users, Records,
+// RecordsSince, DecayedTotals/AccumulateDecayed) acquire every stripe in
+// index order, so they observe a state that existed at one single instant.
 type Histogram struct {
-	mu       sync.RWMutex
 	binWidth time.Duration
-	// bins[user][binStartUnix] = core-seconds
-	bins map[string]map[int64]float64
+	half     time.Duration // binWidth/2: bin midpoint offset
+
+	stripes [numStripes]stripe
+
+	// trackers holds the registered incremental exponential-decay
+	// accumulators. Locking protocol: written (and per-user exp state
+	// resized) only while holding ALL stripe write locks; read while
+	// holding any one stripe lock. genCounter orders tracker use for LRU
+	// eviction and is only touched under all stripe write locks.
+	trackers   []*expTracker
+	genCounter uint64
 }
 
 // NewHistogram creates a histogram with the given bin width (the "per-user
@@ -36,10 +95,11 @@ func NewHistogram(binWidth time.Duration) *Histogram {
 	if binWidth <= 0 {
 		binWidth = time.Hour
 	}
-	return &Histogram{
-		binWidth: binWidth,
-		bins:     map[string]map[int64]float64{},
+	h := &Histogram{binWidth: binWidth, half: binWidth / 2}
+	for i := range h.stripes {
+		h.stripes[i].users = map[string]*userBins{}
 	}
+	return h
 }
 
 // BinWidth returns the histogram's interval width.
@@ -59,24 +119,157 @@ func (h *Histogram) binStart(at time.Time) int64 {
 	return q * w
 }
 
+// midTime returns the midpoint of the bin starting at start — decay ages
+// are measured from bin midpoints so freshly written bins are not over- or
+// under-weighted.
+func (h *Histogram) midTime(start int64) time.Time {
+	return time.Unix(start, 0).Add(h.half)
+}
+
+// fnv-1a over the user name selects the stripe.
+func stripeIndex(user string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var x uint64 = offset64
+	for i := 0; i < len(user); i++ {
+		x ^= uint64(user[i])
+		x *= prime64
+	}
+	return int(x % numStripes)
+}
+
+func (h *Histogram) stripeFor(user string) *stripe {
+	return &h.stripes[stripeIndex(user)]
+}
+
+// lockAll / unlockAll acquire and release every stripe write lock in index
+// order (the canonical order prevents deadlock against other whole-
+// histogram passes).
+func (h *Histogram) lockAll() {
+	for i := range h.stripes {
+		h.stripes[i].mu.Lock()
+	}
+}
+
+func (h *Histogram) unlockAll() {
+	for i := range h.stripes {
+		h.stripes[i].mu.Unlock()
+	}
+}
+
+func (h *Histogram) rlockAll() {
+	for i := range h.stripes {
+		h.stripes[i].mu.RLock()
+	}
+}
+
+func (h *Histogram) runlockAll() {
+	for i := range h.stripes {
+		h.stripes[i].mu.RUnlock()
+	}
+}
+
+// userLocked returns user's state in st, creating it when create is set.
+// st's write lock must be held.
+func (h *Histogram) userLocked(st *stripe, user string, create bool) *userBins {
+	u := st.users[user]
+	if u == nil && create {
+		u = &userBins{exp: make([]expState, len(h.trackers))}
+		st.users[user] = u
+	}
+	return u
+}
+
+// findBin locates start in u.bins: it returns the index where start is or
+// would be inserted, and whether it is present.
+func (u *userBins) findBin(start int64) (int, bool) {
+	n := len(u.bins)
+	// Append-mostly fast path: new bin at or past the end.
+	if n == 0 || start > u.bins[n-1].start {
+		return n, false
+	}
+	if start == u.bins[n-1].start {
+		return n - 1, true
+	}
+	i := sort.Search(n, func(i int) bool { return u.bins[i].start >= start })
+	return i, i < n && u.bins[i].start == start
+}
+
+// addBinLocked accumulates v into user's bin at start. The stripe's write
+// lock must be held. v must be positive.
+func (h *Histogram) addBinLocked(st *stripe, user string, start int64, v float64) {
+	u := h.userLocked(st, user, true)
+	i, ok := u.findBin(start)
+	if ok {
+		u.bins[i].v += v
+	} else {
+		u.bins = append(u.bins, bin{})
+		copy(u.bins[i+1:], u.bins[i:])
+		u.bins[i] = bin{start, v}
+	}
+	u.total += v
+	h.trackersAdd(u, start, v)
+}
+
+// setBinLocked replaces user's bin at start with v (≤0 removes the bin).
+// The stripe's write lock must be held.
+func (h *Histogram) setBinLocked(st *stripe, user string, start int64, v float64) {
+	u := h.userLocked(st, user, v > 0)
+	if u == nil {
+		return
+	}
+	i, ok := u.findBin(start)
+	if v <= 0 {
+		if !ok {
+			return
+		}
+		old := u.bins[i].v
+		u.bins = append(u.bins[:i], u.bins[i+1:]...)
+		u.recomputeTotal()
+		h.trackersAdd(u, start, -old)
+		if len(u.bins) == 0 {
+			delete(st.users, user)
+		}
+		return
+	}
+	if ok {
+		delta := v - u.bins[i].v
+		u.bins[i].v = v
+		if delta >= 0 {
+			u.total += delta
+		} else {
+			// Shrinking overwrites re-sum the bins: the running total
+			// never accumulates cancellation drift.
+			u.recomputeTotal()
+		}
+		h.trackersAdd(u, start, delta)
+		return
+	}
+	u.bins = append(u.bins, bin{})
+	copy(u.bins[i+1:], u.bins[i:])
+	u.bins[i] = bin{start, v}
+	u.total += v
+	h.trackersAdd(u, start, v)
+}
+
 // Add accumulates coreSeconds of usage for user at the bin containing `at`.
 func (h *Histogram) Add(user string, at time.Time, coreSeconds float64) {
 	if coreSeconds <= 0 || user == "" {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	m := h.bins[user]
-	if m == nil {
-		m = map[int64]float64{}
-		h.bins[user] = m
-	}
-	m[h.binStart(at)] += coreSeconds
+	st := h.stripeFor(user)
+	start := h.binStart(at)
+	st.mu.Lock()
+	h.addBinLocked(st, user, start, coreSeconds)
+	st.mu.Unlock()
 }
 
 // AddSpread distributes a job's usage across the bins it executed in — a job
 // running from start for dur at procs cores contributes proportionally to
-// each overlapped interval.
+// each overlapped interval. The whole spread is applied under one stripe
+// acquisition, so readers see either none or all of the job's usage.
 func (h *Histogram) AddSpread(user string, start time.Time, dur time.Duration, procs int) {
 	if dur <= 0 || user == "" {
 		return
@@ -84,18 +277,32 @@ func (h *Histogram) AddSpread(user string, start time.Time, dur time.Duration, p
 	if procs < 1 {
 		procs = 1
 	}
+	// Pre-compute the per-bin slices outside the lock. Slices come out in
+	// ascending bin order, so the locked phase is append-mostly.
+	var spans []bin
 	end := start.Add(dur)
 	cur := start
 	for cur.Before(end) {
-		binStart := time.Unix(h.binStart(cur), 0).UTC()
-		binEnd := binStart.Add(h.binWidth)
+		bs := h.binStart(cur)
+		binEnd := time.Unix(bs, 0).UTC().Add(h.binWidth)
 		sliceEnd := end
 		if binEnd.Before(sliceEnd) {
 			sliceEnd = binEnd
 		}
-		h.Add(user, cur, sliceEnd.Sub(cur).Seconds()*float64(procs))
+		if v := sliceEnd.Sub(cur).Seconds() * float64(procs); v > 0 {
+			spans = append(spans, bin{bs, v})
+		}
 		cur = sliceEnd
 	}
+	if len(spans) == 0 {
+		return
+	}
+	st := h.stripeFor(user)
+	st.mu.Lock()
+	for _, s := range spans {
+		h.addBinLocked(st, user, s.start, s.v)
+	}
+	st.mu.Unlock()
 }
 
 // SetBin replaces the value of user's bin starting at binStart (the bin
@@ -106,47 +313,98 @@ func (h *Histogram) SetBin(user string, binStart time.Time, v float64) {
 	if user == "" {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	key := h.binStart(binStart)
-	m := h.bins[user]
-	if v <= 0 {
-		if m != nil {
-			delete(m, key)
-			if len(m) == 0 {
-				delete(h.bins, user)
-			}
+	st := h.stripeFor(user)
+	start := h.binStart(binStart)
+	st.mu.Lock()
+	h.setBinLocked(st, user, start, v)
+	st.mu.Unlock()
+}
+
+// batchByStripe groups records by target stripe so a batch touches each
+// stripe lock at most once.
+func batchByStripe(records []Record) [numStripes][]Record {
+	var by [numStripes][]Record
+	for _, r := range records {
+		if r.User == "" {
+			continue
 		}
+		i := stripeIndex(r.User)
+		by[i] = append(by[i], r)
+	}
+	return by
+}
+
+// IngestBatch accumulates a batch of exchange records with one lock
+// acquisition per touched stripe. Records with an empty user or
+// non-positive usage are skipped, matching Add.
+func (h *Histogram) IngestBatch(records []Record) {
+	if len(records) == 0 {
 		return
 	}
-	if m == nil {
-		m = map[int64]float64{}
-		h.bins[user] = m
+	by := batchByStripe(records)
+	for i := range by {
+		if len(by[i]) == 0 {
+			continue
+		}
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for _, r := range by[i] {
+			if r.CoreSeconds <= 0 {
+				continue
+			}
+			h.addBinLocked(st, r.User, h.binStart(r.IntervalStart), r.CoreSeconds)
+		}
+		st.mu.Unlock()
 	}
-	m[key] = v
+}
+
+// SetRecords replaces the bins named by a batch of exchange records
+// (SetBin semantics) with one lock acquisition per touched stripe — the
+// bulk primitive of the incremental inter-site exchange, where a re-fetched
+// interval overwrites rather than accumulates. All records of one user land
+// atomically with respect to whole-histogram readers.
+func (h *Histogram) SetRecords(records []Record) {
+	if len(records) == 0 {
+		return
+	}
+	by := batchByStripe(records)
+	for i := range by {
+		if len(by[i]) == 0 {
+			continue
+		}
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for _, r := range by[i] {
+			h.setBinLocked(st, r.User, h.binStart(r.IntervalStart), r.CoreSeconds)
+		}
+		st.mu.Unlock()
+	}
 }
 
 // Users returns the sorted user names with recorded usage.
 func (h *Histogram) Users() []string {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	out := make([]string, 0, len(h.bins))
-	for u := range h.bins {
-		out = append(out, u)
+	h.rlockAll()
+	var out []string
+	for i := range h.stripes {
+		for u := range h.stripes[i].users {
+			out = append(out, u)
+		}
 	}
+	h.runlockAll()
 	sort.Strings(out)
 	return out
 }
 
-// Total returns the undecayed total usage of user.
+// Total returns the undecayed total usage of user — O(1), served from the
+// user's running sum.
 func (h *Histogram) Total(user string) float64 {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	var sum float64
-	for _, v := range h.bins[user] {
-		sum += v
+	st := h.stripeFor(user)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if u := st.users[user]; u != nil {
+		return u.total
 	}
-	return sum
+	return 0
 }
 
 // DecayedTotal returns user's usage with each bin weighted by its age at
@@ -156,108 +414,285 @@ func (h *Histogram) DecayedTotal(user string, now time.Time, d Decay) float64 {
 	if d == nil {
 		d = None{}
 	}
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	// Sum bins in key order so repeated runs produce bit-identical floats.
-	bins := h.bins[user]
-	keys := make([]int64, 0, len(bins))
-	for start := range bins {
-		keys = append(keys, start)
+	st := h.stripeFor(user)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	u := st.users[user]
+	if u == nil {
+		return 0
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// Bins are kept sorted, so summing in slice order reproduces the
+	// deterministic key-ordered float sums of the map-based implementation.
 	var sum float64
-	half := h.binWidth / 2
-	for _, start := range keys {
-		mid := time.Unix(start, 0).Add(half)
-		age := now.Sub(mid)
+	for _, b := range u.bins {
+		age := now.Sub(h.midTime(b.start))
 		if age < 0 {
 			age = 0
 		}
-		sum += bins[start] * d.Weight(age)
+		sum += b.v * d.Weight(age)
 	}
 	return sum
 }
 
-// DecayedTotals returns the decayed totals for every user.
+// DecayedTotals returns the decayed totals for every user, computed in one
+// read-consistent pass (all stripes held for the duration, so the result is
+// a view that existed at a single instant). Exponential decay is served
+// from the O(users) incremental accumulators; step decay binary-searches
+// the window edge; other decays share one memoized weight table across all
+// users. See AccumulateDecayed for combining several histograms.
 func (h *Histogram) DecayedTotals(now time.Time, d Decay) map[string]float64 {
-	out := map[string]float64{}
-	for _, u := range h.Users() {
-		out[u] = h.DecayedTotal(u, now, d)
-	}
+	// Pre-size to the current user count: at scale, growing the result map
+	// incrementally costs more than the weighted sums themselves.
+	out := make(map[string]float64, h.userCount())
+	h.AccumulateDecayed(out, now, d, nil)
 	return out
 }
 
+// userCount returns the number of users with recorded usage. Stripes are
+// sampled one lock at a time — callers use it only as a sizing hint.
+func (h *Histogram) userCount() int {
+	n := 0
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.RLock()
+		n += len(st.users)
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+// AccumulateDecayed adds every user's decayed total at `now` into dst —
+// the one-pass merge primitive for combining local and remote histograms
+// without intermediate maps. A non-nil WeightTable built for the same
+// (decay, now, bin width) is shared across calls, so one weight per
+// distinct bin start serves all users of all histograms; a nil or
+// mismatched table falls back to a private one.
+func (h *Histogram) AccumulateDecayed(dst map[string]float64, now time.Time, d Decay, wt *WeightTable) {
+	if d == nil {
+		d = None{}
+	}
+	switch dd := d.(type) {
+	case None:
+		h.rlockAll()
+		h.accumPlain(dst)
+		h.runlockAll()
+	case ExponentialHalfLife:
+		if dd.HalfLife <= 0 {
+			h.rlockAll()
+			h.accumPlain(dst)
+			h.runlockAll()
+			return
+		}
+		// Write locks: the pass may register a tracker, rebase its
+		// reference instant, or persist recomputed per-user sums.
+		h.lockAll()
+		h.accumExp(dst, now, dd)
+		h.unlockAll()
+	case Step:
+		if dd.Window <= 0 {
+			// Degenerate window: Step.Weight is 1 everywhere.
+			h.rlockAll()
+			h.accumPlain(dst)
+			h.runlockAll()
+			return
+		}
+		h.rlockAll()
+		h.accumStep(dst, now, dd)
+		h.runlockAll()
+	default:
+		h.rlockAll()
+		h.accumTable(dst, now, d, wt)
+		h.runlockAll()
+	}
+}
+
+// accumPlain adds undecayed totals by summing each user's bins in sorted
+// order — bit-identical to the naive weight-1 per-bin sum (Total() serves
+// the O(1) running sum instead; this pass is already O(total bins) cheap
+// with no weight evaluations). Any stripe lock held.
+func (h *Histogram) accumPlain(dst map[string]float64) {
+	for i := range h.stripes {
+		for name, u := range h.stripes[i].users {
+			var sum float64
+			for _, b := range u.bins {
+				sum += b.v
+			}
+			dst[name] += sum
+		}
+	}
+}
+
+// accumStep adds sliding-window totals: a bin counts fully iff its midpoint
+// age is within the window (future bins clamp to age zero, hence count).
+// The window edge is found by binary search in each user's sorted bins.
+func (h *Histogram) accumStep(dst map[string]float64, now time.Time, d Step) {
+	edge := now.Add(-d.Window) // bins with midpoint >= edge count
+	for i := range h.stripes {
+		for name, u := range h.stripes[i].users {
+			bins := u.bins
+			j := sort.Search(len(bins), func(k int) bool {
+				return !h.midTime(bins[k].start).Before(edge)
+			})
+			var sum float64
+			for _, b := range bins[j:] {
+				sum += b.v
+			}
+			// Users fully outside the window still get an entry (+= 0),
+			// matching the per-user passes of the other decay paths.
+			dst[name] += sum
+		}
+	}
+}
+
+// accumTable adds decayed totals using a memoized per-bin-start weight
+// table: bins are width-aligned, so the distinct bin starts are few and one
+// small table serves every user (and, via the shared wt, every histogram of
+// a combining pass) — no per-user sorting, one Weight call per distinct bin.
+func (h *Histogram) accumTable(dst map[string]float64, now time.Time, d Decay, wt *WeightTable) {
+	if wt == nil || !wt.matches(d, now, h.binWidth) {
+		wt = NewWeightTable(d, now, h.binWidth)
+	}
+	for i := range h.stripes {
+		for name, u := range h.stripes[i].users {
+			var sum float64
+			for _, b := range u.bins {
+				sum += b.v * wt.Weight(b.start)
+			}
+			dst[name] += sum
+		}
+	}
+}
+
 // Records exports the histogram as compact exchange records for the given
-// site, sorted by user then interval.
+// site, sorted by user then interval. The export is read-consistent: all
+// stripes are held while it is assembled.
 func (h *Histogram) Records(site string) []Record {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	var out []Record
-	for user, bins := range h.bins {
-		for start, v := range bins {
+	h.rlockAll()
+	defer h.runlockAll()
+	type uref struct {
+		name string
+		u    *userBins
+	}
+	var users []uref
+	total := 0
+	for i := range h.stripes {
+		for name, u := range h.stripes[i].users {
+			users = append(users, uref{name, u})
+			total += len(u.bins)
+		}
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].name < users[j].name })
+	out := make([]Record, 0, total)
+	for _, ur := range users {
+		for _, b := range ur.u.bins {
 			out = append(out, Record{
-				User:          user,
+				User:          ur.name,
 				Site:          site,
-				IntervalStart: time.Unix(start, 0).UTC(),
-				CoreSeconds:   v,
+				IntervalStart: time.Unix(b.start, 0).UTC(),
+				CoreSeconds:   b.v,
 			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].User != out[j].User {
-			return out[i].User < out[j].User
-		}
-		return out[i].IntervalStart.Before(out[j].IntervalStart)
-	})
 	return out
 }
 
 // RecordsSince exports only records whose interval starts at or after t —
-// the incremental exchange between USS instances.
+// the incremental exchange between USS instances. Each user's tail is found
+// by binary search in its sorted bins, and users whose newest bin predates
+// t are skipped with one comparison, so the cost scales with the number of
+// users plus the exported tail, not with total histogram size.
 func (h *Histogram) RecordsSince(site string, t time.Time) []Record {
-	all := h.Records(site)
-	out := all[:0]
-	for _, r := range all {
-		if !r.IntervalStart.Before(t) {
-			out = append(out, r)
+	h.rlockAll()
+	defer h.runlockAll()
+	type uref struct {
+		name string
+		u    *userBins
+		from int
+	}
+	var users []uref
+	total := 0
+	for i := range h.stripes {
+		for name, u := range h.stripes[i].users {
+			if len(u.bins) == 0 || time.Unix(u.lastStart(), 0).Before(t) {
+				continue // newest bin predates t: nothing to export
+			}
+			bins := u.bins
+			j := sort.Search(len(bins), func(k int) bool {
+				return !time.Unix(bins[k].start, 0).Before(t)
+			})
+			if j == len(bins) {
+				continue
+			}
+			users = append(users, uref{name, u, j})
+			total += len(bins) - j
 		}
 	}
-	return append([]Record(nil), out...)
+	sort.Slice(users, func(i, j int) bool { return users[i].name < users[j].name })
+	out := make([]Record, 0, total)
+	for _, ur := range users {
+		for _, b := range ur.u.bins[ur.from:] {
+			out = append(out, Record{
+				User:          ur.name,
+				Site:          site,
+				IntervalStart: time.Unix(b.start, 0).UTC(),
+				CoreSeconds:   b.v,
+			})
+		}
+	}
+	return out
 }
 
 // Ingest merges exchange records into the histogram (used when a site folds
 // remote usage into its global view). Records land in the bin containing
 // their interval start.
 func (h *Histogram) Ingest(records []Record) {
-	for _, r := range records {
-		h.Add(r.User, r.IntervalStart, r.CoreSeconds)
-	}
+	h.IngestBatch(records)
 }
 
-// Merge folds other's bins into h.
+// Merge folds other's bins into h. When the bin widths match (the common
+// case — Clone, and sites exchanging at one configured width), each of
+// other's stripes maps onto the same stripe of h, so the merge runs as one
+// sorted bin-slice merge per stripe pair with a single lock acquisition on
+// each side and no intermediate cell records. Mismatched widths re-bin
+// through the batch-ingest path.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil {
 		return
 	}
-	other.mu.RLock()
-	type cell struct {
-		user  string
-		start int64
-		v     float64
-	}
-	var cells []cell
-	for user, bins := range other.bins {
-		for start, v := range bins {
-			cells = append(cells, cell{user, start, v})
+	if other.binWidth == h.binWidth {
+		for i := range other.stripes {
+			src := &other.stripes[i]
+			src.mu.RLock()
+			type uc struct {
+				name string
+				bins []bin
+			}
+			cells := make([]uc, 0, len(src.users))
+			for name, u := range src.users {
+				cells = append(cells, uc{name, append([]bin(nil), u.bins...)})
+			}
+			src.mu.RUnlock()
+			if len(cells) == 0 {
+				continue
+			}
+			dst := &h.stripes[i]
+			dst.mu.Lock()
+			for _, c := range cells {
+				for _, b := range c.bins {
+					h.addBinLocked(dst, c.name, b.start, b.v)
+				}
+			}
+			dst.mu.Unlock()
 		}
+		return
 	}
-	other.mu.RUnlock()
-	for _, c := range cells {
-		h.Add(c.user, time.Unix(c.start, 0), c.v)
-	}
+	// Differing widths: export and re-bin (rare; batch path keeps lock
+	// churn at one acquisition per stripe).
+	h.IngestBatch(other.Records(""))
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Incremental decay trackers are not copied;
+// the clone re-registers them lazily on its first exponential totals pass.
 func (h *Histogram) Clone() *Histogram {
 	out := NewHistogram(h.binWidth)
 	out.Merge(h)

@@ -1,0 +1,214 @@
+package usage
+
+import (
+	"math"
+	"time"
+)
+
+// Incremental exponential totals.
+//
+// Exponential half-life decay factors through time: for any reference
+// instant ref,
+//
+//	Σ v_i · 2^(-(now-mid_i)/H)  =  2^(-(now-ref)/H) · Σ v_i · 2^(-(ref-mid_i)/H)
+//
+// so the histogram keeps, per user, the sum decayed to ref and serves a
+// totals pass by advancing every user with ONE shared scalar multiply —
+// O(users) instead of O(users × bins). Mutations fold new usage into the
+// per-user sum as O(1) updates (one Exp2 against ref per touched bin).
+//
+// Two deviations from the pure algebra are handled explicitly:
+//
+//   - Clamping: the per-bin definition clamps ages below zero (a bin whose
+//     midpoint is in the future of `now` weighs 1, not >1). Users whose
+//     newest bin midpoint is past `now` are computed exactly per-bin; the
+//     incremental sum takes over once `now` passes their newest bin.
+//   - Conditioning: the reference instant is rebased to `now` whenever it
+//     drifts more than rebaseHalfLives half-lives, which bounds every
+//     stored magnitude within 2^±rebaseHalfLives of its true scale; a
+//     mutation that cannot be represented that way (a far-future bin, or a
+//     value decrease whose cancellation could compound) marks the user
+//     dirty, and the next totals pass recomputes that user from its bins.
+//
+// The equivalence property tests in equivalence_test.go pin this path to
+// ≤1e-9 relative error against the naive per-bin sum.
+
+// rebaseHalfLives bounds how far (in half-lives) the reference instant may
+// drift from `now`, and how far a bin midpoint may sit in the future of the
+// reference before the delta update is abandoned for a recompute. 16 keeps
+// intermediate magnitudes within 2^±16 of true scale, so accumulated
+// rounding stays orders of magnitude under the 1e-9 equivalence bound.
+const rebaseHalfLives = 16.0
+
+// expTracker is one registered half-life's incremental state. The per-user
+// sums live in userBins.exp at this tracker's index. Guarded by the stripe
+// locks: mutated only under all stripe write locks.
+type expTracker struct {
+	halfLife time.Duration
+	ref      time.Time // reference instant of the per-user sums
+	lastUse  uint64    // generation of last totals pass (LRU eviction)
+}
+
+// maxTrackers caps registered half-lives. Queries beyond the cap evict the
+// least-recently-used tracker; pathological churn (a new half-life every
+// call) degrades to the memoized per-bin path cost, never to unbounded
+// per-mutation work.
+const maxTrackers = 4
+
+// expState is one user's sum under one tracker.
+type expState struct {
+	sum   float64 // Σ v·2^(-(ref-mid)/H), valid when !dirty
+	dirty bool    // sum unreliable; recompute from bins at next pass
+}
+
+// weightAtRef returns 2^(-(ref-mid)/H) and whether it is representable
+// within the conditioning bounds (false ⇒ caller must mark dirty).
+func (tr *expTracker) weightAtRef(mid time.Time) (float64, bool) {
+	x := float64(tr.ref.Sub(mid)) / float64(tr.halfLife)
+	if x < -rebaseHalfLives {
+		return 0, false // bin far in the future of ref: 2^-x would blow up
+	}
+	return math.Exp2(-x), true
+}
+
+// trackersAdd folds a bin delta into every registered tracker's per-user
+// sum. The owning stripe's write lock must be held. Negative deltas (bin
+// overwritten downward or removed) poison the running sum with potential
+// cancellation, so they mark the user dirty instead; exchange overwrites
+// are monotone in the common case, keeping this rare.
+func (h *Histogram) trackersAdd(u *userBins, start int64, delta float64) {
+	if len(h.trackers) == 0 {
+		return
+	}
+	mid := h.midTime(start)
+	for i, tr := range h.trackers {
+		es := &u.exp[i]
+		if es.dirty {
+			continue
+		}
+		if delta < 0 {
+			es.dirty = true
+			continue
+		}
+		w, ok := tr.weightAtRef(mid)
+		if !ok {
+			es.dirty = true
+			continue
+		}
+		es.sum += delta * w
+	}
+}
+
+// trackerFor finds or registers the tracker for halfLife. All stripe write
+// locks must be held. Registration walks every bin once to seed the
+// per-user sums at ref=now; eviction removes the least-recently-used
+// tracker's column from every user.
+func (h *Histogram) trackerFor(halfLife time.Duration, now time.Time) *expTracker {
+	h.genCounter++
+	for _, tr := range h.trackers {
+		if tr.halfLife == halfLife {
+			tr.lastUse = h.genCounter
+			return tr
+		}
+	}
+	if len(h.trackers) >= maxTrackers {
+		h.evictLRU()
+	}
+	tr := &expTracker{halfLife: halfLife, ref: now, lastUse: h.genCounter}
+	idx := len(h.trackers)
+	h.trackers = append(h.trackers, tr)
+	for i := range h.stripes {
+		for _, u := range h.stripes[i].users {
+			u.exp = append(u.exp, expState{})
+			es := &u.exp[idx]
+			for _, b := range u.bins {
+				w, ok := tr.weightAtRef(h.midTime(b.start))
+				if !ok {
+					es.dirty = true
+					break
+				}
+				es.sum += b.v * w
+			}
+		}
+	}
+	return tr
+}
+
+// evictLRU drops the least-recently-used tracker and its column of per-user
+// state. All stripe write locks must be held.
+func (h *Histogram) evictLRU() {
+	victim := 0
+	for i, tr := range h.trackers {
+		if tr.lastUse < h.trackers[victim].lastUse {
+			victim = i
+		}
+	}
+	h.trackers = append(h.trackers[:victim], h.trackers[victim+1:]...)
+	for i := range h.stripes {
+		for _, u := range h.stripes[i].users {
+			u.exp = append(u.exp[:victim], u.exp[victim+1:]...)
+		}
+	}
+}
+
+// accumExp adds exponential-half-life totals via the incremental
+// accumulators. All stripe write locks must be held.
+func (h *Histogram) accumExp(dst map[string]float64, now time.Time, d ExponentialHalfLife) {
+	tr := h.trackerFor(d.HalfLife, now)
+	idx := 0
+	for i, t := range h.trackers {
+		if t == tr {
+			idx = i
+			break
+		}
+	}
+	hl := float64(d.HalfLife)
+	drift := float64(now.Sub(tr.ref)) / hl
+	if math.Abs(drift) > rebaseHalfLives {
+		// Rebase: advance every clean sum to the new reference in one
+		// scalar multiply. Dirty sums are recomputed below anyway.
+		f := math.Exp2(-drift)
+		for i := range h.stripes {
+			for _, u := range h.stripes[i].users {
+				if !u.exp[idx].dirty {
+					u.exp[idx].sum *= f
+				}
+			}
+		}
+		tr.ref = now
+		drift = 0
+	}
+	factor := math.Exp2(-drift)
+	// The clean-user fast path runs once per user per pass: keep it on
+	// int64 arithmetic (a bin midpoint in nanoseconds is start·1e9 + half).
+	nowNs := now.UnixNano()
+	halfNs := int64(h.half)
+	for i := range h.stripes {
+		for name, u := range h.stripes[i].users {
+			es := &u.exp[idx]
+			future := len(u.bins) > 0 && u.lastStart()*int64(time.Second)+halfNs > nowNs
+			if !es.dirty && !future {
+				dst[name] += es.sum * factor
+				continue
+			}
+			// Exact per-bin walk (age-clamped), for users with future
+			// bins or an unreliable incremental sum.
+			var sum float64
+			for _, b := range u.bins {
+				age := now.Sub(h.midTime(b.start))
+				if age < 0 {
+					age = 0
+				}
+				sum += b.v * math.Exp2(-float64(age)/hl)
+			}
+			dst[name] += sum
+			if !future {
+				// Persist the cleaned sum, re-expressed at ref. factor
+				// is within 2^±rebaseHalfLives (see rebase above), so
+				// the division is well conditioned.
+				es.sum = sum / factor
+				es.dirty = false
+			}
+		}
+	}
+}

@@ -260,6 +260,78 @@ func TestHistogramPreEpochBinning(t *testing.T) {
 	}
 }
 
+func TestIngestBatchAccumulates(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	h.IngestBatch([]Record{
+		{User: "a", IntervalStart: t0, CoreSeconds: 10},
+		{User: "a", IntervalStart: t0, CoreSeconds: 5}, // same bin: accumulates
+		{User: "b", IntervalStart: t0.Add(time.Hour), CoreSeconds: 7},
+		{User: "", IntervalStart: t0, CoreSeconds: 3},  // skipped
+		{User: "a", IntervalStart: t0, CoreSeconds: 0}, // skipped
+		{User: "a", IntervalStart: t0, CoreSeconds: -2},
+	})
+	if got := h.Total("a"); got != 15 {
+		t.Errorf("a = %g, want 15", got)
+	}
+	if got := h.Total("b"); got != 7 {
+		t.Errorf("b = %g, want 7", got)
+	}
+	h.IngestBatch(nil) // no-op
+}
+
+func TestSetRecordsReplacesAndDeletes(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	h.Add("a", t0, 100)
+	h.Add("a", t0.Add(time.Hour), 50)
+	h.SetRecords([]Record{
+		{User: "a", IntervalStart: t0, CoreSeconds: 10},               // overwrite
+		{User: "a", IntervalStart: t0.Add(time.Hour), CoreSeconds: 0}, // delete
+		{User: "b", IntervalStart: t0, CoreSeconds: 4},                // create
+	})
+	if got := h.Total("a"); got != 10 {
+		t.Errorf("a = %g, want 10", got)
+	}
+	if got := h.Total("b"); got != 4 {
+		t.Errorf("b = %g, want 4", got)
+	}
+	// Deleting a user's last bin removes the user.
+	h.SetRecords([]Record{{User: "b", IntervalStart: t0, CoreSeconds: -1}})
+	us := h.Users()
+	if len(us) != 1 || us[0] != "a" {
+		t.Errorf("Users = %v, want [a]", us)
+	}
+}
+
+func TestOutOfOrderAddsStaySorted(t *testing.T) {
+	h := NewHistogram(time.Hour)
+	// Arrive out of time order: bins must still export sorted.
+	h.Add("u", t0.Add(5*time.Hour), 5)
+	h.Add("u", t0, 1)
+	h.Add("u", t0.Add(2*time.Hour), 2)
+	h.Add("u", t0.Add(time.Hour), 3)
+	recs := h.Records("s")
+	for i := 1; i < len(recs); i++ {
+		if !recs[i-1].IntervalStart.Before(recs[i].IntervalStart) {
+			t.Fatalf("records out of order: %v", recs)
+		}
+	}
+	if got := h.Total("u"); got != 11 {
+		t.Errorf("total = %g, want 11", got)
+	}
+}
+
+func TestMergeDifferingWidthsRebins(t *testing.T) {
+	a := NewHistogram(time.Hour)
+	b := NewHistogram(30 * time.Minute)
+	b.Add("u", t0.Add(10*time.Minute), 5)
+	b.Add("u", t0.Add(40*time.Minute), 7) // different half-hour, same hour
+	a.Merge(b)
+	recs := a.Records("s")
+	if len(recs) != 1 || recs[0].CoreSeconds != 12 {
+		t.Errorf("rebinned merge = %v, want one 12 core-second bin", recs)
+	}
+}
+
 func TestNewHistogramDefaultsWidth(t *testing.T) {
 	h := NewHistogram(0)
 	if h.BinWidth() != time.Hour {

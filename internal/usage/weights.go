@@ -1,0 +1,67 @@
+package usage
+
+import (
+	"reflect"
+	"time"
+)
+
+// WeightTable memoizes decay weights per distinct bin start for one
+// (decay, now, bin width) evaluation. Bins are width-aligned, so a totals
+// pass over any number of users — or over several histograms of the same
+// width, as in the USS global local+remote merge — sees only a handful of
+// distinct bin starts; one table computes each weight once instead of once
+// per user per bin.
+//
+// A WeightTable is NOT safe for concurrent use: build one per recompute
+// pass and share it across the sequential AccumulateDecayed calls of that
+// pass.
+type WeightTable struct {
+	decay      Decay
+	comparable bool
+	now        time.Time
+	binWidth   time.Duration
+	half       time.Duration
+	w          map[int64]float64
+}
+
+// NewWeightTable builds an empty table for evaluating d at `now` over bins
+// of the given width.
+func NewWeightTable(d Decay, now time.Time, binWidth time.Duration) *WeightTable {
+	if d == nil {
+		d = None{}
+	}
+	return &WeightTable{
+		decay:      d,
+		comparable: reflect.TypeOf(d).Comparable(),
+		now:        now,
+		binWidth:   binWidth,
+		half:       binWidth / 2,
+		w:          make(map[int64]float64, 64),
+	}
+}
+
+// matches reports whether the table was built for exactly this evaluation.
+// A table whose decay value is not comparable never matches (it still works
+// for the pass it was built for, it just cannot be re-validated).
+func (t *WeightTable) matches(d Decay, now time.Time, binWidth time.Duration) bool {
+	if t == nil || !t.comparable || d == nil || !reflect.TypeOf(d).Comparable() {
+		return false
+	}
+	return t.decay == d && t.now.Equal(now) && t.binWidth == binWidth
+}
+
+// Weight returns the decay weight of the bin starting at the given unix
+// second, computing and caching it on first use. Ages are measured from the
+// bin midpoint and clamped at zero, matching Histogram.DecayedTotal.
+func (t *WeightTable) Weight(binStart int64) float64 {
+	if w, ok := t.w[binStart]; ok {
+		return w
+	}
+	age := t.now.Sub(time.Unix(binStart, 0).Add(t.half))
+	if age < 0 {
+		age = 0
+	}
+	w := t.decay.Weight(age)
+	t.w[binStart] = w
+	return w
+}
