@@ -101,6 +101,16 @@ func (k *Kernel) Every(d time.Duration, fn Event, stop func() bool) {
 // Pending reports the number of events waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// NextAt returns the scheduled time of the earliest pending event. The
+// second return is false when the queue is empty. Step-wise drivers (the
+// scenario harness) use it to bound execution without consuming events.
+func (k *Kernel) NextAt() (time.Time, bool) {
+	if len(k.queue) == 0 {
+		return time.Time{}, false
+	}
+	return k.queue[0].at, true
+}
+
 // Steps reports how many events have been executed so far.
 func (k *Kernel) Steps() uint64 { return k.steps }
 

@@ -150,3 +150,27 @@ func TestStepsCounter(t *testing.T) {
 		t.Fatalf("Steps() = %d, want 4", k.Steps())
 	}
 }
+
+func TestNextAtPeeksEarliestPending(t *testing.T) {
+	k := New(epoch)
+	if _, ok := k.NextAt(); ok {
+		t.Fatal("NextAt on an empty kernel reported a pending event")
+	}
+	k.At(epoch.Add(5*time.Second), func(time.Time) {})
+	k.At(epoch.Add(2*time.Second), func(time.Time) {})
+	at, ok := k.NextAt()
+	if !ok || !at.Equal(epoch.Add(2*time.Second)) {
+		t.Fatalf("NextAt = (%v, %v), want (%v, true)", at, ok, epoch.Add(2*time.Second))
+	}
+	// Peeking must not consume: stepping still runs the earliest event.
+	if !k.Step() {
+		t.Fatal("Step found nothing after NextAt")
+	}
+	if !k.Now().Equal(epoch.Add(2 * time.Second)) {
+		t.Fatalf("clock at %v after first step", k.Now())
+	}
+	at, ok = k.NextAt()
+	if !ok || !at.Equal(epoch.Add(5*time.Second)) {
+		t.Fatalf("NextAt after step = (%v, %v), want (%v, true)", at, ok, epoch.Add(5*time.Second))
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the committed snapshots instead of diffing
+// against them: go test ./internal/experiments -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenAblationDispatch is a byte-exact regression gate on the paper
+// reproduction path behind results_ablations.txt: the dispatch-strategy
+// ablation runs entirely on the sim clock, so its rendered table is a pure
+// function of the scale and seed. Any drift in the scheduler, the usage
+// pipeline, the fairshare math or the report renderer shows up as a diff
+// against the committed snapshot — the quick-scale twin of the committed
+// full-scale results.
+func TestGoldenAblationDispatch(t *testing.T) {
+	sc := tiny()
+	r, err := AblationDispatch(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "ablation_dispatch.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("ablation table drifted from golden snapshot.\n--- got ---\n%s--- want ---\n%s(regenerate with -update if the change is intended)", got, want)
+	}
+}

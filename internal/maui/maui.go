@@ -47,6 +47,11 @@ type Config struct {
 	Weights Weights
 	// MaxQueueTime normalizes the queue-time component (zero disables it).
 	MaxQueueTime time.Duration
+	// OnStart observes every job start with the queue priority it was
+	// dispatched at and the pass (scheduling iteration or completion fill)
+	// it belongs to. Within one pass, dispatch priorities are
+	// non-increasing — the invariant the scenario harness checks.
+	OnStart func(j *sched.Job, priority float64, pass uint64)
 }
 
 // Scheduler is a Maui-like resource manager.
@@ -57,6 +62,7 @@ type Scheduler struct {
 	queue     sched.PriorityQueue
 	submitted int64
 	errors    int
+	passes    uint64
 }
 
 // New creates a scheduler; job completions fire the completion call-out and
@@ -111,6 +117,15 @@ func (s *Scheduler) Errors() int {
 	return s.errors
 }
 
+// Pending returns a snapshot of the queued (not yet started) jobs in
+// unspecified order. The scenario harness uses it for starvation checks;
+// callers must not mutate the jobs.
+func (s *Scheduler) Pending() []*sched.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Jobs()
+}
+
 // priority computes a job's Maui-style priority at `now` (lock held).
 func (s *Scheduler) priority(j *sched.Job, now time.Time) float64 {
 	var p float64
@@ -154,6 +169,7 @@ func (s *Scheduler) fill() {
 // startJobs greedily starts queued jobs; jobs that do not fit are stashed
 // and re-pushed (lock held).
 func (s *Scheduler) startJobs() {
+	s.passes++
 	var stash []sched.QueuedJob
 	for s.cfg.Cluster.FreeCores() > 0 {
 		qj, ok := s.queue.Pop()
@@ -162,6 +178,8 @@ func (s *Scheduler) startJobs() {
 		}
 		if !s.cfg.Cluster.TryStart(qj.Job) {
 			stash = append(stash, qj)
+		} else if s.cfg.OnStart != nil {
+			s.cfg.OnStart(qj.Job, qj.Priority, s.passes)
 		}
 	}
 	for _, qj := range stash {

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -27,6 +28,31 @@ const (
 	DefaultMultiplier = 2.0
 	DefaultJitter     = 0.2
 )
+
+// The package-default jitter source is an explicit seeded PRNG rather than
+// the global math/rand functions, so every randomized code path in the
+// repository is seedable: tests (and the scenario harness) reseed it with
+// SeedJitter, or inject RetryPolicy.Rand per policy. Jitter only needs
+// spread within a process, not unpredictability, so a fixed default seed is
+// fine.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(1))
+)
+
+func defaultJitterRand() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRng.Float64()
+}
+
+// SeedJitter reseeds the package-default jitter source used by policies
+// without an explicit Rand, making retry delays reproducible from a seed.
+func SeedJitter(seed int64) {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	jitterRng = rand.New(rand.NewSource(seed))
+}
 
 // RetryPolicy bounds how a transiently failing call is retried. The zero
 // value performs exactly one attempt (no retries), so wiring the policy
@@ -51,8 +77,9 @@ type RetryPolicy struct {
 	// Sleep waits between attempts (default SleepContext). Tests inject a
 	// recording no-op to keep retries instantaneous and deterministic.
 	Sleep func(ctx context.Context, d time.Duration) error
-	// Rand yields jitter randomness in [0,1) (default math/rand; tests
-	// inject a constant for determinism).
+	// Rand yields jitter randomness in [0,1) (default: the package's
+	// seeded jitter source, reseedable via SeedJitter; tests inject a
+	// constant or a private *rand.Rand for determinism).
 	Rand func() float64
 	// OnRetry observes every scheduled retry (attempt number of the failed
 	// try, its error) — the hook retry counters and logs hang off.
@@ -98,7 +125,7 @@ func (p RetryPolicy) Do(ctx context.Context, fn func(ctx context.Context) error)
 	}
 	rnd := p.Rand
 	if rnd == nil {
-		rnd = rand.Float64
+		rnd = defaultJitterRand
 	}
 
 	var err error

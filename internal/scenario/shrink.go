@@ -1,0 +1,60 @@
+package scenario
+
+import "fmt"
+
+// Shrink minimizes a failing scenario to the smallest event budget that
+// still violates an invariant. Because a run is a pure function of
+// (Spec, Options), executing with MaxEvents = n replays the exact n-event
+// prefix of the full run — so the shrinker needs no event surgery, just a
+// binary search over the budget. The search relies on approximate
+// monotonicity (a failure present at budget n is usually present at any
+// larger budget); where that does not hold it still returns some failing
+// budget, never a passing one.
+//
+// It returns the smallest found budget, the failing result at that budget,
+// and the number of verification runs performed.
+func Shrink(spec *Spec, opts Options) (int, *Result, int, error) {
+	opts.FailFast = true
+	opts.MaxEvents = 0
+	full, err := Run(spec, opts)
+	if err != nil {
+		return 0, nil, 1, err
+	}
+	runs := 1
+	if !full.Failed() {
+		return 0, full, runs, nil
+	}
+
+	lo, hi := 1, full.Events
+	best := full
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		opts.MaxEvents = mid
+		res, err := Run(spec, opts)
+		runs++
+		if err != nil {
+			return 0, nil, runs, err
+		}
+		if res.Failed() {
+			hi = mid
+			best = res
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, best, runs, nil
+}
+
+// ReproCommand renders the one-command reproduction for a failing scenario:
+// paste it into a shell at the repo root and the exact failure replays
+// bit-identically. events <= 0 replays the full run.
+func ReproCommand(spec *Spec, events int) string {
+	cmd := fmt.Sprintf("AEQUUS_SEED=%d", spec.Seed)
+	if events > 0 {
+		cmd += fmt.Sprintf(" AEQUUS_EVENTS=%d", events)
+	}
+	if spec.Sabotage != SabotageNone {
+		cmd += fmt.Sprintf(" AEQUUS_SABOTAGE=%d", spec.Sabotage)
+	}
+	return cmd + " go test ./internal/scenario -run TestScenarioReplay"
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// popAll drains the queue and returns the job IDs in pop order.
+func popAll(q *PriorityQueue) []int64 {
+	var out []int64
+	for {
+		qj, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, qj.Job.ID)
+	}
+}
+
+// TestQueueEqualPriorityFIFOProperty is the determinism property behind the
+// dispatch-order invariant: with equal priorities, pop order is submission
+// order (ID as the final tie-break) regardless of how the insertions were
+// interleaved. 200 seeded random interleavings must all agree.
+func TestQueueEqualPriorityFIFOProperty(t *testing.T) {
+	epoch := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		jobs := make([]*Job, n)
+		for i := range jobs {
+			jobs[i] = &Job{
+				ID: int64(i + 1),
+				// A few shared submit instants exercise the ID tie-break.
+				Submit: epoch.Add(time.Duration(rng.Intn(n/2+1)) * time.Minute),
+			}
+		}
+		want := append([]*Job(nil), jobs...)
+		sort.SliceStable(want, func(a, b int) bool {
+			if !want[a].Submit.Equal(want[b].Submit) {
+				return want[a].Submit.Before(want[b].Submit)
+			}
+			return want[a].ID < want[b].ID
+		})
+
+		// Insert in a random order: the heap must not care.
+		perm := rng.Perm(n)
+		q := &PriorityQueue{}
+		for _, i := range perm {
+			q.Push(jobs[i], 0.5)
+		}
+		got := popAll(q)
+		for i, j := range want {
+			if got[i] != j.ID {
+				t.Fatalf("trial %d: pop order %v does not follow (submit, ID) order (want job %d at %d)",
+					trial, got, j.ID, i)
+			}
+		}
+	}
+}
+
+// TestQueuePopMatchesSortReference cross-checks the heap against the
+// documented reference ordering (SortQueue) on fully random inputs:
+// distinct priorities, duplicate priorities, duplicate submits.
+func TestQueuePopMatchesSortReference(t *testing.T) {
+	epoch := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(11))
+	prios := []float64{0.1, 0.25, 0.25, 0.5, 0.9}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		jobs := make([]*Job, n)
+		prio := map[int64]float64{}
+		for i := range jobs {
+			jobs[i] = &Job{
+				ID:     int64(i + 1),
+				Submit: epoch.Add(time.Duration(rng.Intn(10)) * time.Minute),
+			}
+			prio[jobs[i].ID] = prios[rng.Intn(len(prios))]
+		}
+
+		ref := make([]QueuedJob, n)
+		for i, j := range jobs {
+			ref[i] = QueuedJob{Job: j, Priority: prio[j.ID]}
+		}
+		SortQueue(ref)
+
+		q := &PriorityQueue{}
+		for _, i := range rng.Perm(n) {
+			q.Push(jobs[i], prio[jobs[i].ID])
+		}
+		got := popAll(q)
+		for i := range ref {
+			if got[i] != ref[i].Job.ID {
+				t.Fatalf("trial %d: heap order %v != SortQueue reference at %d", trial, got, i)
+			}
+		}
+	}
+}
+
+// TestQueueReprioritizeDeterministic verifies Reprioritize yields the same
+// pop order as building a fresh queue with the new priorities — bulk
+// restore must not depend on the heap's internal pre-state.
+func TestQueueReprioritizeDeterministic(t *testing.T) {
+	epoch := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		jobs := make([]*Job, n)
+		for i := range jobs {
+			jobs[i] = &Job{ID: int64(i + 1), Submit: epoch.Add(time.Duration(rng.Intn(8)) * time.Minute)}
+		}
+		oldP := func(j *Job) float64 { return float64(j.ID % 3) }
+		newP := func(j *Job) float64 { return float64(j.ID % 5) }
+
+		a := &PriorityQueue{}
+		for _, i := range rng.Perm(n) {
+			a.Push(jobs[i], oldP(jobs[i]))
+		}
+		a.Reprioritize(newP)
+
+		b := &PriorityQueue{}
+		for _, i := range rng.Perm(n) {
+			b.Push(jobs[i], newP(jobs[i]))
+		}
+
+		ga, gb := popAll(a), popAll(b)
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("trial %d: reprioritized order %v != fresh order %v", trial, ga, gb)
+			}
+		}
+	}
+}

@@ -24,6 +24,11 @@ type Config struct {
 	// fit (pure FIFO-by-priority); false keeps filling with lower-priority
 	// jobs that fit (first-fit backfill).
 	StrictOrder bool
+	// OnStart observes every job start with the queue priority it was
+	// dispatched at and the scheduling pass it belongs to (passes number
+	// consecutively per scheduler). Within one pass, dispatch priorities
+	// are non-increasing — the invariant the scenario harness checks.
+	OnStart func(j *sched.Job, priority float64, pass uint64)
 }
 
 // Scheduler is a SLURM-like resource manager. Pending jobs live in a
@@ -37,6 +42,7 @@ type Scheduler struct {
 	lastPrios time.Time
 	hasPrios  bool
 	submitted int64
+	passes    uint64
 }
 
 // New creates a scheduler and hooks job completions: completion plug-ins
@@ -84,6 +90,15 @@ func (s *Scheduler) Submitted() int64 {
 	return s.submitted
 }
 
+// Pending returns a snapshot of the queued (not yet started) jobs in
+// unspecified order. The scenario harness uses it for starvation checks;
+// callers must not mutate the jobs.
+func (s *Scheduler) Pending() []*sched.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Jobs()
+}
+
 // Schedule implements sched.ResourceManager: it recomputes queue priorities
 // if the re-prioritization interval has elapsed, then starts jobs from the
 // head of the priority queue onto the cluster.
@@ -104,6 +119,7 @@ func (s *Scheduler) Schedule(now time.Time) {
 	if s.cfg.Cluster.FreeCores() == 0 {
 		return
 	}
+	s.passes++
 
 	// Start jobs in priority order; jobs that do not fit are stashed and
 	// re-pushed afterwards (unless StrictOrder stops the pass).
@@ -114,6 +130,9 @@ func (s *Scheduler) Schedule(now time.Time) {
 			break
 		}
 		if s.cfg.Cluster.TryStart(qj.Job) {
+			if s.cfg.OnStart != nil {
+				s.cfg.OnStart(qj.Job, qj.Priority, s.passes)
+			}
 			continue
 		}
 		stash = append(stash, qj)
