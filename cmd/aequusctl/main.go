@@ -14,6 +14,8 @@
 //	aequusctl -addr ... projection <dictionary|bitwise|percental>
 //	aequusctl -addr ... metrics [prefix]
 //	aequusctl -addr ... ready
+//	aequusctl -addr ... trace [n]
+//	aequusctl -addr ... drift
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/services/httpapi"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -62,6 +65,10 @@ func main() {
 		err = cmdMetrics(c, args[1:])
 	case "ready":
 		err = cmdReady(c)
+	case "trace":
+		err = cmdTrace(c, args[1:])
+	case "drift":
+		err = cmdDrift(c)
 	default:
 		usage()
 	}
@@ -71,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aequusctl [-addr URL] <fairshare|policy|resolve|map|report|exchange|projection|metrics|ready> [args]")
+	fmt.Fprintln(os.Stderr, "usage: aequusctl [-addr URL] <fairshare|policy|resolve|map|report|exchange|projection|metrics|ready|trace|drift> [args]")
 	os.Exit(2)
 }
 
@@ -222,6 +229,83 @@ func cmdReady(c *httpapi.Client) error {
 		return fmt.Errorf("site not ready")
 	}
 	fmt.Println("ready")
+	return nil
+}
+
+// cmdTrace fetches the n most recent traces (default 5) from /debug/aequus
+// and renders each as an indented span tree reconstructed from parent links,
+// with durations, attributes and errors inline.
+func cmdTrace(c *httpapi.Client, args []string) error {
+	n := 5
+	if len(args) >= 1 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad trace count %q", args[0])
+		}
+		n = v
+	}
+	resp, err := c.DebugTraces(context.Background(), n)
+	if err != nil {
+		return err
+	}
+	if len(resp.Traces) == 0 {
+		fmt.Println("no traces recorded (is aequusd running with -trace-buffer > 0?)")
+		return nil
+	}
+	for i, tr := range resp.Traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("trace %s (%d spans)\n", tr.TraceID, len(tr.Spans))
+		children := map[string][]wire.DebugSpan{}
+		byID := map[string]bool{}
+		for _, sp := range tr.Spans {
+			byID[sp.SpanID] = true
+		}
+		for _, sp := range tr.Spans {
+			parent := sp.ParentID
+			if !byID[parent] {
+				parent = "" // orphan (parent evicted or remote): promote to root
+			}
+			children[parent] = append(children[parent], sp)
+		}
+		var walk func(parent string, depth int)
+		walk = func(parent string, depth int) {
+			for _, sp := range children[parent] {
+				line := fmt.Sprintf("%s%s  %.3fms", strings.Repeat("  ", depth+1),
+					sp.Name, sp.DurationSeconds*1000)
+				for _, a := range sp.Attrs {
+					line += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+				}
+				if sp.Error != "" {
+					line += " error=" + sp.Error
+				}
+				fmt.Println(line)
+				walk(sp.SpanID, depth+1)
+			}
+		}
+		walk("", 0)
+	}
+	return nil
+}
+
+// cmdDrift prints the site's fairness-drift table: per-user |usage share −
+// target share| at the last snapshot, worst offender first.
+func cmdDrift(c *httpapi.Client) error {
+	d, err := c.DebugDrift(context.Background())
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "USER\tTARGET\tACTUAL\tERROR")
+	for _, e := range d.Entries {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.4f\t%.4f\n", e.User, e.Target, e.Actual, e.Error)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("max=%.4f mean=%.4f computed=%s\n",
+		d.MaxError, d.MeanError, d.ComputedAt.Format(time.RFC3339))
 	return nil
 }
 

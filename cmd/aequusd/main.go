@@ -2,8 +2,9 @@
 // FCS, IRS) over HTTP — the deployment unit installed alongside each
 // cluster's resource manager. Peers are other aequusd instances; usage is
 // exchanged periodically through the USS layer. The server exposes
-// Prometheus metrics at /metrics, liveness at /healthz and per-service
-// readiness at /readyz, and logs structured records via log/slog.
+// Prometheus metrics at /metrics, liveness at /healthz, per-service
+// readiness at /readyz and trace/drift introspection at /debug/aequus, and
+// logs structured records via log/slog.
 //
 // Example:
 //
@@ -30,6 +31,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/services/httpapi"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/usage"
 	"repro/internal/vector"
 )
@@ -63,6 +65,9 @@ func main() {
 		peerTimeout   = flag.Duration("peer-timeout", 5*time.Second, "per-peer pull timeout inside an exchange round")
 		exchDeadline  = flag.Duration("exchange-deadline", 30*time.Second, "deadline for a whole exchange round (0 = unbounded)")
 		staleFallback = flag.Bool("lib-stale-fallback", true, "serve expired libaequus cache entries when services are unreachable")
+
+		traceBuffer = flag.Int("trace-buffer", 4096, "span recorder ring-buffer capacity (0 disables tracing and /debug/aequus)")
+		traceSample = flag.Int("trace-sample", 1, "record every Nth trace (1 = all)")
 	)
 	flag.Parse()
 
@@ -101,6 +106,11 @@ func main() {
 		BaseDelay:   *retryBase,
 		MaxDelay:    *retryMaxDelay,
 	}
+	telemetry.RegisterRuntimeMetrics(nil)
+	var spans *span.Recorder
+	if *traceBuffer > 0 {
+		spans = span.NewRecorder(span.Config{Capacity: *traceBuffer, SampleEvery: *traceSample})
+	}
 	s, err := core.NewSite(core.SiteConfig{
 		Name:          *site,
 		Policy:        pol,
@@ -122,6 +132,7 @@ func main() {
 		LibRetry:        retry,
 		LibStaleIfError: *staleFallback,
 		FCSSourceRetry:  retry,
+		Spans:           spans,
 	})
 	if err != nil {
 		fatal("assembling site", err)
@@ -172,6 +183,7 @@ func main() {
 	srv := httpapi.NewServerWith(s.PDS, s.USS, s.UMS, s.FCS, s.IRS, httpapi.ServerOptions{
 		Log:           logger,
 		ReadyMaxStale: maxStale,
+		Spans:         spans,
 	})
 	logger.Info("serving",
 		slog.String("listen", *listen),

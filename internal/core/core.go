@@ -21,6 +21,7 @@ import (
 	"repro/internal/services/uss"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/usage"
 	"repro/internal/vector"
 )
@@ -78,6 +79,10 @@ type SiteConfig struct {
 	// FCSSourceRetry bounds retries of the UMS fetch inside a fairshare
 	// refresh (zero = single attempt).
 	FCSSourceRetry resilience.RetryPolicy
+	// Spans receives trace spans from every service of the site (nil
+	// disables tracing). Share one recorder per process — or per simulated
+	// federation — so cross-service traces land in one buffer.
+	Spans *span.Recorder
 }
 
 // Site is a complete Aequus installation.
@@ -117,6 +122,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		Metrics:     cfg.Metrics,
 		PeerTimeout: cfg.PeerTimeout,
 		Breaker:     cfg.PeerBreaker,
+		Spans:       cfg.Spans,
 	})
 
 	source := ums.SourceFunc(func(now time.Time, d usage.Decay) (map[string]float64, error) {
@@ -130,6 +136,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		CacheTTL: cfg.UMSCacheTTL,
 		Clock:    cfg.Clock,
 		Metrics:  cfg.Metrics,
+		Spans:    cfg.Spans,
 	}, source)
 
 	f := fcs.New(fcs.Config{
@@ -140,6 +147,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		Clock:              cfg.Clock,
 		Metrics:            cfg.Metrics,
 		SourceRetry:        cfg.FCSSourceRetry,
+		Spans:              cfg.Spans,
 	}, p, m)
 
 	i := irs.New()
@@ -154,6 +162,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		Metrics:      cfg.Metrics,
 		Retry:        cfg.LibRetry,
 		StaleIfError: cfg.LibStaleIfError,
+		Spans:        cfg.Spans,
 	}, f, irsAdapter{i}, ussAdapter{u})
 
 	return &Site{Name: cfg.Name, PDS: p, USS: u, UMS: m, FCS: f, IRS: i, Lib: lib}, nil

@@ -16,6 +16,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/wire"
 )
 
@@ -65,6 +66,9 @@ type Config struct {
 	// exchanges). Stale serves are counted in Stats and
 	// aequus_lib_stale_served_total.
 	StaleIfError bool
+	// Spans receives cache-fill trace spans (nil disables tracing). Cache
+	// hits are never traced — they stay a mutex-guarded map lookup.
+	Spans *span.Recorder
 }
 
 // Client is a libaequus instance. It is safe for concurrent use by a
@@ -85,6 +89,7 @@ type Client struct {
 	mExpiries *telemetry.CounterVec
 	mStale    *telemetry.CounterVec
 	mReports  *telemetry.Counter
+	mSnapAge  *telemetry.Gauge
 }
 
 type cachedValue struct {
@@ -133,7 +138,18 @@ func New(cfg Config, fcs FairshareSource, irs IdentitySource, uss UsageSink) *Cl
 			"Expired libaequus cache entries served because the source was unreachable, by cache.", "cache"),
 		mReports: reg.Counter("aequus_lib_usage_reports_total",
 			"Job-completion reports forwarded to the USS by libaequus."),
+		mSnapAge: reg.Gauge("aequus_lib_snapshot_age_seconds",
+			"Age of the fairshare snapshot behind the last value fetched from the source."),
 	}
+}
+
+// noteSnapshotAge records how old the fairshare snapshot behind a fetched
+// value was — the end-to-end update delay a scheduler actually observes.
+func (c *Client) noteSnapshotAge(computedAt time.Time) {
+	if computedAt.IsZero() {
+		return
+	}
+	c.mSnapAge.Set(c.cfg.Clock.Now().Sub(computedAt).Seconds())
 }
 
 // retry runs fn under the configured retry policy (a zero policy performs
@@ -223,18 +239,24 @@ func (c *Client) Fairshare(gridUser string) (wire.FairshareResponse, error) {
 	c.mu.Unlock()
 	c.mMisses.With("fairshare").Inc()
 
+	_, sp := span.Start(span.WithRecorder(context.Background(), c.cfg.Spans),
+		"lib.fairshare_fetch")
+	sp.SetAttr("user", gridUser)
 	var resp wire.FairshareResponse
 	err := c.retry(func() error {
 		r, err := c.fcs.Priority(gridUser)
 		resp = r
 		return err
 	})
+	sp.SetErr(err)
+	sp.End()
 	if err != nil {
 		if stale, ok := c.staleFairshare(gridUser); ok {
 			return stale, nil
 		}
 		return wire.FairshareResponse{}, err
 	}
+	c.noteSnapshotAge(resp.ComputedAt)
 	c.mu.Lock()
 	c.fairshare[gridUser] = cachedValue{resp: resp, at: now}
 	c.mu.Unlock()
@@ -280,6 +302,12 @@ func (c *Client) FairshareBatch(gridUsers []string) (map[string]wire.FairshareRe
 	if len(misses) == 0 {
 		return out, nil
 	}
+	_, sp := span.Start(span.WithRecorder(context.Background(), c.cfg.Spans),
+		"lib.cache_fill")
+	sp.SetAttr("cache", "fairshare")
+	sp.SetAttrInt("hits", int64(hits))
+	sp.SetAttrInt("misses", int64(len(misses)))
+	defer sp.End()
 	if bs, ok := c.fcs.(BatchFairshareSource); ok {
 		var resp wire.FairshareBatchResponse
 		err := c.retry(func() error {
@@ -288,8 +316,10 @@ func (c *Client) FairshareBatch(gridUsers []string) (map[string]wire.FairshareRe
 			return err
 		})
 		if err != nil {
+			sp.SetErr(err)
 			return c.staleBatch(out, misses, err)
 		}
+		c.noteSnapshotAge(resp.ComputedAt)
 		c.mu.Lock()
 		for _, e := range resp.Entries {
 			c.fairshare[e.User] = cachedValue{resp: e, at: now}
@@ -306,8 +336,10 @@ func (c *Client) FairshareBatch(gridUsers []string) (map[string]wire.FairshareRe
 			return err
 		})
 		if err != nil {
+			sp.SetErr(err)
 			return c.staleBatch(out, misses, err)
 		}
+		c.noteSnapshotAge(resp.ComputedAt)
 		c.mu.Lock()
 		c.fairshare[u] = cachedValue{resp: resp, at: now}
 		c.mu.Unlock()

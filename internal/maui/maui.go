@@ -10,11 +10,13 @@
 package maui
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/sched"
+	"repro/internal/telemetry/span"
 )
 
 // Callouts are the patch points injected into the Maui source.
@@ -52,6 +54,9 @@ type Config struct {
 	// it belongs to. Within one pass, dispatch priorities are
 	// non-increasing — the invariant the scenario harness checks.
 	OnStart func(j *sched.Job, priority float64, pass uint64)
+	// Spans receives one "rm.fairshare_callout" span per fairshare call-out
+	// (nil disables tracing).
+	Spans *span.Recorder
 }
 
 // Scheduler is a Maui-like resource manager.
@@ -130,7 +135,13 @@ func (s *Scheduler) Pending() []*sched.Job {
 func (s *Scheduler) priority(j *sched.Job, now time.Time) float64 {
 	var p float64
 	if s.cfg.Callouts.FairsharePriority != nil && s.cfg.Weights.Fairshare != 0 {
+		_, sp := span.Start(span.WithRecorder(context.Background(), s.cfg.Spans),
+			"rm.fairshare_callout")
+		sp.SetAttr("rm", "maui")
+		sp.SetAttr("user", j.LocalUser)
 		fs, err := s.cfg.Callouts.FairsharePriority(j.LocalUser)
+		sp.SetErr(err)
+		sp.End()
 		if err != nil {
 			s.errors++
 			fs = 0.5

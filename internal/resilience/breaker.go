@@ -211,6 +211,15 @@ func (b *Breaker) setState(s State) {
 	b.stateG.Set(float64(s))
 }
 
+// Name returns the peer name the breaker was created with ("" for a nil
+// breaker) — the identity exposed on span attributes and debug surfaces.
+func (b *Breaker) Name() string {
+	if b == nil {
+		return ""
+	}
+	return b.name
+}
+
 // State returns the current state (Closed for a nil breaker). It does not
 // perform the open→half-open transition; Allow does.
 func (b *Breaker) State() State {

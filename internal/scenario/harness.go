@@ -21,6 +21,7 @@ import (
 	"repro/internal/services/irs"
 	"repro/internal/services/uss"
 	"repro/internal/slurm"
+	"repro/internal/telemetry/span"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 	"repro/internal/usage"
@@ -82,6 +83,14 @@ type Result struct {
 	// final per-user usage totals; two runs of the same Spec and Options
 	// must produce identical fingerprints.
 	Fingerprint string
+	// Spans is the run's trace recorder — every site's services record into
+	// it, on the simulated clock. (Spans are diagnostic output and are not
+	// part of the fingerprint.)
+	Spans *span.Recorder
+	// TraceDump holds the formatted tail of the span buffer when the run
+	// violated an invariant ("" on clean runs) — the first thing to print
+	// when debugging a failure.
+	TraceDump string
 }
 
 // Failed reports whether any invariant was violated.
@@ -96,6 +105,7 @@ type Harness struct {
 	RMs      []RM
 	Ledger   *Ledger
 	Decay    usage.Decay
+	Spans    *span.Recorder
 
 	pol        *policy.Tree
 	dispatches []Dispatch
@@ -171,10 +181,13 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 
 	kernel := eventsim.New(Start)
 	h := &Harness{
-		Spec:    spec,
-		Kernel:  kernel,
-		Ledger:  &Ledger{},
-		Decay:   usage.ExponentialHalfLife{HalfLife: spec.Duration / 6},
+		Spec:   spec,
+		Kernel: kernel,
+		Ledger: &Ledger{},
+		Decay:  usage.ExponentialHalfLife{HalfLife: spec.Duration / 6},
+		// The recorder runs on the sim clock, so span timestamps line up
+		// with the violation timestamps in a failure report.
+		Spans:   span.NewRecorder(span.Config{Capacity: 1024, Clock: kernel.Clock()}),
 		digest:  fnv.New64a(),
 		lastNow: Start,
 	}
@@ -214,6 +227,7 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 				}
 				return strings.TrimPrefix(local, prefix), nil
 			}),
+			Spans: h.Spans,
 		})
 		if err != nil {
 			return nil, err
@@ -447,9 +461,13 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 		Submitted:  host.Submitted(),
 		Completed:  h.completed,
 		Violations: h.violations,
+		Spans:      h.Spans,
 	}
 	for _, rm := range h.RMs {
 		res.QueuedAtEnd += rm.QueueLen()
+	}
+	if len(res.Violations) > 0 {
+		res.TraceDump = span.FormatTail(h.Spans, 40)
 	}
 	h.finishFingerprint(res)
 	return res, nil

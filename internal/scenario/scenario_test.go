@@ -50,6 +50,9 @@ func writeArtifact(t *testing.T, spec *Spec, res *Result, events int) {
 	for _, v := range res.Violations {
 		fmt.Fprintf(&b, "violation: %s\n", v)
 	}
+	if res.TraceDump != "" {
+		fmt.Fprintf(&b, "%s\n", res.TraceDump)
+	}
 	path := filepath.Join(dir, fmt.Sprintf("seed-%d.txt", spec.Seed))
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 		t.Logf("artifact write: %v", err)
@@ -131,6 +134,9 @@ func TestScenarioReplay(t *testing.T) {
 		var b strings.Builder
 		for _, v := range first.Violations {
 			fmt.Fprintf(&b, "  %s\n", v)
+		}
+		if first.TraceDump != "" {
+			fmt.Fprintf(&b, "%s\n", first.TraceDump)
 		}
 		t.Fatalf("seed %d (events=%d): %d violation(s):\n%s", seed, first.Events, len(first.Violations), b.String())
 	}

@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/telemetry/span"
+)
+
+// TestScenarioTracesExchange runs one generated multi-site scenario and
+// asserts the span recorder captured a complete exchange trace: a
+// "uss.exchange" root whose per-peer "uss.pull" children are linked by
+// parent ID and carry the peer/breaker/retry attributes — the shape the
+// /debug/aequus surface and failure dumps rely on.
+func TestScenarioTracesExchange(t *testing.T) {
+	res, err := Run(Generate(3), Options{})
+	if err != nil {
+		t.Fatalf("run error: %v", err)
+	}
+	if res.Spans == nil || res.Spans.Recorded() == 0 {
+		t.Fatal("scenario run recorded no spans")
+	}
+
+	attr := func(sp *span.Span, key string) (string, bool) {
+		for _, a := range sp.Attrs {
+			if a.Key == key {
+				return a.Value, true
+			}
+		}
+		return "", false
+	}
+
+	checked := false
+	for _, tr := range res.Spans.Traces(0) {
+		var root *span.Span
+		for _, sp := range tr.Spans {
+			if sp.Name == "uss.exchange" {
+				root = sp
+				break
+			}
+		}
+		if root == nil {
+			continue
+		}
+		if _, ok := attr(root, "site"); !ok {
+			t.Errorf("exchange root %s has no site attr: %+v", span.FormatID(root.ID), root.Attrs)
+		}
+		pulls := 0
+		for _, sp := range tr.Spans {
+			if sp.Name != "uss.pull" || sp.ParentID != root.ID {
+				continue
+			}
+			pulls++
+			if sp.TraceID != root.TraceID {
+				t.Errorf("pull span crossed traces: %s vs %s", sp.TraceID, root.TraceID)
+			}
+			if _, ok := attr(sp, "peer"); !ok {
+				t.Errorf("pull span missing peer attr: %+v", sp.Attrs)
+			}
+			if v, ok := attr(sp, "breaker"); !ok || v == "" {
+				t.Errorf("pull span missing breaker attr: %+v", sp.Attrs)
+			}
+		}
+		if pulls == 0 {
+			continue // root retained but its children already overwritten
+		}
+		checked = true
+		break
+	}
+	if !checked {
+		t.Fatalf("no complete uss.exchange trace with uss.pull children among %d retained spans",
+			len(res.Spans.Snapshot()))
+	}
+}

@@ -1,0 +1,80 @@
+package fcs
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/vector"
+)
+
+// DriftEntry is one user's fairness drift: how far their effective usage
+// share sits from the policy's target share. Target and Actual are the
+// products of the per-level path shares/usages (the user's absolute slice of
+// the whole grid), so Error is directly comparable across tree shapes.
+type DriftEntry struct {
+	User   string
+	Target float64
+	Actual float64
+	Error  float64 // |Actual - Target|
+}
+
+// DriftTable is the fairness-drift view of one published snapshot.
+type DriftTable struct {
+	// ComputedAt is when the underlying snapshot was pre-calculated.
+	ComputedAt time.Time
+	// MaxError and MeanError summarize Entries.
+	MaxError  float64
+	MeanError float64
+	// Entries is sorted by Error descending (worst drift first).
+	Entries []DriftEntry
+}
+
+// computeDrift derives the per-user drift table from index entries. A user's
+// absolute target share is the product of its normalized shares down the
+// path; the absolute usage share is the product of the sibling-group usage
+// shares. Entries come back sorted worst-first.
+func computeDrift(entries []vector.Entry) ([]DriftEntry, float64, float64) {
+	out := make([]DriftEntry, 0, len(entries))
+	var sum, max float64
+	for _, e := range entries {
+		target, actual := 1.0, 1.0
+		for _, s := range e.PathShares {
+			target *= s
+		}
+		for _, u := range e.PathUsage {
+			actual *= u
+		}
+		d := DriftEntry{
+			User: e.User, Target: target, Actual: actual,
+			Error: math.Abs(actual - target),
+		}
+		out = append(out, d)
+		sum += d.Error
+		if d.Error > max {
+			max = d.Error
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Error > out[j].Error })
+	mean := 0.0
+	if len(out) > 0 {
+		mean = sum / float64(len(out))
+	}
+	return out, max, mean
+}
+
+// Drift returns the fairness-drift table of the currently published snapshot
+// without triggering a refresh (zero table before the first computation).
+// The entries are shared with the snapshot and must be treated as read-only.
+func (s *Service) Drift() DriftTable {
+	sn := s.snap.Load()
+	if sn == nil {
+		return DriftTable{}
+	}
+	return DriftTable{
+		ComputedAt: sn.computedAt,
+		MaxError:   sn.driftMax,
+		MeanError:  sn.driftMean,
+		Entries:    sn.drift,
+	}
+}

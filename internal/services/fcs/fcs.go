@@ -26,6 +26,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/vector"
 	"repro/internal/wire"
 )
@@ -78,6 +79,10 @@ type Config struct {
 	// stale-while-revalidate — so retries here only shorten how long the
 	// table lags, never block readers.
 	SourceRetry resilience.RetryPolicy
+	// Spans receives refresh-pipeline trace spans (nil disables tracing).
+	// Only the refresh path is traced; Priority/PriorityBatch stay span-free
+	// so the read path remains allocation-free.
+	Spans *span.Recorder
 }
 
 // snapshot is one immutable pre-calculation result. Everything reachable
@@ -90,6 +95,12 @@ type snapshot struct {
 	projName   string
 	computedAt time.Time
 	table      wire.FairshareTableResponse
+	// drift is the fairness-drift table (per-leaf |usage − target| share
+	// error, sorted worst-first) computed once at publication time, so
+	// serving it is free on the read path.
+	drift     []DriftEntry
+	driftMax  float64
+	driftMean float64
 }
 
 // Service is a Fairshare Calculation Service instance.
@@ -120,6 +131,8 @@ type Service struct {
 	mRefreshErrs *telemetry.Counter
 	mBatchReqs   *telemetry.Counter
 	mBatchUsers  *telemetry.Histogram
+	mDriftMax    *telemetry.Gauge
+	mDriftMean   *telemetry.Gauge
 }
 
 type refreshOutcome struct{ err error }
@@ -168,6 +181,10 @@ func New(cfg Config, pds PolicySource, ums UsageSource) *Service {
 			"Batch priority requests served."),
 		mBatchUsers: reg.Histogram("aequus_fcs_batch_users",
 			"Users per batch priority request.", telemetry.CountBuckets()),
+		mDriftMax: reg.Gauge("aequus_fcs_drift_max_ratio",
+			"Largest per-user |usage share - target share| in the last snapshot."),
+		mDriftMean: reg.Gauge("aequus_fcs_drift_mean_ratio",
+			"Mean per-user |usage share - target share| in the last snapshot."),
 	}
 }
 
@@ -204,25 +221,44 @@ func (s *Service) rebuildLocked() error {
 	// Durations are measured in wall time, not the (possibly simulated)
 	// service clock: the metric reports real compute cost.
 	started := time.Now()
+	ctx, root := span.Start(span.WithRecorder(context.Background(), s.cfg.Spans),
+		"fcs.refresh")
+	defer root.End()
+
+	_, fetch := span.Start(ctx, "fcs.fetch_usage")
 	var totals map[string]float64
-	err := s.cfg.SourceRetry.Do(context.Background(), func(context.Context) error {
+	err := s.cfg.SourceRetry.Do(ctx, func(context.Context) error {
 		t, _, err := s.ums.UsageTotals()
 		totals = t
 		return err
 	})
+	fetch.SetAttrInt("users", int64(len(totals)))
+	fetch.SetErr(err)
+	fetch.End()
 	if err != nil {
 		s.lastErr.Store(&refreshOutcome{err})
 		s.mRefreshErrs.Inc()
+		root.SetErr(err)
 		return err
 	}
+
+	_, comp := span.Start(ctx, "fcs.compute")
 	p := s.pds.Policy()
 	tree := fairshare.Compute(p, totals, s.cfg.Fairshare)
+	nodes := countNodes(tree.Root)
+	comp.SetAttrInt("nodes", int64(nodes))
+	comp.End()
+
+	_, pub := span.Start(ctx, "fcs.publish")
 	sn := s.buildSnapshot(tree, tree.Index(), s.cfg.Clock.Now())
 	s.snap.Store(sn)
+	pub.SetAttrInt("users", int64(sn.index.Len()))
+	pub.End()
+
 	s.lastErr.Store(&refreshOutcome{nil})
 	s.mRecalcs.Inc()
 	s.mRecalcDur.Observe(time.Since(started).Seconds())
-	s.mTreeNodes.Set(float64(countNodes(tree.Root)))
+	s.mTreeNodes.Set(float64(nodes))
 	s.mTreeUsers.Set(float64(sn.index.Len()))
 	s.mSnapAge.Set(0)
 	return nil
@@ -249,9 +285,13 @@ func (s *Service) buildSnapshot(tree *fairshare.Tree, ix *fairshare.Index, at ti
 			ComputedAt: at,
 		})
 	}
+	drift, driftMax, driftMean := computeDrift(ix.Entries())
+	s.mDriftMax.Set(driftMax)
+	s.mDriftMean.Set(driftMean)
 	return &snapshot{
 		tree: tree, index: ix, priorities: prior,
 		projName: name, computedAt: at, table: table,
+		drift: drift, driftMax: driftMax, driftMean: driftMean,
 	}
 }
 

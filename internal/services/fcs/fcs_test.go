@@ -11,6 +11,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/vector"
 	"repro/internal/wire"
 )
@@ -414,6 +415,57 @@ func TestPriorityZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("Table hot path allocates: %g allocs/op, want 0", allocs)
+	}
+}
+
+// TestRecorderAddsNoReadPathAllocs pins the tracing cost model: spans wrap
+// the refresh path only, so attaching a recorder must leave Priority at zero
+// allocations and PriorityBatch at exactly its recorder-free baseline (it
+// allocates the response slice by design).
+func TestRecorderAddsNoReadPathAllocs(t *testing.T) {
+	build := func(rec *span.Recorder) *Service {
+		p, err := policy.FromShares(map[string]float64{"a": 0.5, "b": 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := New(Config{Clock: simclock.Real{}, CacheTTL: time.Hour,
+			SynchronousRefresh: true, Metrics: telemetry.NewRegistry(),
+			Spans: rec},
+			staticPDS{p}, &staticUMS{totals: map[string]float64{"a": 1, "b": 3}})
+		if _, err := svc.Priority("a"); err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	rec := span.NewRecorder(span.Config{Capacity: 64})
+	traced := build(rec)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := traced.Priority("a"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Priority with recorder: %g allocs/op, want 0", allocs)
+	}
+
+	plain := build(nil)
+	users := []string{"a", "b"}
+	baseline := testing.AllocsPerRun(1000, func() {
+		if _, err := plain.PriorityBatch(users); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withRec := testing.AllocsPerRun(1000, func() {
+		if _, err := traced.PriorityBatch(users); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if withRec > baseline {
+		t.Errorf("PriorityBatch with recorder: %g allocs/op, baseline %g", withRec, baseline)
+	}
+	if rec.Recorded() == 0 {
+		t.Error("recorder captured no refresh spans — cost comparison is vacuous")
 	}
 }
 

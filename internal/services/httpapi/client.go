@@ -16,6 +16,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/services/pds"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/usage"
 	"repro/internal/wire"
 )
@@ -143,8 +144,16 @@ func (c *Client) call(ctx context.Context, retryable bool, attempt func(ctx cont
 		return run(ctx)
 	}
 	p := c.Retry
-	if p.OnRetry == nil {
-		p.OnRetry = func(int, error) { c.metrics.Retry(target) }
+	orig := p.OnRetry
+	p.OnRetry = func(n int, err error) {
+		if orig != nil {
+			orig(n, err)
+		} else {
+			c.metrics.Retry(target)
+		}
+		// The span on ctx (e.g. the USS's per-peer pull span) carries the
+		// retry count; SetAttr replaces, so the last attempt number wins.
+		span.Current(ctx).SetAttrInt("retries", int64(n))
 	}
 	return p.Do(ctx, run)
 }
@@ -222,6 +231,11 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 		id = telemetry.NewRequestID()
 	}
 	req.Header.Set(telemetry.RequestIDHeader, id)
+	// A span on ctx becomes the remote parent: the receiving site's
+	// "http.server" span links under it, stitching the cross-site trace.
+	if sp := span.Current(ctx); sp != nil {
+		req.Header.Set(span.ParentHeader, span.FormatID(sp.ID))
+	}
 	return req, nil
 }
 
@@ -340,6 +354,34 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 		return "", err
 	}
 	return buf.String(), nil
+}
+
+// DebugTraces fetches the site's n most recent traces from /debug/aequus.
+func (c *Client) DebugTraces(ctx context.Context, n int) (wire.TracesResponse, error) {
+	var out wire.TracesResponse
+	err := c.get(ctx, fmt.Sprintf("/debug/aequus/traces?n=%d", n), &out)
+	return out, err
+}
+
+// DebugSlowest fetches the site's n slowest retained spans.
+func (c *Client) DebugSlowest(ctx context.Context, n int) (wire.SpansResponse, error) {
+	var out wire.SpansResponse
+	err := c.get(ctx, fmt.Sprintf("/debug/aequus/spans?n=%d", n), &out)
+	return out, err
+}
+
+// DebugDrift fetches the site's fairness-drift table.
+func (c *Client) DebugDrift(ctx context.Context) (wire.DriftResponse, error) {
+	var out wire.DriftResponse
+	err := c.get(ctx, "/debug/aequus/drift", &out)
+	return out, err
+}
+
+// DebugSummary fetches the site's /debug/aequus health summary.
+func (c *Client) DebugSummary(ctx context.Context) (wire.DebugSummary, error) {
+	var out wire.DebugSummary
+	err := c.get(ctx, "/debug/aequus", &out)
+	return out, err
 }
 
 // Ready fetches the site's /readyz readiness report. A 503 from a stale

@@ -21,6 +21,7 @@ import (
 	"repro/internal/services/uss"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/vector"
 	"repro/internal/wire"
 )
@@ -44,6 +45,10 @@ type ServerOptions struct {
 	// Clock measures pre-computation age for /readyz; it must be the same
 	// clock the services run on (default wall clock).
 	Clock simclock.Clock
+	// Spans enables span tracing: every instrumented route records an
+	// "http.server" span (linked to a remote parent via span.ParentHeader),
+	// and the recorder is served at /debug/aequus. Nil disables both.
+	Spans *span.Recorder
 }
 
 // Server serves a site's Aequus services over HTTP. Every route is
@@ -61,6 +66,7 @@ type Server struct {
 	log           *slog.Logger
 	readyMaxStale time.Duration
 	clock         simclock.Clock
+	spans         *span.Recorder
 	mux           *http.ServeMux
 }
 
@@ -87,11 +93,14 @@ func NewServerWith(p *pds.Service, u *uss.Service, m *ums.Service, f *fcs.Servic
 		log:           o.Log,
 		readyMaxStale: o.ReadyMaxStale,
 		clock:         o.Clock,
+		spans:         o.Spans,
 		mux:           http.NewServeMux(),
 	}
 	httpm := telemetry.NewHTTPMetrics(s.registry, s.log)
 	handle := func(route string, h http.HandlerFunc) {
-		s.mux.Handle(route, httpm.Instrument(route, h))
+		// Instrument runs outermost so the request ID is already on the
+		// context when the span middleware resolves its trace ID.
+		s.mux.Handle(route, httpm.Instrument(route, s.traced(route, h)))
 	}
 	if p != nil {
 		handle("/policy", s.handlePolicy)
@@ -122,7 +131,34 @@ func NewServerWith(p *pds.Service, u *uss.Service, m *ums.Service, f *fcs.Servic
 		wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	handle("/readyz", s.handleReadyz)
+	if s.spans != nil {
+		handle("/debug/aequus", s.handleDebugSummary)
+		handle("/debug/aequus/traces", s.handleDebugTraces)
+		handle("/debug/aequus/spans", s.handleDebugSpans)
+		handle("/debug/aequus/drift", s.handleDebugDrift)
+	}
 	return s
+}
+
+// traced wraps a handler in an "http.server" span: the trace ID comes from
+// the request ID the Instrument middleware put on the context, and a
+// span.ParentHeader sent by the calling site links this span under the
+// caller's span, making one exchange traceable across the federation.
+func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.spans == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := span.WithRecorder(r.Context(), s.spans)
+		if pid := span.ParseID(r.Header.Get(span.ParentHeader)); pid != 0 {
+			ctx = span.WithRemoteParent(ctx, pid)
+		}
+		ctx, sp := span.Start(ctx, "http.server")
+		sp.SetAttr("route", route)
+		sp.SetAttr("method", r.Method)
+		defer sp.End()
+		h(w, r.WithContext(ctx))
+	}
 }
 
 // Registry returns the registry served at /metrics.

@@ -5,11 +5,14 @@
 package ums
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/usage"
 )
 
@@ -40,6 +43,8 @@ type Config struct {
 	Clock simclock.Clock
 	// Metrics receives the service's instruments (default registry if nil).
 	Metrics *telemetry.Registry
+	// Spans receives recompute trace spans (nil disables tracing).
+	Spans *span.Recorder
 }
 
 // Service is a Usage Monitoring Service instance.
@@ -140,7 +145,13 @@ func (s *Service) UsageTotals() (map[string]float64, time.Time, error) {
 		s.mu.Unlock()
 
 		started := time.Now() // wall time: the metric reports real compute cost
-		combined, err := fetchSources(sources, now, s.cfg.Decay)
+		sctx, sp := span.Start(span.WithRecorder(context.Background(), s.cfg.Spans),
+			"ums.totals")
+		sp.SetAttrInt("sources", int64(len(sources)))
+		combined, err := fetchSources(sctx, sources, now, s.cfg.Decay)
+		sp.SetAttrInt("users", int64(len(combined)))
+		sp.SetErr(err)
+		sp.End()
 
 		s.mu.Lock()
 		s.inflight = nil
@@ -166,13 +177,23 @@ func (s *Service) UsageTotals() (map[string]float64, time.Time, error) {
 }
 
 // fetchSources queries every source concurrently and merges the totals.
-// The first error in source order wins (all sources are still awaited).
-func fetchSources(sources []Source, now time.Time, d usage.Decay) (map[string]float64, error) {
+// The first error in source order wins (all sources are still awaited). The
+// context only carries trace state — sources have no cancellation hook.
+func fetchSources(ctx context.Context, sources []Source, now time.Time, d usage.Decay) (map[string]float64, error) {
+	fetchOne := func(i int, src Source) (map[string]float64, error) {
+		_, sp := span.Start(ctx, "ums.source")
+		sp.SetAttr("index", fmt.Sprint(i))
+		totals, err := src.Totals(now, d)
+		sp.SetAttrInt("users", int64(len(totals)))
+		sp.SetErr(err)
+		sp.End()
+		return totals, err
+	}
 	switch len(sources) {
 	case 0:
 		return map[string]float64{}, nil
 	case 1:
-		totals, err := sources[0].Totals(now, d)
+		totals, err := fetchOne(0, sources[0])
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +210,7 @@ func fetchSources(sources []Source, now time.Time, d usage.Decay) (map[string]fl
 		wg.Add(1)
 		go func(i int, src Source) {
 			defer wg.Done()
-			results[i], errs[i] = src.Totals(now, d)
+			results[i], errs[i] = fetchOne(i, src)
 		}(i, src)
 	}
 	wg.Wait()

@@ -15,6 +15,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/usage"
 )
 
@@ -52,6 +53,11 @@ type Config struct {
 	// With a threshold set, a peer that keeps failing is skipped (not
 	// dialed at all) until the cooldown elapses, then probed half-open.
 	Breaker resilience.BreakerConfig
+	// Spans receives exchange-round trace spans (nil disables tracing). A
+	// recorder already present on the exchange context — e.g. attached by the
+	// HTTP server middleware — takes precedence, so spans of a triggered
+	// exchange land in the trace of the request that triggered it.
+	Spans *span.Recorder
 }
 
 // Service is a Usage Statistics Service instance.
@@ -81,6 +87,8 @@ type Service struct {
 	mExchangeErrors *telemetry.CounterVec
 	mExchangeSkips  *telemetry.CounterVec
 	mPeerStaleness  *telemetry.GaugeVec
+	mWatermarkAge   *telemetry.GaugeVec
+	mConvergeLag    *telemetry.GaugeVec
 }
 
 // peerState is one peer's exchange bookkeeping, guarded by Service.mu.
@@ -124,6 +132,10 @@ func New(cfg Config) *Service {
 			"Peer pulls skipped because the peer's circuit breaker was open, by peer site.", "peer"),
 		mPeerStaleness: reg.GaugeVec("aequus_uss_peer_staleness_seconds",
 			"Seconds since the last successful pull from each peer (-1 = never succeeded).", "peer"),
+		mWatermarkAge: reg.GaugeVec("aequus_uss_peer_watermark_age_seconds",
+			"Age of the newest ingested usage interval per peer (-1 = nothing ingested yet). Grows while a peer is unreachable.", "peer"),
+		mConvergeLag: reg.GaugeVec("aequus_uss_peer_convergence_lag_seconds",
+			"At the last successful pull, how far the peer's newest interval lagged behind now (-1 = no successful pull yet).", "peer"),
 	}
 }
 
@@ -183,6 +195,12 @@ func (s *Service) Exchange(ctx context.Context) (int, error) {
 	s.mu.Unlock()
 	s.mExchanges.Inc()
 
+	ctx = span.EnsureRecorder(ctx, s.cfg.Spans)
+	ctx, root := span.Start(ctx, "uss.exchange")
+	root.SetAttr("site", s.cfg.Site)
+	root.SetAttrInt("peers", int64(len(peers)))
+	defer root.End()
+
 	counts := make([]int, len(peers))
 	errs := make([]error, len(peers))
 	var wg sync.WaitGroup
@@ -203,6 +221,8 @@ func (s *Service) Exchange(ctx context.Context) (int, error) {
 			firstErr = errs[i]
 		}
 	}
+	root.SetAttrInt("records", int64(total))
+	root.SetErr(firstErr)
 	return total, firstErr
 }
 
@@ -212,8 +232,20 @@ func (s *Service) Exchange(ctx context.Context) (int, error) {
 func (s *Service) pullPeer(ctx context.Context, p Peer) (int, error) {
 	site := p.Site()
 	br := s.breakers.For(site)
+
+	ctx, sp := span.Start(ctx, "uss.pull")
+	sp.SetAttr("peer", site)
+	if br != nil {
+		sp.SetAttr("breaker", br.State().String())
+	} else {
+		sp.SetAttr("breaker", "disabled")
+	}
+	defer sp.End()
+
 	if !br.Allow() {
 		s.mExchangeSkips.With(site).Inc()
+		sp.SetAttr("skipped", "breaker-open")
+		s.updateWatermarkAge(site)
 		return 0, nil
 	}
 
@@ -236,13 +268,17 @@ func (s *Service) pullPeer(ctx context.Context, p Peer) (int, error) {
 		br.Failure(err)
 		s.mExchangeErrors.With(site).Inc()
 		s.notePeer(site, err)
+		s.updateWatermarkAge(site)
+		sp.SetErr(err)
 		return 0, err
 	}
 	br.Success()
 	s.mExchangeBatch.Observe(float64(len(recs)))
 	s.mExchangeRecs.With(site).Add(float64(len(recs)))
 	s.notePeer(site, nil)
+	sp.SetAttrInt("records", int64(len(recs)))
 	if len(recs) == 0 {
+		s.updateWatermarkAge(site)
 		return 0, nil
 	}
 	s.mu.Lock()
@@ -265,7 +301,24 @@ func (s *Service) pullPeer(ctx context.Context, p Peer) (int, error) {
 	s.mu.Lock()
 	s.watermark[site] = newest
 	s.mu.Unlock()
+	s.updateWatermarkAge(site)
+	s.mConvergeLag.With(site).Set(s.cfg.Clock.Now().Sub(newest).Seconds())
 	return len(recs), nil
+}
+
+// updateWatermarkAge refreshes one peer's watermark-age gauge: how old the
+// newest ingested usage interval is. Unlike staleness (time since the last
+// successful pull), this measures how far behind the *data* is — an empty
+// but successful pull keeps staleness at zero while watermark age grows.
+func (s *Service) updateWatermarkAge(site string) {
+	s.mu.Lock()
+	wm := s.watermark[site]
+	s.mu.Unlock()
+	if wm.IsZero() {
+		s.mWatermarkAge.With(site).Set(-1)
+		return
+	}
+	s.mWatermarkAge.With(site).Set(s.cfg.Clock.Now().Sub(wm).Seconds())
 }
 
 // notePeer records one pull outcome in the per-peer health state and keeps
@@ -344,6 +397,7 @@ func (s *Service) PeerStatuses() []PeerStatus {
 		} else {
 			s.mPeerStaleness.With(out[i].Site).Set(now.Sub(out[i].LastSuccess).Seconds())
 		}
+		s.updateWatermarkAge(out[i].Site)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
 	return out

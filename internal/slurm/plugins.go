@@ -8,6 +8,7 @@
 package slurm
 
 import (
+	"context"
 	"math"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/libaequus"
 	"repro/internal/sched"
 	"repro/internal/simclock"
+	"repro/internal/telemetry/span"
 	"repro/internal/usage"
 )
 
@@ -36,6 +38,9 @@ type JobCompHandler interface {
 // libaequus call-out.
 type AequusFairshare struct {
 	Lib *libaequus.Client
+	// Spans receives one "rm.fairshare_callout" span per call-out (nil
+	// disables tracing).
+	Spans *span.Recorder
 }
 
 // Name implements FairshareProvider.
@@ -43,7 +48,14 @@ func (AequusFairshare) Name() string { return "aequus" }
 
 // Fairshare implements FairshareProvider.
 func (a AequusFairshare) Fairshare(localUser string) (float64, error) {
-	return a.Lib.PriorityForLocalUser(localUser)
+	_, sp := span.Start(span.WithRecorder(context.Background(), a.Spans),
+		"rm.fairshare_callout")
+	sp.SetAttr("rm", "slurm")
+	sp.SetAttr("user", localUser)
+	v, err := a.Lib.PriorityForLocalUser(localUser)
+	sp.SetErr(err)
+	sp.End()
+	return v, err
 }
 
 // AequusJobComp is the Aequus job-completion plug-in.

@@ -16,6 +16,12 @@ import (
 // _sum/_count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.RUnlock()
+	for _, h := range hooks {
+		h()
+	}
+	r.mu.RLock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
 		names = append(names, n)

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusEscapingConformance pins the Prometheus text-format (0.0.4)
+// escaping rules: HELP text escapes `\` and newline; label values escape
+// `\`, `"` and newline. No raw newline or unescaped quote may survive into
+// the exposition, or scrapers mis-parse the whole page.
+func TestPrometheusEscapingConformance(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("aequus_escape_help_total",
+		"line one\nline two with back\\slash and \"quotes\"").Inc()
+	v := reg.CounterVec("aequus_escape_label_total", "labeled", "path")
+	v.With(`C:\temp\new` + "\nline").Inc()
+	v.With(`say "hi"`).Inc()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	wantLines := []string{
+		// HELP: backslash and newline escaped; quotes legal unescaped.
+		`# HELP aequus_escape_help_total line one\nline two with back\\slash and "quotes"`,
+		// Label values: backslash, newline and quote all escaped.
+		`aequus_escape_label_total{path="C:\\temp\\new\nline"} 1`,
+		`aequus_escape_label_total{path="say \"hi\""} 1`,
+	}
+	for _, want := range wantLines {
+		found := false
+		for _, line := range strings.Split(text, "\n") {
+			if line == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("exposition missing exact line:\n  %s\ngot:\n%s", want, text)
+		}
+	}
+
+	// Structural invariants: every line is HELP, TYPE, or name{labels} value
+	// — a raw newline inside help or a label value would break this.
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# TYPE "):
+		case strings.Contains(line, " "):
+			if strings.Contains(line, "{") && !strings.Contains(line, `}`) {
+				t.Errorf("line %d has unbalanced braces: %q", i+1, line)
+			}
+		default:
+			t.Errorf("line %d is not a valid exposition line: %q", i+1, line)
+		}
+	}
+}

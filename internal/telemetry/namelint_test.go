@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMetricNameLint walks every non-test Go file in the repository and
+// checks each metric name passed to Counter/Gauge/Histogram(Vec) against the
+// project conventions:
+//
+//   - all names match ^aequus_[a-z0-9_]+$
+//   - counters end in _total
+//   - names mentioning a unit (_seconds, _bytes) end with that unit
+//     (counters may append _total after it)
+//
+// Run in CI via: go test ./internal/telemetry -run TestMetricNameLint
+func TestMetricNameLint(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	callRE := regexp.MustCompile(`\.(Counter|Gauge|Histogram)(Vec)?\(\s*"([^"]+)"`)
+	nameOK := regexp.MustCompile(`^aequus_[a-z0-9_]+$`)
+
+	checked := 0
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			switch info.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, m := range callRE.FindAllStringSubmatch(string(src), -1) {
+			kind, name := m[1], m[3]
+			checked++
+			if !nameOK.MatchString(name) {
+				t.Errorf("%s: metric %q does not match ^aequus_[a-z0-9_]+$", rel, name)
+				continue
+			}
+			if kind == "Counter" && !strings.HasSuffix(name, "_total") {
+				t.Errorf("%s: counter %q must end in _total", rel, name)
+			}
+			if kind != "Counter" && strings.HasSuffix(name, "_total") {
+				t.Errorf("%s: %s %q must not end in _total", rel, strings.ToLower(kind), name)
+			}
+			base := strings.TrimSuffix(name, "_total")
+			for _, unit := range []string{"_seconds", "_bytes", "_ratio"} {
+				if strings.Contains(base, unit) && !strings.HasSuffix(base, unit) {
+					t.Errorf("%s: metric %q mentions unit %q but does not end with it", rel, name, unit)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("namelint found no metric registrations — regex or walk root broken")
+	}
+	t.Logf("checked %d metric registrations", checked)
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics registers Go runtime and process-health metrics on
+// r (the default registry when nil) and refreshes them on every scrape via
+// an OnScrape hook:
+//
+//	aequus_go_goroutines              current goroutine count
+//	aequus_go_heap_inuse_bytes        bytes in in-use heap spans
+//	aequus_go_gc_pause_seconds_total  cumulative stop-the-world GC pause time
+//	aequus_process_uptime_seconds     seconds since this registration
+//
+// Registration is idempotent per registry, so independently constructed
+// services sharing one registry can all call it.
+func RegisterRuntimeMetrics(r *Registry) {
+	r = OrDefault(r)
+	r.mu.Lock()
+	if r.runtimeDone {
+		r.mu.Unlock()
+		return
+	}
+	r.runtimeDone = true
+	r.mu.Unlock()
+
+	goroutines := r.Gauge("aequus_go_goroutines",
+		"Number of goroutines in this process.")
+	heapInuse := r.Gauge("aequus_go_heap_inuse_bytes",
+		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).")
+	gcPause := r.Counter("aequus_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.")
+	uptime := r.Gauge("aequus_process_uptime_seconds",
+		"Seconds since this process registered its runtime metrics.")
+
+	start := time.Now()
+	var mu sync.Mutex
+	var lastPauseNs uint64
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapInuse.Set(float64(ms.HeapInuse))
+		// Counter semantics from a cumulative source: add only the delta
+		// since the previous scrape (guarded against concurrent scrapes).
+		mu.Lock()
+		if ms.PauseTotalNs >= lastPauseNs {
+			gcPause.Add(float64(ms.PauseTotalNs-lastPauseNs) / 1e9)
+			lastPauseNs = ms.PauseTotalNs
+		}
+		mu.Unlock()
+		uptime.Set(time.Since(start).Seconds())
+	})
+}

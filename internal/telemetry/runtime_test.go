@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // idempotent
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"aequus_go_goroutines ",
+		"aequus_go_heap_inuse_bytes ",
+		"aequus_go_gc_pause_seconds_total ",
+		"aequus_process_uptime_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The scrape hook must refresh values at exposition time.
+	if g := reg.Gauge("aequus_go_goroutines", "").Value(); g < 1 {
+		t.Errorf("goroutines gauge = %v after scrape", g)
+	}
+	if h := reg.Gauge("aequus_go_heap_inuse_bytes", "").Value(); h <= 0 {
+		t.Errorf("heap gauge = %v after scrape", h)
+	}
+
+	// GC pause total is monotone across scrapes even after forced GCs.
+	before := reg.Counter("aequus_go_gc_pause_seconds_total", "").Value()
+	runtime.GC()
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Counter("aequus_go_gc_pause_seconds_total", "").Value()
+	if after < before {
+		t.Errorf("gc pause counter went backwards: %v -> %v", before, after)
+	}
+}
+
+func TestOnScrapeHookRuns(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("aequus_test_hooked", "")
+	calls := 0
+	reg.OnScrape(func() { calls++; g.Set(float64(calls)) })
+	reg.OnScrape(nil) // ignored
+
+	var buf bytes.Buffer
+	_ = reg.WritePrometheus(&buf)
+	_ = reg.WritePrometheus(&buf)
+	if calls != 2 {
+		t.Errorf("hook ran %d times, want 2", calls)
+	}
+	if g.Value() != 2 {
+		t.Errorf("gauge = %v, want 2", g.Value())
+	}
+}

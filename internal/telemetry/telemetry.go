@@ -26,6 +26,11 @@ import (
 type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
+	// hooks run at the start of every WritePrometheus call, letting
+	// point-in-time gauges (runtime stats, uptime) refresh at scrape time.
+	hooks []func()
+	// runtimeDone guards one-time runtime-metric registration per registry.
+	runtimeDone bool
 }
 
 // NewRegistry creates an empty registry.
@@ -45,6 +50,20 @@ func OrDefault(r *Registry) *Registry {
 		return std
 	}
 	return r
+}
+
+// OnScrape registers a hook invoked at the start of every WritePrometheus
+// call (concurrent scrapes may run hooks concurrently; hooks must be safe
+// for that). Use it for metrics that are snapshots of external state — the
+// Go runtime stats, process uptime — so they are fresh at scrape time
+// without a background updater.
+func (r *Registry) OnScrape(f func()) {
+	if f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, f)
 }
 
 type metricKind int

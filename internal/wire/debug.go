@@ -1,0 +1,67 @@
+package wire
+
+import "time"
+
+// DebugAttr is one span attribute in the /debug/aequus surface.
+type DebugAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// DebugSpan is the wire form of one recorded trace span. IDs are hex strings
+// (ParentID "" for a root span).
+type DebugSpan struct {
+	TraceID         string      `json:"trace_id"`
+	SpanID          string      `json:"span_id"`
+	ParentID        string      `json:"parent_id,omitempty"`
+	Name            string      `json:"name"`
+	Start           time.Time   `json:"start"`
+	DurationSeconds float64     `json:"duration_seconds"`
+	Attrs           []DebugAttr `json:"attrs,omitempty"`
+	Error           string      `json:"error,omitempty"`
+}
+
+// DebugTrace groups the retained spans of one trace.
+type DebugTrace struct {
+	TraceID string      `json:"trace_id"`
+	Spans   []DebugSpan `json:"spans"`
+}
+
+// TracesResponse is the /debug/aequus/traces payload, most recent first.
+type TracesResponse struct {
+	Traces []DebugTrace `json:"traces"`
+}
+
+// SpansResponse is the /debug/aequus/spans payload (slowest spans first).
+type SpansResponse struct {
+	Spans []DebugSpan `json:"spans"`
+}
+
+// DriftEntry is one user's fairness drift in the /debug/aequus/drift payload.
+type DriftEntry struct {
+	User   string  `json:"user"`
+	Target float64 `json:"target"`
+	Actual float64 `json:"actual"`
+	Error  float64 `json:"error"`
+}
+
+// DriftResponse is the fairness-drift table of the current snapshot, sorted
+// worst-first.
+type DriftResponse struct {
+	ComputedAt time.Time    `json:"computed_at"`
+	MaxError   float64      `json:"max_error"`
+	MeanError  float64      `json:"mean_error"`
+	Entries    []DriftEntry `json:"entries"`
+}
+
+// DebugSummary is the /debug/aequus landing payload: a one-page health view
+// combining tracer, snapshot, drift and peer state.
+type DebugSummary struct {
+	SpansRecorded       uint64       `json:"spans_recorded"`
+	Traces              int          `json:"traces"`
+	FCSComputedAt       time.Time    `json:"fcs_computed_at"`
+	FCSLastRefreshError string       `json:"fcs_last_refresh_error,omitempty"`
+	DriftMax            float64      `json:"drift_max"`
+	DriftMean           float64      `json:"drift_mean"`
+	Peers               []PeerStatus `json:"peers,omitempty"`
+}
