@@ -16,6 +16,7 @@
 //	aequusctl -addr ... ready
 //	aequusctl -addr ... trace [n]
 //	aequusctl -addr ... drift
+//	aequusctl -addr ... fcs
 package main
 
 import (
@@ -69,6 +70,8 @@ func main() {
 		err = cmdTrace(c, args[1:])
 	case "drift":
 		err = cmdDrift(c)
+	case "fcs":
+		err = cmdFcs(c)
 	default:
 		usage()
 	}
@@ -78,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: aequusctl [-addr URL] <fairshare|policy|resolve|map|report|exchange|projection|metrics|ready|trace|drift> [args]")
+	fmt.Fprintln(os.Stderr, "usage: aequusctl [-addr URL] <fairshare|policy|resolve|map|report|exchange|projection|metrics|ready|trace|drift|fcs> [args]")
 	os.Exit(2)
 }
 
@@ -307,6 +310,31 @@ func cmdDrift(c *httpapi.Client) error {
 	fmt.Printf("max=%.4f mean=%.4f computed=%s\n",
 		d.MaxError, d.MeanError, d.ComputedAt.Format(time.RFC3339))
 	return nil
+}
+
+// cmdFcs prints the fairshare computation service's refresh health: how the
+// last refresh ran (full or incremental), how many users it had to
+// recompute, and how long it took — the page that tells an operator whether
+// steady state is actually incremental.
+func cmdFcs(c *httpapi.Client) error {
+	s, err := c.DebugSummary(context.Background())
+	if err != nil {
+		return err
+	}
+	mode := s.FCSRefreshMode
+	if mode == "" {
+		mode = "-"
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "last refresh mode\t%s\n", mode)
+	fmt.Fprintf(tw, "dirty users\t%d\n", s.FCSDirtyUsers)
+	fmt.Fprintf(tw, "refresh duration\t%.3fms\n", s.FCSRefreshSeconds*1000)
+	fmt.Fprintf(tw, "snapshot computed\t%s\n", s.FCSComputedAt.Format(time.RFC3339))
+	fmt.Fprintf(tw, "drift max/mean\t%.4f / %.4f\n", s.DriftMax, s.DriftMean)
+	if s.FCSLastRefreshError != "" {
+		fmt.Fprintf(tw, "last refresh error\t%s\n", s.FCSLastRefreshError)
+	}
+	return tw.Flush()
 }
 
 func cmdProjection(c *httpapi.Client, args []string) error {

@@ -45,7 +45,7 @@ func main() {
 		contribute    = flag.Bool("contribute", true, "serve usage records to peers")
 		useGlobal     = flag.Bool("use-global", true, "consider global usage for prioritization")
 		projection    = flag.String("projection", "percental", "vector projection: dictionary|bitwise|percental")
-		halfLife      = flag.Duration("half-life", 7*24*time.Hour, "usage decay half-life")
+		halfLife      = flag.Duration("half-life", 7*24*time.Hour, "usage decay half-life (0 disables decay, keeping usage deltas sparse so steady-state refreshes run incrementally)")
 		binWidth      = flag.Duration("bin-width", time.Hour, "usage histogram interval")
 		exchangeEvery = flag.Duration("exchange-interval", time.Minute, "peer usage exchange period")
 		refreshEvery  = flag.Duration("refresh-interval", time.Minute, "fairshare pre-calculation period")
@@ -111,11 +111,20 @@ func main() {
 	if *traceBuffer > 0 {
 		spans = span.NewRecorder(span.Config{Capacity: *traceBuffer, SampleEvery: *traceSample})
 	}
+	// Half-life 0 means no decay at all. Beyond being a sensible reading of
+	// the flag, it is the mode where only users with fresh completions move
+	// between UMS pulls, so the FCS's incremental recalc path can engage;
+	// under exponential decay every total changes every pull and refreshes
+	// are always full rebuilds.
+	var decay usage.Decay = usage.ExponentialHalfLife{HalfLife: *halfLife}
+	if *halfLife <= 0 {
+		decay = usage.None{}
+	}
 	s, err := core.NewSite(core.SiteConfig{
 		Name:          *site,
 		Policy:        pol,
 		BinWidth:      *binWidth,
-		Decay:         usage.ExponentialHalfLife{HalfLife: *halfLife},
+		Decay:         decay,
 		Contribute:    *contribute,
 		UseGlobal:     *useGlobal,
 		Projection:    proj,

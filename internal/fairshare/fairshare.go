@@ -20,7 +20,9 @@ package fairshare
 
 import (
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/policy"
 	"repro/internal/vector"
@@ -71,6 +73,15 @@ type Node struct {
 	Value float64
 	// Children are the sub-entities.
 	Children []*Node
+	// leaves counts the leaves in this subtree (1 for a leaf). It is filled
+	// at build time so index construction and the incremental Recalc engine
+	// can partition entry ranges without re-walking the tree.
+	leaves int32
+	// gen tags nodes cloned by one Recalc.Apply pass (generation numbers are
+	// process-unique), letting the engine distinguish this pass's mutable
+	// clones from immutable shared nodes without a map. Zero on nodes built
+	// by Compute.
+	gen uint64
 }
 
 // Tree is a computed fairshare tree.
@@ -92,8 +103,7 @@ const parallelComputeThreshold = 4096
 // usage totals are fixed.
 func Compute(p *policy.Tree, usage map[string]float64, cfg Config) *Tree {
 	cfg = cfg.normalized()
-	norm := p.Normalize()
-	root, nodes := buildNode(norm.Root, usage)
+	root, nodes := buildTree(p.Root, usage)
 	root.Share = 1
 	root.UsageShare = 1
 	root.Priority = 0
@@ -117,20 +127,83 @@ func Compute(p *policy.Tree, usage map[string]float64, cfg Config) *Tree {
 	return &Tree{Root: root, Config: cfg}
 }
 
-// buildNode copies the policy structure and accumulates subtree usage,
-// returning the subtree's node count.
-func buildNode(pn *policy.Node, usage map[string]float64) (*Node, int) {
+// buildTree builds the scored-tree skeleton from the raw policy, normalizing
+// sibling shares inline with exactly policy.Normalize's arithmetic (each
+// child's share divided by the left-to-right sum of its group's raw shares,
+// iff that sum is positive). Folding the normalization into the build avoids
+// the full policy clone Normalize performs. Large trees build their top-level
+// subtrees in parallel; the root's usage fold stays serial and left-to-right
+// so results are bitwise independent of scheduling.
+func buildTree(pn *policy.Node, usage map[string]float64) (*Node, int) {
+	if len(usage) < parallelComputeThreshold || len(pn.Children) < 2 {
+		return buildNorm(pn, pn.Share, usage)
+	}
 	n := &Node{Name: pn.Name, Share: pn.Share}
+	var sum float64
+	for _, pc := range pn.Children {
+		sum += pc.Share
+	}
+	n.Children = make([]*Node, len(pn.Children))
+	counts := make([]int, len(pn.Children))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pn.Children) {
+		workers = len(pn.Children)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pn.Children) {
+					return
+				}
+				pc := pn.Children[i]
+				cs := pc.Share
+				if sum > 0 {
+					cs = pc.Share / sum
+				}
+				n.Children[i], counts[i] = buildNorm(pc, cs, usage)
+			}
+		}()
+	}
+	wg.Wait()
+	nodes := 1
+	for i, c := range n.Children {
+		n.Usage += c.Usage
+		n.leaves += c.leaves
+		nodes += counts[i]
+	}
+	return n, nodes
+}
+
+// buildNorm copies the policy structure with inline share normalization and
+// accumulates subtree usage, returning the subtree's node count. share is the
+// node's already-normalized share within its sibling group.
+func buildNorm(pn *policy.Node, share float64, usage map[string]float64) (*Node, int) {
+	n := &Node{Name: pn.Name, Share: share}
 	if len(pn.Children) == 0 {
 		n.Usage = usage[pn.Name]
+		n.leaves = 1
 		return n, 1
+	}
+	var sum float64
+	for _, pc := range pn.Children {
+		sum += pc.Share
 	}
 	nodes := 1
 	n.Children = make([]*Node, 0, len(pn.Children))
 	for _, pc := range pn.Children {
-		c, cn := buildNode(pc, usage)
+		cs := pc.Share
+		if sum > 0 {
+			cs = pc.Share / sum
+		}
+		c, cn := buildNorm(pc, cs, usage)
 		n.Children = append(n.Children, c)
 		n.Usage += c.Usage
+		n.leaves += c.leaves
 		nodes += cn
 	}
 	return n, nodes
@@ -271,6 +344,18 @@ func walkLeaves(root *Node, fn func(leaf *Node, vec vector.Vector, shares, usage
 		}
 	}
 	walk(root)
+}
+
+// UsageByLeaf returns the absolute decayed usage of every leaf, keyed by
+// leaf name — the usage map a from-scratch Compute needs to reproduce this
+// tree. Duplicate leaf names are harmless: Compute feeds every same-named
+// leaf the same usage value, so the map is well-defined.
+func (t *Tree) UsageByLeaf() map[string]float64 {
+	out := make(map[string]float64, leafCount(t.Root))
+	walkLeaves(t.Root, func(n *Node, _ vector.Vector, _, _ []float64) {
+		out[n.Name] = n.Usage
+	})
+	return out
 }
 
 // Priorities projects every user's fairshare vector to a scalar in [0,1]

@@ -1,78 +1,391 @@
 package fairshare
 
 import (
+	"runtime"
+	"sort"
+	"sync"
+
 	"repro/internal/vector"
 )
 
 // IndexEntry is one user's fully resolved serving record: the projection
 // entry (vector, per-level target and usage shares) plus the raw leaf
-// priority. The embedded slices are owned by the entry and immutable once
-// the index is built, so they can be handed out without copying.
+// priority. Entries are composed on the fly from the index's flat arenas;
+// the embedded slices alias those immutable arenas, so they can be handed
+// out without copying but must not be mutated.
 type IndexEntry struct {
 	vector.Entry
 	// LeafPriority is the raw (unprojected) priority of the user's leaf.
 	LeafPriority float64
 }
 
-// Index is an immutable O(1) lookup table over a fairshare tree's leaves,
-// built from a single depth-first walk at pre-calculation time. It is what
-// lets the FCS serve `Priority()` without walking the tree: "no real-time
-// calculations need to take place when new jobs arrive". An Index is safe
-// for concurrent use by any number of readers because nothing mutates it
-// after construction.
+// indexStripes is the number of hash stripes the user→position map is split
+// into. Striping lets full index rebuilds populate the map from several
+// goroutines without a global lock, and keeps per-map sizes (and therefore
+// rehash pauses) bounded at the 1M-user scale.
+const indexStripes = 16
+
+// Index is an immutable O(1) lookup table over a fairshare tree's leaves.
+// It is what lets the FCS serve `Priority()` without walking the tree: "no
+// real-time calculations need to take place when new jobs arrive". An Index
+// is safe for concurrent use by any number of readers because nothing
+// mutates it after construction (the lazy projection view is built under a
+// sync.Once).
+//
+// Storage is split in two along the incremental-recalc seam:
+//
+//   - The identity half — user names, per-entry arena offsets, target
+//     shares, the sharded user→position maps and the duplicate table —
+//     depends only on the policy topology, so incremental rebuilds (see
+//     Recalc) share it wholesale with the previous index.
+//   - The value half — the flattened vector, usage-share and leaf-priority
+//     arenas — is what a usage delta changes. It lives in plain []float64
+//     arenas with no interior pointers, so replacing it per refresh costs
+//     three allocations that the garbage collector never has to scan.
+//
+// The user→position map is sharded into indexStripes stripes by name hash
+// so full rebuilds parallelize across cores.
 type Index struct {
-	entries []IndexEntry
-	// pos maps a user name to its first entry (matching Tree.Vector /
-	// Tree.LeafPriority, which return the first leaf with that name when a
-	// degenerate policy repeats names across groups).
-	pos map[string]int
-	// projEntries is a prebuilt []vector.Entry view over entries, sharing
-	// their slices, so projections run without re-walking or re-copying.
+	// users[i] is the leaf name at entry position i (DFS order).
+	users []string
+	// offs[i] is the start of entry i's per-level values in the flat
+	// arenas; entry i spans [offs[i], offs[i+1]) and its depth is the
+	// difference. len(offs) == len(users)+1.
+	offs []int32
+	// shares holds every entry's normalized target shares, flattened per
+	// offs. Target shares change only with the policy, never with usage.
+	shares []float64
+
+	// vec, pathUsage and leafPrio are the per-snapshot value arenas: the
+	// fairshare vector and usage share at each level (flattened per offs)
+	// and the raw leaf priority per position.
+	vec       []float64
+	pathUsage []float64
+	leafPrio  []float64
+
+	// stripes[hash(user)%indexStripes] maps a user name to its first entry
+	// position in DFS order (matching Tree.Vector / Tree.LeafPriority, which
+	// return the first leaf with that name when a degenerate policy repeats
+	// names across groups).
+	stripes [indexStripes]map[string]int32
+	// dups holds, for names appearing on more than one leaf, every position
+	// (including the first) in ascending DFS order. Nil when all names are
+	// unique — the common case.
+	dups map[string][]int32
+	// projEntries is a lazily built []vector.Entry view over the arenas,
+	// sharing their storage, so projections run without re-walking or
+	// re-copying. Lazy because pointwise projections never need it.
+	projOnce    sync.Once
 	projEntries []vector.Entry
 }
 
-// NewIndex builds the index for a computed tree in one walk.
-func NewIndex(t *Tree) *Index {
-	ix := &Index{pos: make(map[string]int)}
-	walkLeaves(t.Root, func(n *Node, vec vector.Vector, shares, usages []float64) {
-		e := IndexEntry{
-			Entry: vector.Entry{
-				User:       n.Name,
-				Vec:        vec.Clone(),
-				PathShares: append([]float64(nil), shares...),
-				PathUsage:  append([]float64(nil), usages...),
-			},
-			LeafPriority: n.Priority,
-		}
-		if _, dup := ix.pos[n.Name]; !dup {
-			ix.pos[n.Name] = len(ix.entries)
-		}
-		ix.entries = append(ix.entries, e)
-	})
-	ix.projEntries = make([]vector.Entry, len(ix.entries))
-	for i := range ix.entries {
-		ix.projEntries[i] = ix.entries[i].Entry
+// stripeOf hashes a user name (FNV-1a) onto a stripe without allocating.
+func stripeOf(name string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
 	}
+	return uint32(h % indexStripes)
+}
+
+// NewIndex builds the index for a computed tree. Small trees use a single
+// depth-first walk; large trees split the root's subtrees into contiguous
+// leaf ranges (the per-node leaf counts cached at build time give exact
+// offsets) and build entries plus per-range stripe maps in parallel, merging
+// the stripe maps deterministically afterwards.
+func NewIndex(t *Tree) *Index {
+	ix := &Index{}
+	n := leafCount(t.Root)
+	if n >= parallelComputeThreshold && len(t.Root.Children) > 1 {
+		ix.buildParallel(t.Root, n)
+		return ix
+	}
+	ix.users = make([]string, 0, n)
+	ix.offs = append(make([]int32, 0, n+1), 0)
+	ix.leafPrio = make([]float64, 0, n)
+	for s := range ix.stripes {
+		ix.stripes[s] = make(map[string]int32)
+	}
+	walkLeaves(t.Root, func(nd *Node, vec vector.Vector, shares, usages []float64) {
+		pos := int32(len(ix.users))
+		ix.users = append(ix.users, nd.Name)
+		ix.vec = append(ix.vec, vec...)
+		ix.shares = append(ix.shares, shares...)
+		ix.pathUsage = append(ix.pathUsage, usages...)
+		ix.leafPrio = append(ix.leafPrio, nd.Priority)
+		ix.offs = append(ix.offs, int32(len(ix.vec)))
+		ix.addPos(nd.Name, pos)
+	})
 	return ix
+}
+
+// addPos records a leaf position for a name: first occurrence wins the
+// stripe map, later ones go to the duplicate table.
+func (ix *Index) addPos(name string, pos int32) {
+	m := ix.stripes[stripeOf(name)]
+	if first, dup := m[name]; dup {
+		if ix.dups == nil {
+			ix.dups = make(map[string][]int32)
+		}
+		if len(ix.dups[name]) == 0 {
+			ix.dups[name] = append(ix.dups[name], first)
+		}
+		ix.dups[name] = append(ix.dups[name], pos)
+		return
+	}
+	m[name] = pos
+}
+
+// subtreeDepthSum returns the summed root-to-leaf path length over every
+// leaf of the subtree, with the subtree's own node at the given level — the
+// arena space the subtree's entries occupy.
+func subtreeDepthSum(n *Node, level int) int {
+	if len(n.Children) == 0 {
+		return level
+	}
+	s := 0
+	for _, c := range n.Children {
+		s += subtreeDepthSum(c, level+1)
+	}
+	return s
+}
+
+// buildParallel partitions the root's children into contiguous chunks of
+// roughly equal leaf count, builds each chunk's arena section and local
+// stripe maps concurrently, then merges the stripe maps. Entry order,
+// first-wins positions and duplicate tables are bitwise identical to the
+// serial walk.
+func (ix *Index) buildParallel(root *Node, n int) {
+	// Arena extents per top-level child (integer-only pre-pass) give each
+	// chunk its exact leaf position and arena offset.
+	depthSums := make([]int, len(root.Children))
+	total := 0
+	for i, c := range root.Children {
+		depthSums[i] = subtreeDepthSum(c, 1)
+		total += depthSums[i]
+	}
+	ix.users = make([]string, n)
+	ix.offs = make([]int32, n+1)
+	ix.shares = make([]float64, total)
+	ix.vec = make([]float64, total)
+	ix.pathUsage = make([]float64, total)
+	ix.leafPrio = make([]float64, n)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(root.Children) {
+		workers = len(root.Children)
+	}
+	// Chunk boundaries: greedy fill to ~n/workers leaves per chunk.
+	type chunk struct {
+		firstChild, lastChild int // child index range [first, last)
+		offset                int // global position of the chunk's first leaf
+		arenaOff              int // global arena offset of the chunk's first value
+	}
+	var chunks []chunk
+	target := (n + workers - 1) / workers
+	off, aoff, acc, aacc, first := 0, 0, 0, 0, 0
+	for i, c := range root.Children {
+		acc += int(c.leaves)
+		aacc += depthSums[i]
+		if acc >= target || i == len(root.Children)-1 {
+			chunks = append(chunks, chunk{firstChild: first, lastChild: i + 1, offset: off, arenaOff: aoff})
+			off += acc
+			aoff += aacc
+			acc, aacc = 0, 0
+			first = i + 1
+		}
+	}
+	type local struct {
+		stripes [indexStripes]map[string]int32
+		// extra holds positions whose name already had a smaller position
+		// within this chunk (in-chunk duplicates).
+		extra []int32
+	}
+	locals := make([]local, len(chunks))
+	var wg sync.WaitGroup
+	wg.Add(len(chunks))
+	for i := range chunks {
+		go func(i int) {
+			defer wg.Done()
+			ck := chunks[i]
+			lc := &locals[i]
+			for s := range lc.stripes {
+				lc.stripes[s] = make(map[string]int32)
+			}
+			pos := int32(ck.offset)
+			ai := ck.arenaOff
+			for child := ck.firstChild; child < ck.lastChild; child++ {
+				walkSubtree(root.Children[child], func(nd *Node, vec vector.Vector, shares, usages []float64) {
+					d := len(vec)
+					copy(ix.vec[ai:ai+d], vec)
+					copy(ix.shares[ai:ai+d], shares)
+					copy(ix.pathUsage[ai:ai+d], usages)
+					ai += d
+					ix.users[pos] = nd.Name
+					ix.leafPrio[pos] = nd.Priority
+					ix.offs[pos+1] = int32(ai)
+					m := lc.stripes[stripeOf(nd.Name)]
+					if _, dup := m[nd.Name]; dup {
+						lc.extra = append(lc.extra, pos)
+					} else {
+						m[nd.Name] = pos
+					}
+					pos++
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Merge: chunks in ascending order so the smallest position wins each
+	// name; collisions (cross-chunk repeats) and in-chunk extras become
+	// duplicate-table entries.
+	var conflicts []int32
+	for s := 0; s < indexStripes; s++ {
+		merged := make(map[string]int32)
+		for ci := range locals {
+			for name, pos := range locals[ci].stripes[s] {
+				if _, ok := merged[name]; ok {
+					conflicts = append(conflicts, pos)
+				} else {
+					merged[name] = pos
+				}
+			}
+		}
+		ix.stripes[s] = merged
+	}
+	for ci := range locals {
+		conflicts = append(conflicts, locals[ci].extra...)
+	}
+	if len(conflicts) > 0 {
+		ix.dups = make(map[string][]int32)
+		for _, pos := range conflicts {
+			name := ix.users[pos]
+			if len(ix.dups[name]) == 0 {
+				// Seed with the winning first position.
+				ix.dups[name] = append(ix.dups[name], ix.stripes[stripeOf(name)][name])
+			}
+			ix.dups[name] = append(ix.dups[name], pos)
+		}
+		for name := range ix.dups {
+			ps := ix.dups[name]
+			sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		}
+	}
+}
+
+// leafCount returns the number of index entries a tree yields: the cached
+// per-subtree leaf counts summed over the root's children (a childless root
+// produces no entries, matching walkLeaves).
+func leafCount(root *Node) int {
+	n := 0
+	for _, c := range root.Children {
+		n += int(c.leaves)
+	}
+	return n
+}
+
+// walkSubtree visits every leaf of a top-level subtree in DFS order with the
+// same path-state semantics as walkLeaves (the stacks start at c's level).
+// Used to walk contiguous leaf ranges in parallel.
+func walkSubtree(c *Node, fn func(leaf *Node, vec vector.Vector, shares, usages []float64)) {
+	vec := vector.Vector{c.Value}
+	shares := []float64{c.Share}
+	usages := []float64{c.UsageShare}
+	if len(c.Children) == 0 {
+		fn(c, vec, shares, usages)
+		return
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(n.Children) == 0 {
+			fn(n, vec, shares, usages)
+			return
+		}
+		for _, ch := range n.Children {
+			vec = append(vec, ch.Value)
+			shares = append(shares, ch.Share)
+			usages = append(usages, ch.UsageShare)
+			walk(ch)
+			vec = vec[:len(vec)-1]
+			shares = shares[:len(shares)-1]
+			usages = usages[:len(usages)-1]
+		}
+	}
+	walk(c)
 }
 
 // Index builds the serving index for the tree. Equivalent to NewIndex(t).
 func (t *Tree) Index() *Index { return NewIndex(t) }
 
+// Pos returns the entry position for a user (the first leaf in DFS order
+// when the name is duplicated) without allocating.
+func (ix *Index) Pos(user string) (int, bool) {
+	m := ix.stripes[stripeOf(user)]
+	if m == nil {
+		return 0, false
+	}
+	p, ok := m[user]
+	return int(p), ok
+}
+
+// At returns the entry at position i, composed from the index's flat
+// arenas. The entry's slices alias immutable arena storage; callers must
+// not mutate them.
+func (ix *Index) At(i int) IndexEntry {
+	off, end := ix.offs[i], ix.offs[i+1]
+	return IndexEntry{
+		Entry: vector.Entry{
+			User:       ix.users[i],
+			Vec:        vector.Vector(ix.vec[off:end:end]),
+			PathShares: ix.shares[off:end:end],
+			PathUsage:  ix.pathUsage[off:end:end],
+		},
+		LeafPriority: ix.leafPrio[i],
+	}
+}
+
 // Lookup returns the serving record for a user. The returned entry shares
-// the index's immutable slices; callers must not mutate them.
+// the index's immutable arenas; callers must not mutate its slices.
 func (ix *Index) Lookup(user string) (IndexEntry, bool) {
-	i, ok := ix.pos[user]
+	i, ok := ix.Pos(user)
 	if !ok {
 		return IndexEntry{}, false
 	}
-	return ix.entries[i], true
+	return ix.At(i), true
+}
+
+// positions returns every leaf position carrying the user's name (ascending
+// DFS order), appending into buf to avoid allocation in the unique case.
+func (ix *Index) positions(user string, buf []int32) []int32 {
+	if ps, ok := ix.dups[user]; ok {
+		return ps
+	}
+	if p, ok := ix.Pos(user); ok {
+		return append(buf[:0], int32(p))
+	}
+	return nil
 }
 
 // Entries returns the projection view of every leaf in DFS order (including
 // any duplicate-named leaves, matching Tree.Entries). The slice and its
-// entries are shared and immutable; callers must not mutate them.
-func (ix *Index) Entries() []vector.Entry { return ix.projEntries }
+// entries are shared and immutable; callers must not mutate them. The view
+// is materialized lazily on first use — pointwise projections never need it.
+func (ix *Index) Entries() []vector.Entry {
+	ix.projOnce.Do(func() {
+		pe := make([]vector.Entry, len(ix.users))
+		for i := range pe {
+			pe[i] = ix.At(i).Entry
+		}
+		ix.projEntries = pe
+	})
+	return ix.projEntries
+}
 
 // Len returns the number of indexed leaves.
-func (ix *Index) Len() int { return len(ix.entries) }
+func (ix *Index) Len() int { return len(ix.users) }

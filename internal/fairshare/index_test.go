@@ -184,9 +184,9 @@ func TestParallelComputeMatchesSerial(t *testing.T) {
 	cfg := DefaultConfig()
 	par := Compute(p, usage, cfg)
 
-	// Serial reference: score the same built tree with the recursive path.
-	norm := p.Normalize()
-	root, nodes := buildNode(norm.Root, usage)
+	// Serial reference: build via the single-goroutine path (normalizing
+	// shares inline like buildTree's parallel branch) and score recursively.
+	root, nodes := buildNorm(p.Root, p.Root.Share, usage)
 	if nodes < parallelComputeThreshold {
 		t.Fatalf("test tree too small to exercise the parallel path: %d nodes", nodes)
 	}

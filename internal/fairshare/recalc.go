@@ -1,0 +1,387 @@
+package fairshare
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// recalcGen issues process-unique clone-generation numbers, so nodes cloned
+// by one engine can never be mistaken for another engine's (or another
+// pass's) clones, even when trees are handed between engines.
+var recalcGen atomic.Uint64
+
+// Recalc is a persistent incremental recomputation engine: it keeps the
+// previously computed Tree/Index pair plus a flattened description of every
+// leaf's root-to-leaf path, and turns a usage delta set into a new snapshot
+// in O(dirty·depth) tree work instead of a full O(users) rebuild.
+//
+// The produced snapshots are immutable and structurally share everything a
+// delta does not touch: nodes off the dirty paths, the index's stripe maps
+// and duplicate tables, and every entry's name and target-share slice. Only
+// the dirty root-to-leaf spines are cloned (copy-on-write), and only sibling
+// groups containing a dirty node are rescored — with the subtlety that any
+// delta changes the root group's usage denominator, so every top-level
+// sibling's scored fields (and therefore the first element of every entry's
+// vector) must be re-materialized even though the arithmetic below the dirty
+// paths is skipped. Per-entry values live in the index's flat pointer-free
+// arenas, so that re-materialization is a flat copy plus sparse prefix
+// overwrites — no per-entry allocations and nothing new for the garbage
+// collector to scan.
+//
+// All outputs are bit-identical to a from-scratch Compute+NewIndex over the
+// merged usage map: usage sums are re-folded left-to-right in the exact
+// child order of the full build (never adjusted by ±delta, which would
+// change float rounding), and scoring reuses the same expressions.
+//
+// A Recalc is NOT safe for concurrent use; the FCS drives it under its
+// refresh mutex. Published snapshots remain safe for lock-free readers:
+// Apply only ever writes to freshly cloned nodes.
+type Recalc struct {
+	tree  *Tree
+	index *Index
+	// leafUsage[i] is the absolute decayed usage of leaf i (DFS order) in
+	// the engine's current tree.
+	leafUsage []float64
+	// pathOff/pathIdx flatten each leaf's root-to-leaf child-index chain:
+	// leaf i's chain is pathIdx[pathOff[i]:pathOff[i+1]], each element the
+	// child index to descend at that level.
+	pathOff []int32
+	pathIdx []int32
+	// vecLen is the summed depth of all leaves — the arena size for one
+	// rebuild of every entry's vector (and usage-share path).
+	vecLen int
+	// nodes is the total node count of the tree (for stats and gauges).
+	nodes int
+	// gen is the clone-generation number of the current Apply pass: a node
+	// with this gen is one of the pass's own (mutable) clones.
+	gen uint64
+	// posBuf is scratch for single-position lookups.
+	posBuf [1]int32
+}
+
+// RecalcStats describes what one Apply did.
+type RecalcStats struct {
+	// DirtyLeaves is the number of leaves whose usage actually changed
+	// (bitwise) — no-op deltas and unknown users are dropped.
+	DirtyLeaves int
+	// DirtyGroups is the number of sibling groups rescored.
+	DirtyGroups int
+	// ClonedNodes is the number of tree nodes copied; the remaining
+	// SharedNodes are pointer-shared with the previous snapshot's tree.
+	ClonedNodes int
+	SharedNodes int
+	// TotalLeaves is the leaf population of the tree.
+	TotalLeaves int
+}
+
+// NewRecalc creates an engine over a freshly built tree/index pair. The pair
+// must come from the same Compute (the index's entries must be the tree's
+// leaves in DFS order).
+func NewRecalc(t *Tree, ix *Index) *Recalc {
+	r := &Recalc{}
+	r.Reset(t, ix)
+	return r
+}
+
+// Tree returns the engine's current tree.
+func (r *Recalc) Tree() *Tree { return r.tree }
+
+// Index returns the engine's current index.
+func (r *Recalc) Index() *Index { return r.index }
+
+// Leaves returns the engine's leaf count.
+func (r *Recalc) Leaves() int { return len(r.leafUsage) }
+
+// Nodes returns the engine's total tree node count.
+func (r *Recalc) Nodes() int { return r.nodes }
+
+// Reset re-anchors the engine on a new full rebuild, rebuilding the flat
+// path tables. Call it after any full Compute+NewIndex (tree edit,
+// projection config change, delta-log overflow).
+func (r *Recalc) Reset(t *Tree, ix *Index) {
+	n := ix.Len()
+	r.tree, r.index = t, ix
+	r.leafUsage = make([]float64, 0, n)
+	r.pathOff = make([]int32, 0, n+1)
+	r.pathIdx = r.pathIdx[:0]
+	r.vecLen = 0
+	r.nodes = 0
+	var idxStack []int32
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		r.nodes++
+		if len(n.Children) == 0 {
+			if len(idxStack) > 0 {
+				r.pathOff = append(r.pathOff, int32(len(r.pathIdx)))
+				r.pathIdx = append(r.pathIdx, idxStack...)
+				r.leafUsage = append(r.leafUsage, n.Usage)
+				r.vecLen += len(idxStack)
+			}
+			return
+		}
+		for i, c := range n.Children {
+			idxStack = append(idxStack, int32(i))
+			walk(c)
+			idxStack = idxStack[:len(idxStack)-1]
+		}
+	}
+	walk(t.Root)
+	r.pathOff = append(r.pathOff, int32(len(r.pathIdx)))
+}
+
+// Apply merges a usage delta set (absolute new totals per user; users absent
+// from the policy are ignored, matching Compute's treatment of unknown usage
+// keys) into the engine's state and returns the new immutable Tree and Index.
+// A delta that changes nothing (bitwise) returns the current tree and index
+// unchanged — callers can detect this via DirtyLeaves == 0 and reuse their
+// published snapshot wholesale.
+//
+// On success the engine adopts the new state; the previous tree/index remain
+// valid immutable snapshots. On error the engine is unchanged and the caller
+// should fall back to a full rebuild.
+func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, error) {
+	st := RecalcStats{TotalLeaves: len(r.leafUsage)}
+	if r.tree == nil || r.index == nil {
+		return nil, nil, st, errors.New("fairshare: Recalc not initialized")
+	}
+	if len(r.leafUsage) != r.index.Len() {
+		return nil, nil, st, fmt.Errorf("fairshare: Recalc tree/index mismatch (%d leaves vs %d entries)",
+			len(r.leafUsage), r.index.Len())
+	}
+
+	// Phase 1: resolve dirty leaf positions, dropping bitwise no-ops and
+	// users the policy does not know. Map iteration order does not matter:
+	// every later phase re-derives values from canonical child order.
+	type dirtyLeaf struct {
+		pos int32
+		val float64
+	}
+	var dirty []dirtyLeaf
+	for user, val := range deltas {
+		for _, p := range r.index.positions(user, r.posBuf[:0]) {
+			if sameBits(r.leafUsage[p], val) {
+				continue
+			}
+			dirty = append(dirty, dirtyLeaf{pos: p, val: val})
+		}
+	}
+	if len(dirty) == 0 {
+		return r.tree, r.index, st, nil
+	}
+	st.DirtyLeaves = len(dirty)
+
+	// Phase 2: copy-on-write clone of every dirty root-to-leaf spine. Spine
+	// internals get copied Children slices (their children may be swapped);
+	// dirty leaves get plain struct copies carrying the new usage. Clones
+	// are tagged with this pass's generation number so later phases can tell
+	// them from immutable shared nodes without a map.
+	r.gen = recalcGen.Add(1)
+	cfg := r.tree.Config
+	oldRoot := r.tree.Root
+	newRoot := &Node{}
+	*newRoot = *oldRoot
+	newRoot.Children = append([]*Node(nil), oldRoot.Children...)
+	newRoot.gen = r.gen
+	st.ClonedNodes = 1
+	type spineNode struct {
+		n     *Node
+		depth int32
+	}
+	spine := []spineNode{{newRoot, 0}}
+	for _, d := range dirty {
+		n := newRoot
+		off, end := r.pathOff[d.pos], r.pathOff[d.pos+1]
+		for k := off; k < end; k++ {
+			ci := int(r.pathIdx[k])
+			ch := n.Children[ci]
+			if ch.gen != r.gen {
+				nc := &Node{}
+				*nc = *ch
+				nc.gen = r.gen
+				if k < end-1 {
+					nc.Children = append([]*Node(nil), ch.Children...)
+					spine = append(spine, spineNode{nc, k - off + 1})
+				}
+				n.Children[ci] = nc
+				st.ClonedNodes++
+				ch = nc
+			}
+			n = ch
+		}
+		// n is the cloned dirty leaf.
+		n.Usage = d.val
+	}
+
+	// Phase 3: re-sum cloned internals' subtree usage bottom-up, folding
+	// children left-to-right exactly like the full build (adding deltas to
+	// the old sums would change float rounding and break bit-identity).
+	// Deeper spines first so parents always fold final child values; nodes
+	// at equal depth are independent.
+	sort.Slice(spine, func(i, j int) bool { return spine[i].depth > spine[j].depth })
+	for _, sn := range spine {
+		var u float64
+		for _, c := range sn.n.Children {
+			u += c.Usage
+		}
+		sn.n.Usage = u
+	}
+
+	// Phase 4: rescore exactly the sibling groups that contain a dirty
+	// node. Off-path siblings whose scored fields change (they share the
+	// dirty group's usage denominator) are value-cloned shallowly — their
+	// Children slice is shared, because nothing below them changed.
+	for _, sn := range spine {
+		r.scoreGroupCOW(sn.n, cfg, &st)
+	}
+	st.SharedNodes = r.nodes - st.ClonedNodes
+
+	// Phase 5: re-materialize the index's value arenas. Every entry's vector
+	// starts at the top-level group whose values all shifted with the root
+	// usage denominator, so all vectors get new per-level prefixes — but the
+	// identity half of the index (names, offsets, target shares, stripe and
+	// duplicate maps) is shared wholesale with the previous snapshot, and the
+	// new values live in three pointer-free float64/flat arenas the garbage
+	// collector never scans. The arenas start as flat copies of the previous
+	// snapshot's (shared suffixes come along for free); the walk then
+	// overwrites only what changed, pruning at shared subtrees: their
+	// contiguous leaf ranges get just the changed ancestor prefix written,
+	// never touching the subtree's nodes — and nothing at all when the
+	// subtree hangs directly off the root.
+	old := r.index
+	n := old.Len()
+	vec := make([]float64, len(old.vec))
+	copy(vec, old.vec)
+	pu := make([]float64, len(old.pathUsage))
+	copy(pu, old.pathUsage)
+	lp := make([]float64, n)
+	copy(lp, old.leafPrio)
+	pos := 0
+	ok := true
+	var vecStack, usageStack []float64
+	var down func(nd *Node)
+	down = func(nd *Node) {
+		if len(nd.Children) == 0 {
+			// A cloned leaf: rewrite its whole per-level range.
+			d := len(vecStack)
+			if pos >= n || int(old.offs[pos+1]-old.offs[pos]) != d {
+				ok = false
+				return
+			}
+			off := int(old.offs[pos])
+			copy(vec[off:off+d], vecStack)
+			copy(pu[off:off+d], usageStack)
+			lp[pos] = nd.Priority
+			pos++
+			return
+		}
+		for _, c := range nd.Children {
+			if c.gen == r.gen {
+				vecStack = append(vecStack, c.Value)
+				usageStack = append(usageStack, c.UsageShare)
+				down(c)
+				vecStack = vecStack[:len(vecStack)-1]
+				usageStack = usageStack[:len(usageStack)-1]
+				continue
+			}
+			// Shared subtree: its entries keep their old per-level values
+			// from this depth down (already in place from the flat copy);
+			// only the changed ancestor prefix needs writing.
+			j := len(vecStack)
+			cnt := int(c.leaves)
+			if pos+cnt > n {
+				ok = false
+				return
+			}
+			if j > 0 {
+				for i := pos; i < pos+cnt; i++ {
+					off := int(old.offs[i])
+					copy(vec[off:off+j], vecStack)
+					copy(pu[off:off+j], usageStack)
+				}
+			}
+			pos += cnt
+		}
+	}
+	down(newRoot)
+	if !ok || pos != n {
+		return nil, nil, st, fmt.Errorf("fairshare: incremental walk produced %d entries, index has %d", pos, n)
+	}
+	newIndex := &Index{
+		users:     old.users,
+		offs:      old.offs,
+		shares:    old.shares,
+		vec:       vec,
+		pathUsage: pu,
+		leafPrio:  lp,
+		stripes:   old.stripes,
+		dups:      old.dups,
+	}
+	newTree := &Tree{Root: newRoot, Config: cfg}
+
+	// Commit: adopt the new state. leafUsage/path tables are positionally
+	// stable because the tree structure did not change.
+	for _, d := range dirty {
+		r.leafUsage[d.pos] = d.val
+	}
+	r.tree, r.index = newTree, newIndex
+	return newTree, newIndex, st, nil
+}
+
+// scoreGroupCOW rescores one sibling group with scoreGroup's exact
+// arithmetic, writing results into already-cloned children directly and
+// value-cloning any off-path sibling whose scored fields changed bitwise.
+// Off-path clones are batched into one contiguous arena per group (one
+// allocation instead of one per sibling — in a dirty group, the shifted
+// usage denominator typically changes every sibling); their Children slices
+// stay shared, because nothing below an off-path sibling changed.
+func (r *Recalc) scoreGroupCOW(n *Node, cfg Config, st *RecalcStats) {
+	st.DirtyGroups++
+	// n.Usage was re-folded in phase 3 with the same left-to-right order
+	// scoreGroup uses for its groupUsage, so reuse it.
+	groupUsage := n.Usage
+	k := cfg.DistanceWeight
+	bal := cfg.Balance()
+	var buf []Node
+	for i, c := range n.Children {
+		us := 0.0
+		if groupUsage > 0 {
+			us = c.Usage / groupUsage
+		}
+		abs := c.Share - us
+		rel := 0.0
+		if c.Share > 0 {
+			rel = math.Max(0, math.Min(1, (c.Share-us)/c.Share))
+		}
+		prio := k*rel + (1-k)*abs
+		v := bal * (1 + prio)
+		val := math.Max(0, math.Min(cfg.Resolution-1e-9, v))
+		if c.gen == r.gen {
+			c.UsageShare, c.Priority, c.Value = us, prio, val
+			continue
+		}
+		if sameBits(c.UsageShare, us) && sameBits(c.Priority, prio) && sameBits(c.Value, val) {
+			continue
+		}
+		if buf == nil {
+			// At most the remaining siblings can need cloning, so buf never
+			// reallocates and the pointers handed out below stay valid.
+			buf = make([]Node, 0, len(n.Children)-i)
+		}
+		buf = append(buf, *c)
+		nc := &buf[len(buf)-1]
+		nc.UsageShare, nc.Priority, nc.Value = us, prio, val
+		nc.gen = r.gen
+		n.Children[i] = nc
+		st.ClonedNodes++
+	}
+}
+
+// sameBits reports bitwise float equality (distinguishing ±0, treating any
+// NaN payload as equal to itself) — the equality that matters for snapshot
+// bit-identity.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

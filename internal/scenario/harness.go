@@ -179,12 +179,17 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 	// back to it are covered by the scenario's seed.
 	resilience.SeedJitter(spec.Seed)
 
+	var decay usage.Decay = usage.ExponentialHalfLife{HalfLife: spec.Duration / 6}
+	if spec.NoDecay {
+		decay = usage.None{}
+	}
+
 	kernel := eventsim.New(Start)
 	h := &Harness{
 		Spec:   spec,
 		Kernel: kernel,
 		Ledger: &Ledger{},
-		Decay:  usage.ExponentialHalfLife{HalfLife: spec.Duration / 6},
+		Decay:  decay,
 		// The recorder runs on the sim clock, so span timestamps line up
 		// with the violation timestamps in a failure report.
 		Spans:   span.NewRecorder(span.Config{Capacity: 1024, Clock: kernel.Clock()}),

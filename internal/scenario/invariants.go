@@ -22,6 +22,7 @@ type Checker interface {
 func DefaultCheckers() []Checker {
 	return []Checker{
 		&ConservationChecker{},
+		&SnapshotTwinChecker{},
 		&LedgerChecker{},
 		&DispatchOrderChecker{},
 		&StarvationChecker{},
@@ -105,6 +106,33 @@ func (c *ConservationChecker) Check(h *Harness, now time.Time) []Violation {
 			}
 		}
 		walk(tree.Root, "")
+	}
+	return out
+}
+
+// SnapshotTwinChecker verifies the incremental-recalc guarantee: every
+// published FCS snapshot — whether it came from a full rebuild or from the
+// copy-on-write delta engine — must be bit-identical to a from-scratch
+// recomputation of the same policy and usage (tree scores, index entry
+// vectors, projected priorities and drift alike). Under churn and share
+// edits this catches any divergence structural sharing could accumulate
+// across refresh chains.
+type SnapshotTwinChecker struct{}
+
+// Name implements Checker.
+func (*SnapshotTwinChecker) Name() string { return "snapshot-twin" }
+
+// Check implements Checker.
+func (c *SnapshotTwinChecker) Check(h *Harness, now time.Time) []Violation {
+	var out []Violation
+	for i, site := range h.Sites {
+		if err := site.FCS.VerifySnapshot(); err != nil {
+			out = append(out, Violation{
+				At:        now,
+				Invariant: c.Name(),
+				Detail:    fmt.Sprintf("site %d: %v", i, err),
+			})
+		}
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/services/fcs"
 	"repro/internal/usage"
 )
 
@@ -141,6 +142,62 @@ func TestFloatEq(t *testing.T) {
 			t.Errorf("case %d: floatEq(%g,%g,%g,%g) = %v, want %v", i, tc.a, tc.b, tc.abs, tc.rel, got, tc.want)
 		}
 	}
+}
+
+// refreshModeRecorder samples each site's last FCS refresh mode at every
+// check event — the probe that proves the incremental path actually ran
+// during a scenario, not just that its snapshots were correct.
+type refreshModeRecorder struct {
+	modes map[string]int
+}
+
+// Name implements Checker.
+func (*refreshModeRecorder) Name() string { return "refresh-mode-recorder" }
+
+// Check implements Checker.
+func (r *refreshModeRecorder) Check(h *Harness, now time.Time) []Violation {
+	if r.modes == nil {
+		r.modes = map[string]int{}
+	}
+	for _, s := range h.Sites {
+		if ri := s.FCS.LastRefresh(); ri.Mode != "" {
+			r.modes[ri.Mode]++
+		}
+	}
+	return nil
+}
+
+// TestIncrementalSnapshotTwinUnderChurn drives a full multi-site scenario
+// with decay off (so usage deltas stay sparse and the FCS runs its
+// copy-on-write incremental engine in steady state) across a mid-run share
+// edit, and requires (a) the snapshot-twin invariant to hold at every check
+// event — every published snapshot bit-identical to a full recompute — and
+// (b) the incremental path to have demonstrably run.
+func TestIncrementalSnapshotTwinUnderChurn(t *testing.T) {
+	spec := Generate(7)
+	spec.NoDecay = true
+	// Force a mid-run share edit so the refresh chain crosses a policy
+	// version bump (a full-rebuild fallback) and must re-anchor the
+	// incremental chain on the other side.
+	u := spec.Users[0]
+	path := u.Name
+	if u.Project != "" {
+		path = u.Project + "/" + u.Name
+	}
+	spec.Edits = append(spec.Edits, ShareEdit{At: spec.Duration / 2, Path: path, NewShare: u.Share * 1.5})
+
+	rec := &refreshModeRecorder{}
+	res, err := Run(spec, Options{Checkers: append(DefaultCheckers(), rec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("violations:\n%v\n%s", res.Violations, res.TraceDump)
+	}
+	if rec.modes[fcs.RefreshIncremental] == 0 {
+		t.Fatalf("incremental refresh never observed (modes sampled: %v)", rec.modes)
+	}
+	t.Logf("refresh modes sampled at check events: %v", rec.modes)
 }
 
 // TestConvergenceCoverage guards against generator drift silencing the

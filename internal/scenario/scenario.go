@@ -132,6 +132,13 @@ type Spec struct {
 	// Fairshare parameters.
 	DistanceWeight float64
 
+	// NoDecay runs the sites with usage.None instead of the exponential
+	// half-life decay. Under decay every user's total changes bitwise at
+	// every UMS pull, so the delta log degenerates to all-full sets; with
+	// decay off, only users with fresh completions move between pulls and
+	// the FCS's incremental recalc path is actually exercised.
+	NoDecay bool
+
 	// Sabotage corrupts the run on purpose (tests only; Generate never
 	// sets it).
 	Sabotage SabotageKind
@@ -296,6 +303,11 @@ func Generate(seed int64) *Spec {
 	}
 
 	s.generateJobs(rng)
+
+	// A quarter of the scenarios run without usage decay so the FCS's
+	// incremental refresh path (and its snapshot-twin invariant) gets
+	// continuous fuzz coverage too.
+	s.NoDecay = rng.Intn(4) == 0
 	return s
 }
 

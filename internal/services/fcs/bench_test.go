@@ -153,6 +153,100 @@ func BenchmarkPriorityBatch1000(b *testing.B) {
 	}
 }
 
+// benchScales are the population sizes the refresh benchmarks sweep.
+var benchScales = []struct {
+	name             string
+	groups, perGroup int
+}{
+	{"10k", 100, 100},
+	{"100k", 320, 320},
+	{"1M", 1000, 1000},
+}
+
+// benchDeltaSeq issues process-unique delta values so a benchmark's warm-up
+// probe run can never leave the shared usage source in a state where the
+// measured run's first delta is a bitwise no-op (which would make that
+// refresh a free snapshot reuse and halve the reported cost).
+var benchDeltaSeq int64
+
+// BenchmarkRefreshIncremental measures an end-to-end incremental refresh —
+// delta fetch, Recalc engine apply, projection, publication — at varying
+// scale and dirty ratio. Compare against BenchmarkRefreshFull at the same
+// scale for the incremental speedup.
+func BenchmarkRefreshIncremental(b *testing.B) {
+	fracs := []struct {
+		name string
+		frac float64
+	}{
+		{"dirty0.01pct", 0.0001},
+		{"dirty1pct", 0.01},
+		{"dirty100pct", 1},
+	}
+	for _, sz := range benchScales {
+		b.Run(sz.name, func(b *testing.B) {
+			p, usage, users := benchPolicy(sz.groups, sz.perGroup)
+			ums := newDeltaUMS(usage)
+			svc := New(Config{
+				Clock:    simclock.Real{},
+				CacheTTL: 24 * time.Hour,
+				Metrics:  telemetry.NewRegistry(),
+			}, newVersionedPDS(p), ums)
+			if err := svc.Refresh(); err != nil { // full anchor refresh
+				b.Fatal(err)
+			}
+			n := len(users)
+			for _, fr := range fracs {
+				b.Run(fr.name, func(b *testing.B) {
+					k := int(float64(n) * fr.frac)
+					if k < 1 {
+						k = 1
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						ch := make(map[string]float64, k)
+						for j := 0; j < k; j++ {
+							benchDeltaSeq++
+							ch[users[int(benchDeltaSeq)*7919%n]] = float64(benchDeltaSeq) + 0.25
+						}
+						ums.apply(ch)
+						b.StartTimer()
+						if err := svc.Refresh(); err != nil {
+							b.Fatal(err)
+						}
+						if ri := svc.LastRefresh(); ri.Mode != RefreshIncremental {
+							b.Fatalf("refresh mode = %q, want incremental", ri.Mode)
+						} else if ri.DirtyUsers != len(ch) {
+							b.Fatalf("dirty users = %d, want %d", ri.DirtyUsers, len(ch))
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkRefreshFull measures the same end-to-end refresh against sources
+// without delta support — every refresh recomputes the whole tree.
+func BenchmarkRefreshFull(b *testing.B) {
+	for _, sz := range benchScales {
+		b.Run(sz.name, func(b *testing.B) {
+			svc, _ := benchService(b, sz.groups, sz.perGroup)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Refresh(); err != nil {
+					b.Fatal(err)
+				}
+				if ri := svc.LastRefresh(); ri.Mode != RefreshFull {
+					b.Fatalf("refresh mode = %q, want full", ri.Mode)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSnapshotRebuild measures the full pre-calculation (compute +
 // index + projection + table assembly) the background refresh pays.
 func BenchmarkSnapshotRebuild(b *testing.B) {

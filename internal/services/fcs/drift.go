@@ -1,11 +1,12 @@
 package fcs
 
 import (
+	"container/heap"
 	"math"
 	"sort"
 	"time"
 
-	"repro/internal/vector"
+	"repro/internal/fairshare"
 )
 
 // DriftEntry is one user's fairness drift: how far their effective usage
@@ -23,21 +24,60 @@ type DriftEntry struct {
 type DriftTable struct {
 	// ComputedAt is when the underlying snapshot was pre-calculated.
 	ComputedAt time.Time
-	// MaxError and MeanError summarize Entries.
+	// MaxError and MeanError summarize the whole population (not just the
+	// retained entries).
 	MaxError  float64
 	MeanError float64
-	// Entries is sorted by Error descending (worst drift first).
+	// Entries is sorted by Error descending (worst drift first), capped at
+	// the configured top-K.
 	Entries []DriftEntry
 }
 
-// computeDrift derives the per-user drift table from index entries. A user's
-// absolute target share is the product of its normalized shares down the
-// path; the absolute usage share is the product of the sibling-group usage
-// shares. Entries come back sorted worst-first.
-func computeDrift(entries []vector.Entry) ([]DriftEntry, float64, float64) {
-	out := make([]DriftEntry, 0, len(entries))
+// DefaultDriftTopK is the drift-table size when Config.DriftTopK is zero.
+const DefaultDriftTopK = 100
+
+// driftItem is a heap candidate: pos breaks Error ties so selection is a
+// total order and the result is deterministic (bit-identical between a full
+// and an incremental publish of the same snapshot).
+type driftItem struct {
+	entry DriftEntry
+	pos   int
+}
+
+// driftHeap is a min-heap by (Error asc, pos desc): the root is the weakest
+// retained candidate, evicted when a stronger one arrives.
+type driftHeap []driftItem
+
+func (h driftHeap) Len() int { return len(h) }
+func (h driftHeap) Less(i, j int) bool {
+	if h[i].entry.Error != h[j].entry.Error {
+		return h[i].entry.Error < h[j].entry.Error
+	}
+	return h[i].pos > h[j].pos
+}
+func (h driftHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *driftHeap) Push(x any)   { *h = append(*h, x.(driftItem)) }
+func (h *driftHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h driftHeap) better(it driftItem) bool {
+	if it.entry.Error != h[0].entry.Error {
+		return it.entry.Error > h[0].entry.Error
+	}
+	return it.pos < h[0].pos
+}
+
+// computeDrift derives the drift summary from the serving index in one pass:
+// max and mean cover every user, while only the K worst offenders are
+// materialized (via a size-K min-heap, O(n + m·log K) instead of the full
+// O(n·log n) sort a per-publish table used to cost). k < 0 retains everyone.
+func computeDrift(ix *fairshare.Index, k int) ([]DriftEntry, float64, float64) {
+	n := ix.Len()
+	if k < 0 || k > n {
+		k = n
+	}
+	h := make(driftHeap, 0, k)
 	var sum, max float64
-	for _, e := range entries {
+	for i := 0; i < n; i++ {
+		e := ix.At(i)
 		target, actual := 1.0, 1.0
 		for _, s := range e.PathShares {
 			target *= s
@@ -45,20 +85,42 @@ func computeDrift(entries []vector.Entry) ([]DriftEntry, float64, float64) {
 		for _, u := range e.PathUsage {
 			actual *= u
 		}
-		d := DriftEntry{
-			User: e.User, Target: target, Actual: actual,
-			Error: math.Abs(actual - target),
+		it := driftItem{
+			entry: DriftEntry{
+				User: e.User, Target: target, Actual: actual,
+				Error: math.Abs(actual - target),
+			},
+			pos: i,
 		}
-		out = append(out, d)
-		sum += d.Error
-		if d.Error > max {
-			max = d.Error
+		sum += it.entry.Error
+		if it.entry.Error > max {
+			max = it.entry.Error
+		}
+		if k == 0 {
+			continue
+		}
+		if len(h) < k {
+			heap.Push(&h, it)
+		} else if h.better(it) {
+			h[0] = it
+			heap.Fix(&h, 0)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Error > out[j].Error })
+	// Worst-first, DFS position as the deterministic tie-break (stable with
+	// respect to entry order, like the sort it replaces).
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].entry.Error != h[j].entry.Error {
+			return h[i].entry.Error > h[j].entry.Error
+		}
+		return h[i].pos < h[j].pos
+	})
+	out := make([]DriftEntry, len(h))
+	for i, it := range h {
+		out[i] = it.entry
+	}
 	mean := 0.0
-	if len(out) > 0 {
-		mean = sum / float64(len(out))
+	if n > 0 {
+		mean = sum / float64(n)
 	}
 	return out, max, mean
 }

@@ -4,19 +4,30 @@
 // way, no real-time calculations need to take place when new jobs arrive".
 //
 // The serving path is lock-free: every pre-calculation publishes an
-// immutable snapshot (tree + per-user index + projected priorities + the
-// full wire table) through an atomic pointer, so Priority/Table/Tree are
-// O(1) pointer loads and map lookups with no mutex and no tree walks.
-// Staleness is handled with single-flight stale-while-revalidate: the first
-// reader past the TTL kicks one asynchronous recomputation while every
-// reader (including itself) keeps serving the previous snapshot; errors
-// from the background refresh are surfaced through telemetry and
-// LastRefreshError (wired into /readyz).
+// immutable snapshot (tree + per-user index + projected priorities) through
+// an atomic pointer, so Priority/Table/Tree are O(1) pointer loads and map
+// lookups with no mutex and no tree walks. Staleness is handled with
+// single-flight stale-while-revalidate: the first reader past the TTL kicks
+// one asynchronous recomputation while every reader (including itself) keeps
+// serving the previous snapshot; errors from the background refresh are
+// surfaced through telemetry and LastRefreshError (wired into /readyz).
+//
+// Refreshes are incremental when the sources cooperate: a usage source that
+// implements DeltaUsageSource hands the FCS just the users whose decayed
+// totals changed since the last pull, and a policy source that reports a
+// Version lets the FCS prove the tree shape is unchanged. When both hold,
+// the refresh drives a persistent fairshare.Recalc engine — O(dirty·depth)
+// tree work with copy-on-write structural sharing instead of a full
+// O(users) rebuild — and the published snapshot is bit-identical to what a
+// full recomputation would have produced. Any break in the chain (first
+// refresh, policy edit, delta-log overflow, engine error) falls back to the
+// full path and re-anchors the engine.
 package fcs
 
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +38,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/span"
+	"repro/internal/usage"
 	"repro/internal/vector"
 	"repro/internal/wire"
 )
@@ -34,6 +46,14 @@ import (
 // PolicySource provides the current policy tree (the PDS).
 type PolicySource interface {
 	Policy() *policy.Tree
+}
+
+// versioned is optionally implemented by a PolicySource: a watermark that
+// changes whenever the policy tree may have changed. Two equal reads
+// bracketing a Policy() call prove the tree is the one already cached, which
+// is what allows a refresh to skip the policy clone and stay incremental.
+type versioned interface {
+	Version() uint64
 }
 
 // UsageSource provides pre-computed per-user decayed usage (the UMS).
@@ -45,12 +65,33 @@ type UsageSource interface {
 	UsageTotals() (map[string]float64, time.Time, error)
 }
 
+// DeltaUsageSource is optionally implemented by a UsageSource that can
+// report which users' totals changed since a version watermark. When the
+// usage source supports it, steady-state refreshes recompute only the dirty
+// fraction of the fairshare tree. The returned set's maps are read-only
+// (see usage.DeltaSet).
+type DeltaUsageSource interface {
+	UsageDeltas(since uint64) (usage.DeltaSet, error)
+}
+
 // DefaultCacheTTL is the snapshot lifetime used when Config.CacheTTL is
 // zero. A zero TTL used to force a full recomputation on every Priority
 // call — the opposite of the paper's pre-calculation discipline — so the
 // zero value now means "default", and a negative TTL means "never stale"
 // (refresh only via Refresh).
 const DefaultCacheTTL = time.Minute
+
+// Refresh modes reported by RefreshInfo.Mode, the
+// aequus_fcs_refresh_*_total counters, and the fcs.refresh span's "mode"
+// attribute.
+const (
+	// RefreshFull recomputed the whole tree from complete usage totals.
+	RefreshFull = "full"
+	// RefreshIncremental recomputed only the dirty paths via the Recalc
+	// engine (a delta that changed nothing republishes the previous
+	// snapshot with DirtyUsers == 0).
+	RefreshIncremental = "incremental"
+)
 
 // Config configures an FCS instance.
 type Config struct {
@@ -83,24 +124,49 @@ type Config struct {
 	// Only the refresh path is traced; Priority/PriorityBatch stay span-free
 	// so the read path remains allocation-free.
 	Spans *span.Recorder
+	// DriftTopK bounds how many worst-drift users each snapshot's drift
+	// table retains (max/mean still cover everyone). Zero means
+	// DefaultDriftTopK; negative retains the whole population.
+	DriftTopK int
 }
 
 // snapshot is one immutable pre-calculation result. Everything reachable
 // from a published snapshot is read-only, which is what makes the lock-free
-// read path safe.
+// read path safe. (The wire table is materialized lazily under tableOnce —
+// the only mutation, and it is idempotent and synchronized.)
 type snapshot struct {
-	tree       *fairshare.Tree
-	index      *fairshare.Index
-	priorities map[string]float64
+	tree  *fairshare.Tree
+	index *fairshare.Index
+	// pol is the policy the snapshot was computed from, kept so
+	// VerifySnapshot can rebuild the full-recompute twin.
+	pol *policy.Tree
+	// prior[i] is the projected priority of index entry i.
+	prior      []float64
 	projName   string
 	computedAt time.Time
-	table      wire.FairshareTableResponse
+	// table is the wire view, assembled on first Table() call.
+	tableOnce sync.Once
+	table     wire.FairshareTableResponse
 	// drift is the fairness-drift table (per-leaf |usage − target| share
-	// error, sorted worst-first) computed once at publication time, so
+	// error, worst offenders first) computed once at publication time, so
 	// serving it is free on the read path.
 	drift     []DriftEntry
 	driftMax  float64
 	driftMean float64
+}
+
+// RefreshInfo describes the most recent successful snapshot refresh — the
+// introspection record behind /debug/aequus and `aequusctl fcs`.
+type RefreshInfo struct {
+	// Mode is RefreshFull or RefreshIncremental.
+	Mode string
+	// DirtyUsers is how many leaves were recomputed: the bitwise-changed
+	// users on the incremental path, the whole population on the full path.
+	DirtyUsers int
+	// Duration is the wall-clock cost of the refresh.
+	Duration time.Duration
+	// At is when the refreshed snapshot was published (service clock).
+	At time.Time
 }
 
 // Service is a Fairshare Calculation Service instance.
@@ -119,9 +185,30 @@ type Service struct {
 	refreshing atomic.Bool
 	// lastErr records the most recent refresh outcome (nil error = ok).
 	lastErr atomic.Pointer[refreshOutcome]
+	// lastRefresh records the most recent successful refresh's mode and
+	// cost; nil until one succeeds.
+	lastRefresh atomic.Pointer[RefreshInfo]
+
+	// engine is the persistent incremental recomputation engine, anchored
+	// on the last full rebuild; nil until the first refresh. Guarded by
+	// refreshMu.
+	engine *fairshare.Recalc
+	// lastPolicy/policyVer cache the policy tree across refreshes when the
+	// PDS reports versions, so an unchanged policy costs neither a clone
+	// nor a full rebuild. Guarded by refreshMu.
+	lastPolicy    *policy.Tree
+	policyVer     uint64
+	havePolicyVer bool
+	// usageVersion is the delta watermark of the last refresh's usage state
+	// (valid only when haveUsageVersion). Guarded by refreshMu.
+	usageVersion     uint64
+	haveUsageVersion bool
 
 	mRecalcs     *telemetry.Counter
+	mIncr        *telemetry.Counter
+	mFull        *telemetry.Counter
 	mRecalcDur   *telemetry.Histogram
+	mDirty       *telemetry.Gauge
 	mTreeNodes   *telemetry.Gauge
 	mTreeUsers   *telemetry.Gauge
 	mSnapAge     *telemetry.Gauge
@@ -160,9 +247,15 @@ func New(cfg Config, pds PolicySource, ums UsageSource) *Service {
 		cfg: cfg, ttl: ttl, pds: pds, ums: ums,
 		mRecalcs: reg.Counter("aequus_fcs_recalcs_total",
 			"Fairshare tree pre-calculations performed."),
+		mIncr: reg.Counter("aequus_fcs_refresh_incremental_total",
+			"Snapshot refreshes served by the incremental recalc engine."),
+		mFull: reg.Counter("aequus_fcs_refresh_full_total",
+			"Snapshot refreshes that recomputed the whole tree."),
 		mRecalcDur: reg.Histogram("aequus_fcs_recalc_duration_seconds",
 			"Wall-clock duration of one fairshare tree pre-calculation.",
 			telemetry.DefBuckets()),
+		mDirty: reg.Gauge("aequus_fcs_dirty_users",
+			"Leaves recomputed by the last refresh (whole population on a full refresh)."),
 		mTreeNodes: reg.Gauge("aequus_fcs_tree_nodes",
 			"Nodes in the last pre-calculated fairshare tree."),
 		mTreeUsers: reg.Gauge("aequus_fcs_tree_users",
@@ -191,6 +284,15 @@ func New(cfg Config, pds PolicySource, ums UsageSource) *Service {
 // CacheTTL reports the effective snapshot lifetime (after defaulting).
 func (s *Service) CacheTTL() time.Duration { return s.ttl }
 
+// LastRefresh reports the mode, dirty-user count, and wall-clock cost of the
+// most recent successful refresh (zero value before the first one).
+func (s *Service) LastRefresh() RefreshInfo {
+	if ri := s.lastRefresh.Load(); ri != nil {
+		return *ri
+	}
+	return RefreshInfo{}
+}
+
 // SetProjection switches the projection algorithm at run time (the paper:
 // "the approach to use is configurable and can be changed during
 // run-time"). The current tree is re-projected immediately — no UMS
@@ -206,7 +308,7 @@ func (s *Service) SetProjection(p vector.Projection) {
 	if sn == nil {
 		return
 	}
-	s.snap.Store(s.buildSnapshot(sn.tree, sn.index, sn.computedAt))
+	s.snap.Store(s.buildSnapshot(sn.tree, sn.index, sn.pol, sn.computedAt))
 }
 
 // Refresh forces recomputation of the fairshare snapshot.
@@ -216,7 +318,30 @@ func (s *Service) Refresh() error {
 	return s.rebuildLocked()
 }
 
+// policyLocked returns the policy tree to compute against and whether it may
+// differ from the one the engine's anchor was built on. Without version
+// support every refresh must assume a change (and pay the clone); with it,
+// an unchanged watermark reuses the cached tree. The version is read BEFORE
+// the policy so a racing edit can only make the next refresh conservatively
+// full, never let a stale tree pass as current. refreshMu must be held.
+func (s *Service) policyLocked() (*policy.Tree, bool) {
+	v, ok := s.pds.(versioned)
+	if !ok {
+		return s.pds.Policy(), true
+	}
+	ver := v.Version()
+	if s.havePolicyVer && ver == s.policyVer && s.lastPolicy != nil {
+		return s.lastPolicy, false
+	}
+	pol := s.pds.Policy()
+	s.lastPolicy, s.policyVer, s.havePolicyVer = pol, ver, true
+	return pol, true
+}
+
 // rebuildLocked recomputes and publishes a snapshot; refreshMu must be held.
+// It picks the cheapest sound path per refresh: incremental when the usage
+// source supplied a delta and the policy provably did not change, full
+// otherwise.
 func (s *Service) rebuildLocked() error {
 	// Durations are measured in wall time, not the (possibly simulated)
 	// service clock: the metric reports real compute cost.
@@ -225,85 +350,208 @@ func (s *Service) rebuildLocked() error {
 		"fcs.refresh")
 	defer root.End()
 
+	prev := s.snap.Load()
+	pol, polChanged := s.policyLocked()
+	dsrc, hasDeltas := s.ums.(DeltaUsageSource)
+	canIncr := hasDeltas && prev != nil && s.engine != nil &&
+		!polChanged && s.haveUsageVersion
+
 	_, fetch := span.Start(ctx, "fcs.fetch_usage")
-	var totals map[string]float64
-	err := s.cfg.SourceRetry.Do(ctx, func(context.Context) error {
-		t, _, err := s.ums.UsageTotals()
-		totals = t
-		return err
-	})
-	fetch.SetAttrInt("users", int64(len(totals)))
+	var (
+		ds     usage.DeltaSet
+		totals map[string]float64
+		err    error
+	)
+	if hasDeltas {
+		since := uint64(0)
+		if canIncr {
+			since = s.usageVersion
+		}
+		err = s.cfg.SourceRetry.Do(ctx, func(context.Context) error {
+			var e error
+			ds, e = dsrc.UsageDeltas(since)
+			return e
+		})
+		if canIncr && !ds.Full {
+			fetch.SetAttrInt("dirty_users", int64(len(ds.Changed)))
+		} else {
+			totals = ds.Totals
+			fetch.SetAttrInt("users", int64(len(totals)))
+		}
+	} else {
+		err = s.cfg.SourceRetry.Do(ctx, func(context.Context) error {
+			t, _, e := s.ums.UsageTotals()
+			totals = t
+			return e
+		})
+		fetch.SetAttrInt("users", int64(len(totals)))
+	}
 	fetch.SetErr(err)
 	fetch.End()
 	if err != nil {
-		s.lastErr.Store(&refreshOutcome{err})
-		s.mRefreshErrs.Inc()
-		root.SetErr(err)
-		return err
+		return s.failLocked(root, err)
 	}
 
+	incremental := canIncr && !ds.Full
+	dirty := 0
+	var tree *fairshare.Tree
+	var ix *fairshare.Index
+
 	_, comp := span.Start(ctx, "fcs.compute")
-	p := s.pds.Policy()
-	tree := fairshare.Compute(p, totals, s.cfg.Fairshare)
-	nodes := countNodes(tree.Root)
-	comp.SetAttrInt("nodes", int64(nodes))
+	if incremental {
+		t2, i2, stats, aerr := s.engine.Apply(ds.Changed)
+		if aerr == nil {
+			tree, ix = t2, i2
+			dirty = stats.DirtyLeaves
+			comp.SetAttrInt("dirty_leaves", int64(stats.DirtyLeaves))
+			comp.SetAttrInt("cloned_nodes", int64(stats.ClonedNodes))
+			comp.SetAttrInt("shared_nodes", int64(stats.SharedNodes))
+		} else {
+			// The engine refused the delta (anchor mismatch); refetch the
+			// complete totals and rebuild from scratch.
+			comp.SetAttr("fallback", aerr.Error())
+			incremental = false
+			fds, ferr := dsrc.UsageDeltas(0)
+			if ferr != nil {
+				comp.SetErr(ferr)
+				comp.End()
+				return s.failLocked(root, ferr)
+			}
+			ds, totals = fds, fds.Totals
+		}
+	}
+	if !incremental {
+		tree = fairshare.Compute(pol, totals, s.cfg.Fairshare)
+		ix = fairshare.NewIndex(tree)
+		dirty = ix.Len()
+	}
 	comp.End()
 
 	_, pub := span.Start(ctx, "fcs.publish")
-	sn := s.buildSnapshot(tree, tree.Index(), s.cfg.Clock.Now())
+	now := s.cfg.Clock.Now()
+	var sn *snapshot
+	if incremental && dirty == 0 && prev != nil {
+		// Bitwise no-op delta: the engine handed back the previous
+		// tree/index, so republish the previous snapshot's projections and
+		// drift wholesale under a fresh timestamp.
+		sn = &snapshot{
+			tree: prev.tree, index: prev.index, pol: prev.pol,
+			prior: prev.prior, projName: prev.projName, computedAt: now,
+			drift: prev.drift, driftMax: prev.driftMax, driftMean: prev.driftMean,
+		}
+	} else {
+		sn = s.buildSnapshot(tree, ix, pol, now)
+	}
 	s.snap.Store(sn)
 	pub.SetAttrInt("users", int64(sn.index.Len()))
 	pub.End()
 
+	// Re-anchor or advance the incremental engine. On the incremental path
+	// Apply already adopted the new state.
+	if !incremental {
+		if s.engine == nil {
+			s.engine = fairshare.NewRecalc(tree, ix)
+		} else {
+			s.engine.Reset(tree, ix)
+		}
+	}
+	if hasDeltas {
+		s.usageVersion, s.haveUsageVersion = ds.Version, true
+	}
+
+	mode := RefreshFull
+	if incremental {
+		mode = RefreshIncremental
+	}
+	root.SetAttr("mode", mode)
+	root.SetAttrInt("dirty_users", int64(dirty))
+	dur := time.Since(started)
+	s.lastRefresh.Store(&RefreshInfo{Mode: mode, DirtyUsers: dirty, Duration: dur, At: now})
 	s.lastErr.Store(&refreshOutcome{nil})
 	s.mRecalcs.Inc()
-	s.mRecalcDur.Observe(time.Since(started).Seconds())
-	s.mTreeNodes.Set(float64(nodes))
+	if incremental {
+		s.mIncr.Inc()
+	} else {
+		s.mFull.Inc()
+	}
+	s.mDirty.Set(float64(dirty))
+	s.mRecalcDur.Observe(dur.Seconds())
+	s.mTreeNodes.Set(float64(s.engine.Nodes()))
 	s.mTreeUsers.Set(float64(sn.index.Len()))
 	s.mSnapAge.Set(0)
 	return nil
 }
 
-// buildSnapshot projects the tree and pre-assembles the full wire table so
-// Table() is also a single pointer load; refreshMu must be held (it reads
-// cfg.Projection).
-func (s *Service) buildSnapshot(tree *fairshare.Tree, ix *fairshare.Index, at time.Time) *snapshot {
-	prior := s.cfg.Projection.Project(ix.Entries(), tree.Config.Resolution)
-	name := s.cfg.Projection.Name()
-	table := wire.FairshareTableResponse{
-		Projection: name,
-		ComputedAt: at,
-		Entries:    make([]wire.FairshareResponse, 0, ix.Len()),
+// failLocked records a refresh failure; refreshMu must be held.
+func (s *Service) failLocked(root *span.Span, err error) error {
+	s.lastErr.Store(&refreshOutcome{err})
+	s.mRefreshErrs.Inc()
+	root.SetErr(err)
+	return err
+}
+
+// buildSnapshot projects the tree into a per-position priority slice and
+// computes the drift summary; refreshMu must be held (it reads
+// cfg.Projection). The wire table is deferred to the first Table() call.
+func (s *Service) buildSnapshot(tree *fairshare.Tree, ix *fairshare.Index, pol *policy.Tree, at time.Time) *snapshot {
+	n := ix.Len()
+	prior := make([]float64, n)
+	if pp, ok := s.cfg.Projection.(vector.PointwiseProjection); ok {
+		projectPointwise(pp, ix, prior, tree.Config.Resolution)
+	} else {
+		// Global projections (dictionary) need the full entry view; the map
+		// indirection collapses duplicate names to one value, as before.
+		m := s.cfg.Projection.Project(ix.Entries(), tree.Config.Resolution)
+		for i := 0; i < n; i++ {
+			prior[i] = m[ix.At(i).User]
+		}
 	}
-	for _, e := range ix.Entries() {
-		pr, _ := ix.Lookup(e.User)
-		table.Entries = append(table.Entries, wire.FairshareResponse{
-			User:       e.User,
-			Value:      prior[e.User],
-			Vector:     e.Vec,
-			Priority:   pr.LeafPriority,
-			ComputedAt: at,
-		})
+	k := s.cfg.DriftTopK
+	if k == 0 {
+		k = DefaultDriftTopK
 	}
-	drift, driftMax, driftMean := computeDrift(ix.Entries())
+	drift, driftMax, driftMean := computeDrift(ix, k)
 	s.mDriftMax.Set(driftMax)
 	s.mDriftMean.Set(driftMean)
 	return &snapshot{
-		tree: tree, index: ix, priorities: prior,
-		projName: name, computedAt: at, table: table,
+		tree: tree, index: ix, pol: pol, prior: prior,
+		projName: s.cfg.Projection.Name(), computedAt: at,
 		drift: drift, driftMax: driftMax, driftMean: driftMean,
 	}
 }
 
-func countNodes(n *fairshare.Node) int {
-	if n == nil {
-		return 0
+// projectParallelThreshold is the population at which per-entry projection
+// fans out across cores (same order as the tree build's threshold).
+const projectParallelThreshold = 4096
+
+// projectPointwise fills out[i] with the projection of entry i, in parallel
+// for large populations — pointwise projections are embarrassingly parallel
+// and need no intermediate map.
+func projectPointwise(p vector.PointwiseProjection, ix *fairshare.Index, out []float64, resolution float64) {
+	n := len(out)
+	workers := runtime.GOMAXPROCS(0)
+	if n < projectParallelThreshold || workers < 2 {
+		for i := 0; i < n; i++ {
+			out[i] = p.ProjectEntry(ix.At(i).Entry, resolution)
+		}
+		return
 	}
-	total := 1
-	for _, c := range n.Children {
-		total += countNodes(c)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = p.ProjectEntry(ix.At(i).Entry, resolution)
+			}
+		}(lo, hi)
 	}
-	return total
+	wg.Wait()
 }
 
 // ComputedAt reports when the current snapshot was pre-calculated (zero if
@@ -399,21 +647,22 @@ func (s *Service) kickRefresh() {
 }
 
 // Priority returns the pre-calculated projected priority of a grid user.
-// The hot path is lock-free: one snapshot load and one map lookup, zero
-// tree walks, zero allocations. The returned Vector shares the snapshot's
-// immutable backing array and must not be mutated.
+// The hot path is lock-free: one snapshot load and one striped-map lookup,
+// zero tree walks, zero allocations. The returned Vector shares the
+// snapshot's immutable backing array and must not be mutated.
 func (s *Service) Priority(user string) (wire.FairshareResponse, error) {
 	sn, err := s.current()
 	if err != nil {
 		return wire.FairshareResponse{}, err
 	}
-	e, ok := sn.index.Lookup(user)
+	pos, ok := sn.index.Pos(user)
 	if !ok {
 		return wire.FairshareResponse{}, ErrUnknownUser
 	}
+	e := sn.index.At(pos)
 	return wire.FairshareResponse{
 		User:       user,
-		Value:      sn.priorities[user],
+		Value:      sn.prior[pos],
 		Vector:     e.Vec,
 		Priority:   e.LeafPriority,
 		ComputedAt: sn.computedAt,
@@ -435,14 +684,15 @@ func (s *Service) PriorityBatch(users []string) (wire.FairshareBatchResponse, er
 		Entries:    make([]wire.FairshareResponse, 0, len(users)),
 	}
 	for _, u := range users {
-		e, ok := sn.index.Lookup(u)
+		pos, ok := sn.index.Pos(u)
 		if !ok {
 			out.Missing = append(out.Missing, u)
 			continue
 		}
+		e := sn.index.At(pos)
 		out.Entries = append(out.Entries, wire.FairshareResponse{
 			User:       u,
-			Value:      sn.priorities[u],
+			Value:      sn.prior[pos],
 			Vector:     e.Vec,
 			Priority:   e.LeafPriority,
 			ComputedAt: sn.computedAt,
@@ -453,14 +703,37 @@ func (s *Service) PriorityBatch(users []string) (wire.FairshareBatchResponse, er
 	return out, nil
 }
 
-// Table returns the full pre-calculated fairshare table, assembled once at
-// snapshot-publication time; callers must treat it as read-only.
+// Table returns the full fairshare table, assembled once per snapshot on
+// first use (incremental refreshes that nobody asks a table of never pay
+// for one); callers must treat it as read-only.
 func (s *Service) Table() (wire.FairshareTableResponse, error) {
 	sn, err := s.current()
 	if err != nil {
 		return wire.FairshareTableResponse{}, err
 	}
+	sn.tableOnce.Do(func() { sn.table = buildTable(sn) })
 	return sn.table, nil
+}
+
+// buildTable materializes the wire view of a snapshot.
+func buildTable(sn *snapshot) wire.FairshareTableResponse {
+	n := sn.index.Len()
+	t := wire.FairshareTableResponse{
+		Projection: sn.projName,
+		ComputedAt: sn.computedAt,
+		Entries:    make([]wire.FairshareResponse, n),
+	}
+	for i := 0; i < n; i++ {
+		e := sn.index.At(i)
+		t.Entries[i] = wire.FairshareResponse{
+			User:       e.User,
+			Value:      sn.prior[i],
+			Vector:     e.Vec,
+			Priority:   e.LeafPriority,
+			ComputedAt: sn.computedAt,
+		}
+	}
+	return t
 }
 
 // Tree returns the current fairshare tree (possibly triggering a refresh if

@@ -57,6 +57,10 @@ func (s *Server) handleDebugSummary(w http.ResponseWriter, r *http.Request) {
 		if err := s.FCS.LastRefreshError(); err != nil {
 			out.FCSLastRefreshError = err.Error()
 		}
+		ri := s.FCS.LastRefresh()
+		out.FCSRefreshMode = ri.Mode
+		out.FCSDirtyUsers = ri.DirtyUsers
+		out.FCSRefreshSeconds = ri.Duration.Seconds()
 		d := s.FCS.Drift()
 		out.DriftMax, out.DriftMean = d.MaxError, d.MeanError
 	}

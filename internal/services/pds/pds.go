@@ -22,6 +22,11 @@ type Service struct {
 	fetch Fetcher
 	// mounts remembers mount-point path -> origin for refresh.
 	mounts map[string]string
+	// version counts policy mutations. Consumers (the FCS) compare it
+	// against the version of their last Policy() pull to skip the O(n)
+	// clone — and to keep incremental fairshare recomputation valid only
+	// while the tree is unchanged.
+	version uint64
 }
 
 // New creates a PDS with the given initial policy (nil for an empty tree).
@@ -55,6 +60,7 @@ func (s *Service) SetPolicy(t *policy.Tree) error {
 	defer s.mu.Unlock()
 	s.tree = t.Clone()
 	s.mounts = map[string]string{}
+	s.version++
 	return nil
 }
 
@@ -88,6 +94,7 @@ func (s *Service) Mount(parentPath, name string, share float64, origin string) e
 	}
 	path := policy.JoinPath(append(policy.SplitPath(parentPath), name))
 	s.mounts[path] = origin
+	s.version++
 	return nil
 }
 
@@ -95,7 +102,11 @@ func (s *Service) Mount(parentPath, name string, share float64, origin string) e
 func (s *Service) MountStatic(parentPath, name string, share float64, sub *policy.Node, origin string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.tree.Mount(parentPath, name, share, sub, origin)
+	if err := s.tree.Mount(parentPath, name, share, sub, origin); err != nil {
+		return err
+	}
+	s.version++
+	return nil
 }
 
 // RefreshMounts re-fetches every remembered mount origin and replaces the
@@ -124,12 +135,24 @@ func (s *Service) RefreshMounts() error {
 		}
 		s.mu.Lock()
 		err = s.tree.RefreshMount(mt.path, sub)
+		if err == nil {
+			s.version++
+		}
 		s.mu.Unlock()
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// Version returns the policy mutation counter. Two equal Version reads
+// bracket an unchanged tree, so a consumer may keep serving a previously
+// pulled Policy() clone (and any state derived from it).
+func (s *Service) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
 }
 
 // Mounts returns the mount-point paths and their origins.

@@ -7,6 +7,7 @@ package ums
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -70,10 +71,35 @@ type Service struct {
 	// must not publish its (pre-invalidation) result as valid.
 	gen uint64
 
+	// version is the delta watermark: it advances whenever a recompute
+	// publishes totals that differ (bitwise) from the previous valid ones.
+	// deltaLog holds the most recent generations (oldest first, versions
+	// consecutive); everValid marks that a first valid publish happened.
+	version   uint64
+	deltaLog  []deltaGen
+	everValid bool
+
 	mRecomputes   *telemetry.Counter
 	mRecomputeDur *telemetry.Histogram
 	mUsers        *telemetry.Gauge
 }
+
+// deltaGen is one published generation in the bounded delta log.
+type deltaGen struct {
+	version uint64
+	// changed maps users whose totals changed in this generation to their
+	// new absolute values. Nil marks a "full" generation — more than half
+	// the population moved (or the first publish), where shipping a delta
+	// would not pay off — which forces consumers whose watermark predates
+	// it to a full rebuild.
+	changed map[string]float64
+}
+
+// maxDeltaGens bounds the delta log: a consumer whose watermark has fallen
+// further behind than this many publishes gets a full set instead. Eight
+// generations cover several missed refresh intervals without letting a
+// stalled consumer pin unbounded per-generation maps.
+const maxDeltaGens = 8
 
 // New creates a UMS reading from the given sources.
 func New(cfg Config, sources ...Source) *Service {
@@ -138,42 +164,177 @@ func (s *Service) UsageTotals() (map[string]float64, time.Time, error) {
 			}
 			continue // flight was invalidated under us; retry
 		}
-		ch := make(chan struct{})
-		s.inflight = ch
-		sources := append([]Source(nil), s.sources...)
-		gen := s.gen
-		s.mu.Unlock()
-
-		started := time.Now() // wall time: the metric reports real compute cost
-		sctx, sp := span.Start(span.WithRecorder(context.Background(), s.cfg.Spans),
-			"ums.totals")
-		sp.SetAttrInt("sources", int64(len(sources)))
-		combined, err := fetchSources(sctx, sources, now, s.cfg.Decay)
-		sp.SetAttrInt("users", int64(len(combined)))
-		sp.SetErr(err)
-		sp.End()
-
-		s.mu.Lock()
-		s.inflight = nil
-		s.inflightErr = err
-		if err == nil {
-			s.cached = combined
-			s.cachedAt = now
-			// An Invalidate that arrived mid-flight wins: the result is
-			// served to the callers that asked for it but not cached as
-			// valid, so the next read recomputes.
-			s.valid = gen == s.gen
-		}
-		s.mu.Unlock()
-		close(ch)
+		combined, err := s.recompute(now) // releases mu
 		if err != nil {
 			return nil, time.Time{}, err
 		}
-		s.mRecomputes.Inc()
-		s.mRecomputeDur.Observe(time.Since(started).Seconds())
-		s.mUsers.Set(float64(len(combined)))
 		return copyTotals(combined), now, nil
 	}
+}
+
+// recompute runs one single-flight recomputation over all sources. It must
+// be called with mu held and no flight in progress; it returns with mu
+// released. The flight's combined totals are returned to the owner even
+// when an Invalidate raced the fetch (waiters and later readers retry
+// instead).
+func (s *Service) recompute(now time.Time) (map[string]float64, error) {
+	ch := make(chan struct{})
+	s.inflight = ch
+	sources := append([]Source(nil), s.sources...)
+	gen := s.gen
+	s.mu.Unlock()
+
+	started := time.Now() // wall time: the metric reports real compute cost
+	sctx, sp := span.Start(span.WithRecorder(context.Background(), s.cfg.Spans),
+		"ums.totals")
+	sp.SetAttrInt("sources", int64(len(sources)))
+	combined, err := fetchSources(sctx, sources, now, s.cfg.Decay)
+	sp.SetAttrInt("users", int64(len(combined)))
+	sp.SetErr(err)
+	sp.End()
+
+	s.mu.Lock()
+	s.inflight = nil
+	s.inflightErr = err
+	if err == nil {
+		// An Invalidate that arrived mid-flight wins: the result is served
+		// to the callers that asked for it but not published — the cache,
+		// the delta watermark and the delta log only ever advance on valid
+		// generations, keeping the version chain consistent.
+		if gen == s.gen {
+			s.publishLocked(combined, now)
+		} else {
+			s.valid = false
+		}
+	}
+	s.mu.Unlock()
+	close(ch)
+	if err != nil {
+		return nil, err
+	}
+	s.mRecomputes.Inc()
+	s.mRecomputeDur.Observe(time.Since(started).Seconds())
+	s.mUsers.Set(float64(len(combined)))
+	return combined, nil
+}
+
+// publishLocked installs a valid recompute result and records its delta
+// generation. Caller holds mu.
+func (s *Service) publishLocked(combined map[string]float64, now time.Time) {
+	changed := diffTotals(s.cached, combined)
+	if !s.everValid || len(changed) > 0 {
+		s.version++
+		g := deltaGen{version: s.version}
+		// A first publish or a majority change is recorded as a full
+		// marker: consumers behind it rebuild from complete totals.
+		if s.everValid && len(changed)*2 <= len(combined) {
+			g.changed = changed
+		}
+		s.deltaLog = append(s.deltaLog, g)
+		if len(s.deltaLog) > maxDeltaGens {
+			s.deltaLog = append(s.deltaLog[:0:0], s.deltaLog[len(s.deltaLog)-maxDeltaGens:]...)
+		}
+	}
+	s.cached = combined
+	s.cachedAt = now
+	s.valid = true
+	s.everValid = true
+}
+
+// diffTotals returns the bitwise-changed users between two totals maps, with
+// disappeared users mapped to 0 (their effective usage in any computation).
+func diffTotals(old, new map[string]float64) map[string]float64 {
+	changed := make(map[string]float64)
+	for u, v := range new {
+		if ov, ok := old[u]; !ok || math.Float64bits(ov) != math.Float64bits(v) {
+			changed[u] = v
+		}
+	}
+	for u := range old {
+		if _, ok := new[u]; !ok {
+			changed[u] = 0
+		}
+	}
+	return changed
+}
+
+// UsageDeltas returns the set of users whose decayed totals changed since
+// the given version watermark, recomputing first when the cache is stale
+// (same TTL and single-flight discipline as UsageTotals). Pass since=0 (or
+// any uncovered watermark) to receive complete totals with Full set. The
+// returned maps reference internal state and must be treated as read-only.
+func (s *Service) UsageDeltas(since uint64) (usage.DeltaSet, error) {
+	for {
+		now := s.cfg.Clock.Now()
+		s.mu.Lock()
+		if s.valid && now.Sub(s.cachedAt) < s.cfg.CacheTTL {
+			ds := s.deltasLocked(since)
+			s.mu.Unlock()
+			return ds, nil
+		}
+		if ch := s.inflight; ch != nil {
+			s.mu.Unlock()
+			<-ch
+			s.mu.Lock()
+			err := s.inflightErr
+			s.mu.Unlock()
+			if err != nil {
+				return usage.DeltaSet{}, err
+			}
+			continue // re-evaluate freshness (or become the next flight)
+		}
+		if _, err := s.recompute(now); err != nil { // releases mu
+			return usage.DeltaSet{}, err
+		}
+		s.mu.Lock()
+		if s.valid {
+			// Serve straight from the publish our own flight just made —
+			// re-checking the TTL would spin forever at CacheTTL=0.
+			ds := s.deltasLocked(since)
+			s.mu.Unlock()
+			return ds, nil
+		}
+		s.mu.Unlock()
+		// Our flight was invalidated mid-fetch; retry.
+	}
+}
+
+// deltasLocked assembles the delta between `since` and the current version.
+// Caller holds mu with s.valid true.
+func (s *Service) deltasLocked(since uint64) usage.DeltaSet {
+	ds := usage.DeltaSet{Version: s.version}
+	if since == s.version {
+		return ds // bitwise unchanged since the consumer's watermark
+	}
+	if since == 0 || since > s.version {
+		ds.Full = true
+		ds.Totals = s.cached
+		return ds
+	}
+	// The consumer needs generations (since, version]. Versions in the log
+	// are consecutive, so coverage only requires the oldest retained entry
+	// to reach back to since+1.
+	if len(s.deltaLog) == 0 || s.deltaLog[0].version > since+1 {
+		ds.Full = true
+		ds.Totals = s.cached
+		return ds
+	}
+	merged := make(map[string]float64)
+	for _, g := range s.deltaLog {
+		if g.version <= since {
+			continue
+		}
+		if g.changed == nil { // full-generation marker
+			ds.Full = true
+			ds.Totals = s.cached
+			return ds
+		}
+		for u, v := range g.changed {
+			merged[u] = v // later generations win
+		}
+	}
+	ds.Changed = merged
+	return ds
 }
 
 // fetchSources queries every source concurrently and merges the totals.

@@ -1,0 +1,27 @@
+package usage
+
+// DeltaSet describes how decayed usage totals evolved since a consumer's
+// last pull — the UMS hands the FCS the set of users whose totals changed,
+// so steady-state fairshare refreshes can be incremental instead of
+// re-reading the whole population.
+//
+// Version is a monotonically increasing watermark: it advances every time a
+// recompute publishes totals that differ (bitwise) from the previous valid
+// ones. Consumers store the Version they last acted on and pass it back as
+// `since`.
+//
+// When Full is false, Changed maps each user whose total changed to its new
+// absolute total (users that disappeared map to 0); users absent from
+// Changed are bitwise unchanged. When Full is true the provider could not
+// (or chose not to) produce a delta — first pull, watermark no longer
+// covered by the provider's bounded log, or a change so large a delta would
+// not pay off — and Totals carries the complete current totals instead.
+//
+// Changed and Totals reference the provider's internal state and MUST be
+// treated as read-only by consumers.
+type DeltaSet struct {
+	Version uint64
+	Full    bool
+	Changed map[string]float64
+	Totals  map[string]float64
+}

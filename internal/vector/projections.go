@@ -83,24 +83,29 @@ func (b Bitwise) params() (bits, levels int) {
 
 // Project implements Projection.
 func (b Bitwise) Project(entries []Entry, resolution float64) map[string]float64 {
+	out := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		out[e.User] = b.ProjectEntry(e, resolution)
+	}
+	return out
+}
+
+// ProjectEntry implements PointwiseProjection.
+func (b Bitwise) ProjectEntry(e Entry, resolution float64) float64 {
 	bits, levels := b.params()
 	balance := resolution / 2
 	maxQ := uint64(1)<<uint(bits) - 1
-	out := make(map[string]float64, len(entries))
 	denom := float64(uint64(1)<<uint(bits*levels) - 1)
-	for _, e := range entries {
-		vec := e.Vec.PadTo(levels, balance)
-		var packed uint64
-		for i := 0; i < levels; i++ {
-			q := uint64(vec[i] / resolution * float64(maxQ+1))
-			if q > maxQ {
-				q = maxQ
-			}
-			packed = packed<<uint(bits) | q
+	vec := e.Vec.PadTo(levels, balance)
+	var packed uint64
+	for i := 0; i < levels; i++ {
+		q := uint64(vec[i] / resolution * float64(maxQ+1))
+		if q > maxQ {
+			q = maxQ
 		}
-		out[e.User] = float64(packed) / denom
+		packed = packed<<uint(bits) | q
 	}
-	return out
+	return float64(packed) / denom
 }
 
 // Percental implements the Percental projection: the user's total target
@@ -118,18 +123,23 @@ func (Percental) Name() string { return "percental" }
 func (Percental) Project(entries []Entry, resolution float64) map[string]float64 {
 	out := make(map[string]float64, len(entries))
 	for _, e := range entries {
-		target, usage := 1.0, 1.0
-		for _, s := range e.PathShares {
-			target *= s
-		}
-		for _, u := range e.PathUsage {
-			usage *= u
-		}
-		// target − usage ∈ [−1, 1]; rescale to [0,1].
-		v := ((target - usage) + 1) / 2
-		out[e.User] = math.Max(0, math.Min(1, v))
+		out[e.User] = Percental{}.ProjectEntry(e, resolution)
 	}
 	return out
+}
+
+// ProjectEntry implements PointwiseProjection.
+func (Percental) ProjectEntry(e Entry, _ float64) float64 {
+	target, usage := 1.0, 1.0
+	for _, s := range e.PathShares {
+		target *= s
+	}
+	for _, u := range e.PathUsage {
+		usage *= u
+	}
+	// target − usage ∈ [−1, 1]; rescale to [0,1].
+	v := ((target - usage) + 1) / 2
+	return math.Max(0, math.Min(1, v))
 }
 
 // Projections returns the three built-in projection algorithms.

@@ -95,3 +95,16 @@ type Projection interface {
 	// fairshare value range (balance point = resolution/2).
 	Project(entries []Entry, resolution float64) map[string]float64
 }
+
+// PointwiseProjection is implemented by projections whose value for one
+// entry depends only on that entry (Bitwise, Percental — but not
+// Dictionary, whose rank values couple every entry through the global
+// sort). Pointwise projections let the FCS fill a per-position priority
+// slice directly from the serving index, with no intermediate map and
+// trivially parallelizable per-entry work.
+type PointwiseProjection interface {
+	Projection
+	// ProjectEntry maps one entry to its value in [0,1], identical to the
+	// value Project would assign it.
+	ProjectEntry(e Entry, resolution float64) float64
+}

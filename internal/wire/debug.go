@@ -57,11 +57,20 @@ type DriftResponse struct {
 // DebugSummary is the /debug/aequus landing payload: a one-page health view
 // combining tracer, snapshot, drift and peer state.
 type DebugSummary struct {
-	SpansRecorded       uint64       `json:"spans_recorded"`
-	Traces              int          `json:"traces"`
-	FCSComputedAt       time.Time    `json:"fcs_computed_at"`
-	FCSLastRefreshError string       `json:"fcs_last_refresh_error,omitempty"`
-	DriftMax            float64      `json:"drift_max"`
-	DriftMean           float64      `json:"drift_mean"`
-	Peers               []PeerStatus `json:"peers,omitempty"`
+	SpansRecorded       uint64    `json:"spans_recorded"`
+	Traces              int       `json:"traces"`
+	FCSComputedAt       time.Time `json:"fcs_computed_at"`
+	FCSLastRefreshError string    `json:"fcs_last_refresh_error,omitempty"`
+	// FCSRefreshMode is how the last refresh ran ("full" or "incremental";
+	// "" before the first refresh) — in steady state with delta-capable
+	// sources this should read "incremental".
+	FCSRefreshMode string `json:"fcs_refresh_mode,omitempty"`
+	// FCSDirtyUsers is the changed-user count the last refresh processed
+	// (the whole population on a full rebuild).
+	FCSDirtyUsers int `json:"fcs_dirty_users"`
+	// FCSRefreshSeconds is the duration of the last refresh.
+	FCSRefreshSeconds float64      `json:"fcs_refresh_seconds"`
+	DriftMax          float64      `json:"drift_max"`
+	DriftMean         float64      `json:"drift_mean"`
+	Peers             []PeerStatus `json:"peers,omitempty"`
 }
