@@ -1,0 +1,253 @@
+// Command loadgen is the macro load harness: it replays workload-model
+// traffic against a live multi-site Aequus deployment over real HTTP —
+// mixed open-loop (arrival-driven) and closed-loop (one-in-flight) clients
+// issuing priority lookups, batch resolutions and usage ingest while
+// exchange rounds and optional fault windows churn in the background — and
+// writes a machine-readable BENCH_load.json report with per-route latency
+// quantiles, achieved throughput and error rates, evaluated against SLO
+// gates. The exit code is the gate verdict: 0 when every gate passes,
+// 1 on violation, 2 on setup or run failure.
+//
+// By default loadgen deploys its own federation in-process (-sites) and
+// tears it down afterwards; -targets drives an externally running
+// deployment instead. The whole request schedule derives from -seed: same
+// seed, same flags → identical schedule (the report's fingerprint proves
+// it), so CI trend comparisons know the offered load was unchanged.
+//
+// Examples:
+//
+//	loadgen -seed 1 -sites 2 -users 10000 -duration 30s -rps 300
+//	loadgen -seed 1 -users 100000 -rps 2000 -slo slo.json -out BENCH_load.json
+//	loadgen -ramp -ramp-start 500 -ramp-step 500 -ramp-steps 8 -ramp-step-duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/loadgen"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed     = flag.Int64("seed", 1, "deterministic schedule seed")
+		sites    = flag.Int("sites", 2, "sites to deploy in-process (ignored with -targets)")
+		users    = flag.Int("users", 10000, "population size (policy leaves and request mix)")
+		duration = flag.Duration("duration", 30*time.Second, "load duration (per step in ramp mode)")
+		rps      = flag.Float64("rps", 200, "total open-loop request rate")
+		open     = flag.Int("open-clients", 0, "open-loop client count (0 = derive from rps)")
+		closed   = flag.Int("closed-clients", 0, "closed-loop client count (default 2 per site)")
+		batch    = flag.Int("batch-size", 64, "users per /fairshare/batch request")
+		ingestN  = flag.Int("ingest-batch", 8, "job completions per usage-ingest request (1 = single-report /usage)")
+		mixFlag  = flag.String("mix", "", "route mix weights, e.g. fairshare=0.7,batch=0.15,ingest=0.15")
+		targets  = flag.String("targets", "", "comma-separated base URLs of a running deployment (empty = self-deploy)")
+
+		sloFile  = flag.String("slo", "", "SLO gate file (JSON); empty = built-in default gates")
+		noSLO    = flag.Bool("no-slo", false, "measure only; skip gate evaluation")
+		out      = flag.String("out", "BENCH_load.json", "report output path (empty = stdout summary only)")
+		benchOut = flag.String("benchfmt", "", "also write a benchstat-comparable rendering to this path")
+
+		exchangeEvery = flag.Duration("exchange-interval", time.Second, "self-deploy: peer exchange period")
+		refreshEvery  = flag.Duration("refresh-interval", time.Second, "self-deploy: fairshare refresh period")
+		flap          = flag.Bool("flap", true, "self-deploy: flap peer pulls during the middle half of the run")
+		flapRate      = flag.Float64("flap-rate", 0.5, "per-pull failure probability inside the flap window")
+
+		ramp      = flag.Bool("ramp", false, "ramp mode: step rps upward to find the saturation knee (skips SLO gates)")
+		rampStart = flag.Float64("ramp-start", 250, "ramp: first step's rps")
+		rampStep  = flag.Float64("ramp-step", 250, "ramp: rps increment per step")
+		rampSteps = flag.Int("ramp-steps", 8, "ramp: maximum steps")
+		rampDur   = flag.Duration("ramp-step-duration", 10*time.Second, "ramp: duration of one step")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) int {
+		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		return 2
+	}
+
+	model := workload.NationalGrid2012(*duration)
+	pop, err := model.Population(*users)
+	if err != nil {
+		return fail("building population: %v", err)
+	}
+
+	mix := loadgen.DefaultMix()
+	if *mixFlag != "" {
+		mix, err = parseMix(*mixFlag)
+		if err != nil {
+			return fail("%v", err)
+		}
+	}
+
+	slo := loadgen.DefaultSLO()
+	if *sloFile != "" {
+		slo, err = loadgen.LoadSLOFile(*sloFile)
+		if err != nil {
+			return fail("loading SLO: %v", err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	targetURLs := splitList(*targets)
+	if len(targetURLs) == 0 {
+		var faults []testbed.LiveFault
+		if *flap {
+			// Churn the exchange during the middle half of the run: pulls
+			// fail with -flap-rate probability, proving peer trouble never
+			// surfaces on the serving path (the default SLO gates 5xx to 0).
+			total := *duration
+			if *ramp {
+				total = time.Duration(*rampSteps) * *rampDur
+			}
+			faults = append(faults, testbed.LiveFault{
+				After: total / 4,
+				For:   total / 2,
+				Kind:  faultinject.Flap,
+				Rate:  *flapRate,
+			})
+		}
+		dep, err := testbed.DeployLive(testbed.LiveConfig{
+			Sites:            *sites,
+			Policy:           pop.PolicyTree(),
+			Seed:             *seed,
+			ExchangeInterval: *exchangeEvery,
+			RefreshInterval:  *refreshEvery,
+			Faults:           faults,
+		})
+		if err != nil {
+			return fail("deploying testbed: %v", err)
+		}
+		defer dep.Close()
+		readyCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		err = dep.WaitReady(readyCtx)
+		cancel()
+		if err != nil {
+			return fail("%v", err)
+		}
+		targetURLs = dep.URLs()
+		fmt.Fprintf(os.Stderr, "loadgen: deployed %d sites: %s\n", *sites, strings.Join(targetURLs, " "))
+	}
+
+	planCfg := loadgen.PlanConfig{
+		Seed:          *seed,
+		Population:    pop,
+		Sites:         len(targetURLs),
+		Duration:      *duration,
+		RPS:           *rps,
+		OpenClients:   *open,
+		ClosedClients: *closed,
+		BatchSize:     *batch,
+		IngestBatch:   *ingestN,
+		Mix:           mix,
+	}
+	if planCfg.ClosedClients == 0 {
+		planCfg.ClosedClients = 2 * len(targetURLs)
+	}
+	runCfg := loadgen.RunConfig{Targets: targetURLs}
+
+	var report *loadgen.Report
+	if *ramp {
+		report, err = loadgen.RunRamp(ctx, runCfg, planCfg, loadgen.RampConfig{
+			StartRPS:     *rampStart,
+			StepRPS:      *rampStep,
+			Steps:        *rampSteps,
+			StepDuration: *rampDur,
+		})
+	} else {
+		var plan *loadgen.Plan
+		plan, err = loadgen.BuildPlan(planCfg)
+		if err != nil {
+			return fail("building plan: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %d planned requests, fingerprint %016x\n",
+			plan.TotalPlanned(), plan.Fingerprint())
+		runCfg.Plan = plan
+		report, err = loadgen.Run(ctx, runCfg)
+	}
+	if err != nil {
+		return fail("run: %v", err)
+	}
+
+	violated := false
+	if !*noSLO && !*ramp {
+		violations := slo.Evaluate(report)
+		report.AttachSLO(violations)
+		violated = len(violations) > 0
+	}
+
+	if *out != "" {
+		if err := report.WriteJSON(*out); err != nil {
+			return fail("writing report: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: report written to %s\n", *out)
+	}
+	if *benchOut != "" {
+		if err := report.WriteBenchFormat(*benchOut); err != nil {
+			return fail("writing benchfmt: %v", err)
+		}
+	}
+	fmt.Print(report.Summary())
+	if report.SLO != nil {
+		for _, v := range report.SLO.Violations {
+			fmt.Printf("  SLO VIOLATION: %s\n", v.Message)
+		}
+		if report.SLO.Passed {
+			fmt.Println("  SLO: all gates passed")
+		}
+	}
+	if violated {
+		return 1
+	}
+	return 0
+}
+
+// parseMix parses "fairshare=0.7,batch=0.15,ingest=0.15".
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad mix component %q", part)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(kv[1], "%g", &w); err != nil {
+			return m, fmt.Errorf("bad mix weight %q: %v", kv[1], err)
+		}
+		switch kv[0] {
+		case "fairshare":
+			m.Fairshare = w
+		case "batch":
+			m.Batch = w
+		case "ingest":
+			m.Ingest = w
+		default:
+			return m, fmt.Errorf("unknown mix route %q", kv[0])
+		}
+	}
+	return m, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

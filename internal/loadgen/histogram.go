@@ -1,0 +1,172 @@
+// Package loadgen is the macro load harness: a seed-deterministic generator
+// that replays workload-model traffic against a live multi-site Aequus
+// deployment over real HTTP, records per-route latency distributions and
+// error rates, and evaluates the result against configurable SLO gates. The
+// package is the reusable core of cmd/loadgen; tests drive the same plan,
+// runner and evaluator in-process.
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram bucket layout: log-linear (HDR-style). Values below subCount
+// nanoseconds get exact unit buckets; above that, each power-of-two octave is
+// split into subCount linear sub-buckets, bounding the relative quantile
+// error by 1/subCount (~3.1%). The layout is fixed, so any two histograms
+// merge bucket-by-bucket and merging is associative and commutative.
+const (
+	subBits  = 5
+	subCount = 1 << subBits // 32 linear sub-buckets per octave
+
+	// maxBuckets covers the full int64 nanosecond range: 63 octaves of
+	// subCount buckets plus the exact low range. Latencies are clamped into
+	// the layout, never dropped.
+	maxBuckets = subCount + (64-subBits)*subCount
+)
+
+// Histogram is a fixed-layout log-linear latency histogram with ≤3.1%
+// relative quantile error. It is NOT safe for concurrent use: each load
+// worker owns one and the results are merged after the run.
+type Histogram struct {
+	counts [maxBuckets]int64
+	count  int64
+	sum    float64 // nanoseconds; float64 so huge runs cannot overflow
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: -1} }
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) // >= subBits+1 here
+	shift := e - subBits - 1
+	sub := int((uint64(v) >> uint(shift)) & (subCount - 1))
+	return subCount + (shift << subBits) + sub
+}
+
+// bucketUpper returns the largest value mapping into bucket idx — the
+// histogram's quantile estimate for ranks landing in that bucket.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	i := idx - subCount
+	oct := i >> subBits
+	sub := int64(i & (subCount - 1))
+	lower := (subCount + sub) << uint(oct)
+	width := int64(1) << uint(oct)
+	return lower + width - 1
+}
+
+// Record adds one observation. Negative durations count as zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += float64(v)
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Max returns the exact largest observation (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Min returns the exact smallest observation (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.min < 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count))
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) using the convention rank =
+// ceil(q·count) with a floor of 1 — identical to indexing a sorted slice at
+// that rank — and returns the upper bound of the bucket holding that rank,
+// clamped into [Min, Max] so degenerate distributions stay exact. Empty
+// histograms return 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < maxBuckets; i++ {
+		seen += h.counts[i]
+		if seen >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if h.min >= 0 && v < h.min {
+				v = h.min
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other into h. The shared fixed layout makes the operation
+// associative and commutative, so per-worker histograms can be combined in
+// any grouping without changing any quantile.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if h.min < 0 || (other.min >= 0 && other.min < h.min) {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	return &c
+}

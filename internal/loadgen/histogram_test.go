@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refQuantile indexes a sorted slice with the same rank convention the
+// histogram documents: rank = ceil(q·n), floored at 1.
+func refQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	rank := int64(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// maxRelErr is the histogram's documented bound: one part in subCount per
+// octave, plus a little slack for the clamp at bucket edges.
+const maxRelErr = 1.0 / subCount
+
+func checkQuantiles(t *testing.T, h *Histogram, values []time.Duration, label string) {
+	t.Helper()
+	sorted := append([]time.Duration(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		want := refQuantile(sorted, q)
+		got := h.Quantile(q)
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("%s: q=%v: got %v, want 0", label, q, got)
+			}
+			continue
+		}
+		rel := math.Abs(float64(got)-float64(want)) / float64(want)
+		if rel > maxRelErr {
+			t.Errorf("%s: q=%v: got %v, want %v (rel err %.4f > %.4f)",
+				label, q, got, want, rel, maxRelErr)
+		}
+	}
+	if h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("%s: max = %v, want %v", label, h.Max(), sorted[len(sorted)-1])
+	}
+	if h.Min() != sorted[0] {
+		t.Errorf("%s: min = %v, want %v", label, h.Min(), sorted[0])
+	}
+	if h.Count() != int64(len(values)) {
+		t.Errorf("%s: count = %d, want %d", label, h.Count(), len(values))
+	}
+}
+
+func TestHistogramQuantileAgainstSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string]func() time.Duration{
+		// The shapes a load run produces: tight unimodal, log-normal-ish
+		// tails, bimodal fast-path/slow-path, and tiny sub-bucket values.
+		"uniform":   func() time.Duration { return time.Duration(rng.Int63n(int64(50 * time.Millisecond))) },
+		"lognormal": func() time.Duration { return time.Duration(math.Exp(rng.NormFloat64()*1.5+13) * 1) },
+		"bimodal": func() time.Duration {
+			if rng.Float64() < 0.9 {
+				return time.Duration(200_000 + rng.Int63n(100_000))
+			}
+			return time.Duration(int64(80*time.Millisecond) + rng.Int63n(int64(40*time.Millisecond)))
+		},
+		"tiny": func() time.Duration { return time.Duration(rng.Int63n(40)) },
+	}
+	for label, gen := range cases {
+		h := NewHistogram()
+		values := make([]time.Duration, 20000)
+		for i := range values {
+			values[i] = gen()
+			h.Record(values[i])
+		}
+		checkQuantiles(t, h, values, label)
+	}
+}
+
+func TestHistogramSingleValueExact(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(3 * time.Millisecond)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3*time.Millisecond {
+			t.Errorf("q=%v: got %v, want exactly 3ms (min/max clamp)", q, got)
+		}
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Errorf("mean = %v, want 3ms", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram must read as zeros: %v %d %v %v %v",
+			h.Quantile(0.99), h.Count(), h.Max(), h.Min(), h.Mean())
+	}
+}
+
+// TestHistogramMergeAssociativity merges the same observations in different
+// groupings and orders; the fixed bucket layout must make every composition
+// bit-identical.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parts := make([]*Histogram, 5)
+	var all []time.Duration
+	for i := range parts {
+		parts[i] = NewHistogram()
+		for k := 0; k < 3000+i*500; k++ {
+			v := time.Duration(math.Exp(rng.NormFloat64()*2+12) * 1)
+			parts[i].Record(v)
+			all = append(all, v)
+		}
+	}
+
+	// Left fold: ((((a+b)+c)+d)+e)
+	left := NewHistogram()
+	for _, p := range parts {
+		left.Merge(p)
+	}
+	// Right fold: a+(b+(c+(d+e)))
+	right := NewHistogram()
+	for i := len(parts) - 1; i >= 0; i-- {
+		tmp := parts[i].Clone()
+		tmp.Merge(right)
+		right = tmp
+	}
+	// Pairwise tree: ((a+b)+(c+d))+e
+	ab := parts[0].Clone()
+	ab.Merge(parts[1])
+	cd := parts[2].Clone()
+	cd.Merge(parts[3])
+	tree := ab
+	tree.Merge(cd)
+	tree.Merge(parts[4])
+
+	for _, m := range []*Histogram{right, tree} {
+		if *m != *left {
+			t.Fatal("merge groupings disagree: histogram merge is not associative")
+		}
+	}
+	checkQuantiles(t, left, all, "merged")
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	before := *h
+	h.Merge(nil)
+	h.Merge(NewHistogram())
+	if *h != before {
+		t.Fatal("merging nil/empty changed the histogram")
+	}
+	empty := NewHistogram()
+	empty.Merge(h)
+	if empty.Min() != time.Millisecond || empty.Count() != 1 {
+		t.Fatalf("merge into empty lost state: min %v count %d", empty.Min(), empty.Count())
+	}
+}
+
+func TestBucketIndexMonotoneAndInvertible(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 65, 1000, 1 << 20, 1<<40 + 12345} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d)=%d below previous %d: not monotone", v, idx, prev)
+		}
+		prev = idx
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(%d)=%d below the value %d that mapped there", idx, up, v)
+		}
+		if rel := float64(up-v) / math.Max(float64(v), 1); rel > maxRelErr {
+			t.Fatalf("bucket upper %d overshoots %d by %.4f", up, v, rel)
+		}
+	}
+}

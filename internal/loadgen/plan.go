@@ -1,0 +1,319 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/workload"
+)
+
+// Route identifies one load-generated request type.
+type Route uint8
+
+// The three serving-path routes the harness drives.
+const (
+	RouteFairshare Route = iota // GET /fairshare?user=...
+	RouteBatch                  // POST /fairshare/batch
+	RouteIngest                 // POST /usage/batch (or /usage when IngestBatch == 1)
+	numRoutes
+)
+
+// String returns the route's report key.
+func (r Route) String() string {
+	switch r {
+	case RouteFairshare:
+		return "fairshare"
+	case RouteBatch:
+		return "fairshare_batch"
+	case RouteIngest:
+		return "usage_ingest"
+	default:
+		return fmt.Sprintf("route%d", int(r))
+	}
+}
+
+// Mix weighs the routes in the generated traffic. Weights are relative;
+// BuildPlan normalizes them. A zero Mix gets DefaultMix.
+type Mix struct {
+	Fairshare float64 `json:"fairshare"`
+	Batch     float64 `json:"fairshare_batch"`
+	Ingest    float64 `json:"usage_ingest"`
+}
+
+// DefaultMix approximates a serving-heavy deployment: mostly single priority
+// lookups, a slice of scheduler batch resolutions, a slice of usage ingest.
+func DefaultMix() Mix { return Mix{Fairshare: 0.70, Batch: 0.15, Ingest: 0.15} }
+
+func (m Mix) normalized() (Mix, error) {
+	if m.Fairshare == 0 && m.Batch == 0 && m.Ingest == 0 {
+		m = DefaultMix()
+	}
+	if m.Fairshare < 0 || m.Batch < 0 || m.Ingest < 0 {
+		return m, errors.New("loadgen: negative mix weight")
+	}
+	sum := m.Fairshare + m.Batch + m.Ingest
+	if sum <= 0 {
+		return m, errors.New("loadgen: empty route mix")
+	}
+	m.Fairshare /= sum
+	m.Batch /= sum
+	m.Ingest /= sum
+	return m, nil
+}
+
+// PlanConfig parameterizes a deterministic load plan.
+type PlanConfig struct {
+	// Seed drives every random choice in the plan. Same seed + same config
+	// → bit-identical request schedule (asserted by Fingerprint tests).
+	Seed int64
+	// Population supplies the user mix (required).
+	Population *workload.Population
+	// Sites is how many deployment targets clients are pinned across.
+	Sites int
+	// Duration bounds the open-loop schedule and the closed-loop run.
+	Duration time.Duration
+	// RPS is the total open-loop arrival rate across all open clients
+	// (Poisson arrivals). Zero disables the open-loop pool.
+	RPS float64
+	// OpenClients is the size of the open-loop pool (default: enough
+	// clients that each paces ≤ 64 req/s, at least one per site).
+	OpenClients int
+	// ClosedClients is the closed-loop pool size: each client keeps exactly
+	// one request in flight for the whole run (default 2 per site).
+	ClosedClients int
+	// BatchSize is the user count of one /fairshare/batch request
+	// (default 64).
+	BatchSize int
+	// IngestBatch is how many job completions one usage-ingest request
+	// carries; 1 posts the single-report /usage route (default 8).
+	IngestBatch int
+	// Mix weighs the routes (zero value → DefaultMix).
+	Mix Mix
+}
+
+func (c PlanConfig) withDefaults() (PlanConfig, error) {
+	if c.Population == nil || c.Population.Len() == 0 {
+		return c, errors.New("loadgen: population required")
+	}
+	if c.Duration <= 0 {
+		return c, errors.New("loadgen: duration must be positive")
+	}
+	if c.Sites <= 0 {
+		c.Sites = 1
+	}
+	if c.RPS < 0 {
+		return c, errors.New("loadgen: negative rps")
+	}
+	if c.OpenClients <= 0 {
+		c.OpenClients = int(math.Ceil(c.RPS / 64))
+		if c.OpenClients < c.Sites {
+			c.OpenClients = c.Sites
+		}
+	}
+	if c.ClosedClients < 0 {
+		return c, errors.New("loadgen: negative closed clients")
+	}
+	if c.RPS == 0 {
+		c.OpenClients = 0
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 8
+	}
+	var err error
+	c.Mix, err = c.Mix.normalized()
+	return c, err
+}
+
+// Request is one planned request. Fields beyond the route key are indices
+// into the population, keeping big plans compact.
+type Request struct {
+	Route Route
+	// User indexes Population.Users (RouteFairshare).
+	User int32
+	// Batch indexes Population.Users (RouteBatch and RouteIngest).
+	Batch []int32
+	// DurSec are the per-job durations in seconds, aligned with Batch
+	// (RouteIngest only).
+	DurSec []float64
+	// At is the send offset from run start (open-loop only; closed-loop
+	// requests are issued back-to-back).
+	At time.Duration
+}
+
+// ClientPlan is one client's request stream. Open-loop clients issue each
+// request at its At offset regardless of completions; closed-loop clients
+// cycle through the stream with one request in flight until the run ends.
+type ClientPlan struct {
+	Closed bool
+	// Site pins the client to one deployment target.
+	Site int
+	// Requests is the stream (a cycle for closed-loop clients).
+	Requests []Request
+}
+
+// closedCycle is the length of a closed-loop client's request cycle.
+const closedCycle = 2048
+
+// Plan is a complete deterministic load schedule.
+type Plan struct {
+	Config  PlanConfig
+	Clients []ClientPlan
+}
+
+// BuildPlan generates the full request schedule from the config's seed.
+// Each client draws from its own deterministic stream, so worker scheduling
+// at run time cannot perturb the plan.
+func BuildPlan(cfg PlanConfig) (*Plan, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Config: cfg}
+	for i := 0; i < cfg.OpenClients; i++ {
+		rng := clientRNG(cfg.Seed, i)
+		rate := cfg.RPS / float64(cfg.OpenClients)
+		cp := ClientPlan{Site: i % cfg.Sites}
+		// Poisson arrivals: exponential inter-arrival gaps at the client's
+		// share of the total rate.
+		var at time.Duration
+		for {
+			gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+			at += gap
+			if at >= cfg.Duration {
+				break
+			}
+			cp.Requests = append(cp.Requests, sampleRequest(rng, cfg, at))
+		}
+		p.Clients = append(p.Clients, cp)
+	}
+	for i := 0; i < cfg.ClosedClients; i++ {
+		rng := clientRNG(cfg.Seed, cfg.OpenClients+i)
+		cp := ClientPlan{Closed: true, Site: i % cfg.Sites}
+		cp.Requests = make([]Request, 0, closedCycle)
+		for k := 0; k < closedCycle; k++ {
+			cp.Requests = append(cp.Requests, sampleRequest(rng, cfg, 0))
+		}
+		p.Clients = append(p.Clients, cp)
+	}
+	return p, nil
+}
+
+// clientRNG derives one client's independent deterministic stream.
+func clientRNG(seed int64, client int) *rand.Rand {
+	// SplitMix64-style mixing keeps nearby (seed, client) pairs uncorrelated.
+	z := uint64(seed) + uint64(client+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
+
+func sampleRequest(rng *rand.Rand, cfg PlanConfig, at time.Duration) Request {
+	r := Request{At: at}
+	pop := cfg.Population
+	switch p := rng.Float64(); {
+	case p < cfg.Mix.Fairshare:
+		r.Route = RouteFairshare
+		r.User = sampleUser(rng, pop)
+	case p < cfg.Mix.Fairshare+cfg.Mix.Batch:
+		r.Route = RouteBatch
+		r.Batch = make([]int32, cfg.BatchSize)
+		for i := range r.Batch {
+			r.Batch[i] = sampleUser(rng, pop)
+		}
+	default:
+		r.Route = RouteIngest
+		r.Batch = make([]int32, cfg.IngestBatch)
+		r.DurSec = make([]float64, cfg.IngestBatch)
+		for i := range r.Batch {
+			u := sampleUser(rng, pop)
+			r.Batch[i] = u
+			r.DurSec[i] = sampleDuration(rng, pop, u)
+		}
+	}
+	return r
+}
+
+// sampleUser picks a group by job fraction, then a user uniformly inside it
+// — the population's per-job user mix.
+func sampleUser(rng *rand.Rand, pop *workload.Population) int32 {
+	p := rng.Float64()
+	var acc float64
+	for _, g := range pop.Groups {
+		acc += g.JobFraction
+		if p < acc || g.Start+g.Count == pop.Len() {
+			return int32(g.Start + rng.Intn(g.Count))
+		}
+	}
+	return int32(rng.Intn(pop.Len()))
+}
+
+// sampleDuration draws a job duration from the user's group model, clamped
+// into [1s, 24h] so heavy-tailed fits cannot produce absurd reports.
+func sampleDuration(rng *rand.Rand, pop *workload.Population, user int32) float64 {
+	for _, g := range pop.Groups {
+		if int(user) >= g.Start && int(user) < g.Start+g.Count {
+			d := dist.Sample(g.Duration, rng)
+			if d < 1 {
+				d = 1
+			}
+			if d > 86400 {
+				d = 86400
+			}
+			return d
+		}
+	}
+	return 1
+}
+
+// TotalPlanned returns the number of planned requests (closed-loop cycles
+// counted once — the run repeats them until the deadline).
+func (p *Plan) TotalPlanned() int {
+	n := 0
+	for _, c := range p.Clients {
+		n += len(c.Requests)
+	}
+	return n
+}
+
+// Fingerprint hashes the full request schedule (routes, users, batches,
+// durations, offsets, client shape) with FNV-64a. Two runs with the same
+// seed and config produce the same fingerprint; tests assert it and CI can
+// compare BENCH_load.json artifacts knowing the offered load was identical.
+func (p *Plan) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	w64(uint64(len(p.Clients)))
+	for _, c := range p.Clients {
+		flag := uint64(0)
+		if c.Closed {
+			flag = 1
+		}
+		w64(flag<<32 | uint64(uint32(c.Site)))
+		w64(uint64(len(c.Requests)))
+		for _, r := range c.Requests {
+			w64(uint64(r.Route)<<32 | uint64(uint32(r.User)))
+			w64(uint64(r.At))
+			for _, u := range r.Batch {
+				w64(uint64(uint32(u)))
+			}
+			for _, d := range r.DurSec {
+				w64(math.Float64bits(d))
+			}
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,157 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func testPopulation(t testing.TB, n int) *workload.Population {
+	t.Helper()
+	pop, err := workload.NationalGrid2012(time.Hour).Population(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func testPlanConfig(t testing.TB) PlanConfig {
+	return PlanConfig{
+		Seed:          42,
+		Population:    testPopulation(t, 500),
+		Sites:         2,
+		Duration:      5 * time.Second,
+		RPS:           400,
+		ClosedClients: 3,
+	}
+}
+
+// TestPlanSeedDeterminism is the fingerprint contract: same seed and config
+// → a bit-identical request schedule, twice in a row.
+func TestPlanSeedDeterminism(t *testing.T) {
+	cfg := testPlanConfig(t)
+	a, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same seed, different fingerprints: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.TotalPlanned() != b.TotalPlanned() {
+		t.Fatalf("same seed, different request counts: %d vs %d", a.TotalPlanned(), b.TotalPlanned())
+	}
+	if a.TotalPlanned() == 0 {
+		t.Fatal("plan generated no requests")
+	}
+
+	cfg.Seed = 43
+	c, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatalf("different seeds produced the same fingerprint %016x", a.Fingerprint())
+	}
+}
+
+func TestPlanOpenLoopScheduleShape(t *testing.T) {
+	cfg := testPlanConfig(t)
+	p, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var open, closed, openReqs int
+	for _, c := range p.Clients {
+		if c.Closed {
+			closed++
+			if len(c.Requests) != closedCycle {
+				t.Errorf("closed client cycle = %d, want %d", len(c.Requests), closedCycle)
+			}
+			continue
+		}
+		open++
+		openReqs += len(c.Requests)
+		var prev time.Duration
+		for _, r := range c.Requests {
+			if r.At < prev {
+				t.Fatalf("open-loop offsets not monotone: %v after %v", r.At, prev)
+			}
+			if r.At >= cfg.Duration {
+				t.Fatalf("offset %v beyond duration %v", r.At, cfg.Duration)
+			}
+			prev = r.At
+		}
+	}
+	if open == 0 || closed != 3 {
+		t.Fatalf("pool shape: %d open, %d closed", open, closed)
+	}
+	// Poisson arrivals at 400 rps over 5s across all clients: expect ~2000
+	// requests; 3σ ≈ 134.
+	if openReqs < 1700 || openReqs > 2300 {
+		t.Errorf("open-loop planned %d requests, want ~2000", openReqs)
+	}
+}
+
+func TestPlanRouteMixAndValidity(t *testing.T) {
+	cfg := testPlanConfig(t)
+	cfg.Mix = Mix{Fairshare: 0.5, Batch: 0.25, Ingest: 0.25}
+	cfg.BatchSize = 16
+	cfg.IngestBatch = 4
+	p, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := cfg.Population
+	counts := map[Route]int{}
+	total := 0
+	for _, c := range p.Clients {
+		for _, r := range c.Requests {
+			counts[r.Route]++
+			total++
+			switch r.Route {
+			case RouteFairshare:
+				if int(r.User) < 0 || int(r.User) >= pop.Len() {
+					t.Fatalf("user index %d out of range", r.User)
+				}
+			case RouteBatch:
+				if len(r.Batch) != 16 {
+					t.Fatalf("batch size %d, want 16", len(r.Batch))
+				}
+			case RouteIngest:
+				if len(r.Batch) != 4 || len(r.DurSec) != 4 {
+					t.Fatalf("ingest shape %d/%d, want 4/4", len(r.Batch), len(r.DurSec))
+				}
+				for _, d := range r.DurSec {
+					if d < 1 || d > 86400 {
+						t.Fatalf("ingest duration %v outside clamp", d)
+					}
+				}
+			}
+		}
+	}
+	frac := float64(counts[RouteFairshare]) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("fairshare fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestPlanConfigValidation(t *testing.T) {
+	if _, err := BuildPlan(PlanConfig{}); err == nil {
+		t.Error("missing population not rejected")
+	}
+	cfg := testPlanConfig(t)
+	cfg.Duration = 0
+	if _, err := BuildPlan(cfg); err == nil {
+		t.Error("zero duration not rejected")
+	}
+	cfg = testPlanConfig(t)
+	cfg.Mix = Mix{Fairshare: -1, Batch: 1, Ingest: 1}
+	if _, err := BuildPlan(cfg); err == nil {
+		t.Error("negative mix weight not rejected")
+	}
+}

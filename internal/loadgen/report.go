@@ -1,0 +1,241 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReportSchema versions the BENCH_load.json layout for downstream tooling.
+const ReportSchema = "aequus-loadgen/v1"
+
+// RouteStats summarizes one route's (or the whole run's) outcomes.
+type RouteStats struct {
+	// Requests counts attempts; Completed counts HTTP exchanges that
+	// returned a status (latency is recorded for these).
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	// Errors = Status4xx + Status5xx + TransportErrors.
+	Errors          int64   `json:"errors"`
+	Status4xx       int64   `json:"status4xx"`
+	Status5xx       int64   `json:"status5xx"`
+	TransportErrors int64   `json:"transportErrors"`
+	ErrorRate       float64 `json:"errorRate"`
+	// AchievedRPS is completed responses per second of run wall time.
+	AchievedRPS float64 `json:"achievedRps"`
+	// Latency quantiles in milliseconds over completed exchanges.
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// RampStep is one measured step of the saturation search.
+type RampStep struct {
+	TargetRPS   float64 `json:"targetRps"`
+	AchievedRPS float64 `json:"achievedRps"`
+	P99Ms       float64 `json:"p99Ms"`
+	ErrorRate   float64 `json:"errorRate"`
+	Saturated   bool    `json:"saturated"`
+}
+
+// SLOResult records the gate evaluation embedded in the report.
+type SLOResult struct {
+	Passed     bool        `json:"passed"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Report is the machine-readable result of a load run — the BENCH_load.json
+// payload CI archives and gates on.
+type Report struct {
+	Schema string `json:"schema"`
+	// Seed / Users / Sites / TargetRPS echo the effective configuration.
+	Seed      int64   `json:"seed"`
+	Users     int     `json:"users"`
+	Sites     int     `json:"sites"`
+	TargetRPS float64 `json:"targetRps"`
+	// Fingerprint is the plan's schedule hash (hex): identical across runs
+	// of the same seed+config, so trend comparisons know the offered load
+	// matched.
+	Fingerprint string `json:"fingerprint"`
+	// DurationSec is the measured wall time of the run.
+	DurationSec float64 `json:"durationSec"`
+	// Routes maps route name → stats; Total aggregates all routes.
+	Routes map[string]RouteStats `json:"routes"`
+	Total  RouteStats            `json:"total"`
+	// Ramp / SaturationRPS are set in ramp mode (SaturationRPS 0 = no knee
+	// found within the schedule).
+	Ramp          []RampStep `json:"ramp,omitempty"`
+	SaturationRPS float64    `json:"saturationRps,omitempty"`
+	// SLO is attached by Evaluate via AttachSLO.
+	SLO *SLOResult `json:"slo,omitempty"`
+
+	aggs    [numRoutes]*routeAgg
+	elapsed time.Duration
+}
+
+func statsFrom(a *routeAgg, elapsed time.Duration) RouteStats {
+	h := a.hist
+	s := RouteStats{
+		Requests:        a.requests,
+		Completed:       h.Count(),
+		Status4xx:       a.status4xx,
+		Status5xx:       a.status5xx,
+		TransportErrors: a.transport,
+		Errors:          a.status4xx + a.status5xx + a.transport,
+		MeanMs:          ms(h.Mean()),
+		P50Ms:           ms(h.Quantile(0.50)),
+		P99Ms:           ms(h.Quantile(0.99)),
+		P999Ms:          ms(h.Quantile(0.999)),
+		MaxMs:           ms(h.Max()),
+	}
+	if s.Requests > 0 {
+		s.ErrorRate = float64(s.Errors) / float64(s.Requests)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.AchievedRPS = float64(s.Completed) / sec
+	}
+	return s
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func buildReport(plan *Plan, aggs [numRoutes]*routeAgg, elapsed time.Duration) *Report {
+	r := &Report{
+		Schema:      ReportSchema,
+		Seed:        plan.Config.Seed,
+		Users:       plan.Config.Population.Len(),
+		Sites:       plan.Config.Sites,
+		TargetRPS:   plan.Config.RPS,
+		Fingerprint: fmt.Sprintf("%016x", plan.Fingerprint()),
+		aggs:        aggs,
+		elapsed:     elapsed,
+	}
+	r.recompute()
+	return r
+}
+
+// recompute derives the published stats from the raw aggregates.
+func (r *Report) recompute() {
+	r.DurationSec = r.elapsed.Seconds()
+	r.Routes = make(map[string]RouteStats, numRoutes)
+	total := &routeAgg{hist: NewHistogram()}
+	for route, a := range r.aggs {
+		if a == nil || a.requests == 0 {
+			continue
+		}
+		r.Routes[Route(route).String()] = statsFrom(a, r.elapsed)
+		total.hist.Merge(a.hist)
+		total.requests += a.requests
+		total.status4xx += a.status4xx
+		total.status5xx += a.status5xx
+		total.transport += a.transport
+	}
+	r.Total = statsFrom(total, r.elapsed)
+}
+
+// mergeReports folds src's raw aggregates into dst (ramp steps accumulate
+// into one trajectory-wide distribution) and recomputes dst's stats.
+// Quantiles merge exactly because the underlying histograms share one fixed
+// bucket layout.
+func mergeReports(dst, src *Report) {
+	for i := range dst.aggs {
+		if src.aggs[i] == nil {
+			continue
+		}
+		if dst.aggs[i] == nil {
+			dst.aggs[i] = &routeAgg{hist: NewHistogram()}
+		}
+		dst.aggs[i].hist.Merge(src.aggs[i].hist)
+		dst.aggs[i].requests += src.aggs[i].requests
+		dst.aggs[i].status4xx += src.aggs[i].status4xx
+		dst.aggs[i].status5xx += src.aggs[i].status5xx
+		dst.aggs[i].transport += src.aggs[i].transport
+	}
+	dst.elapsed += src.elapsed
+	if src.TargetRPS > dst.TargetRPS {
+		dst.TargetRPS = src.TargetRPS
+	}
+	dst.recompute()
+}
+
+// AttachSLO embeds a gate evaluation into the report.
+func (r *Report) AttachSLO(violations []Violation) {
+	r.SLO = &SLOResult{Passed: len(violations) == 0, Violations: violations}
+}
+
+// WriteJSON writes the report to path, indented for humans, stable for
+// machines.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BenchFormat renders the report as Go benchmark lines so benchstat can
+// compare load runs across CI artifacts: the iteration count is the number
+// of completed requests, ns/op the mean latency, with the quantiles and
+// achieved throughput as custom units.
+func (r *Report) BenchFormat() string {
+	var b strings.Builder
+	names := make([]string, 0, len(r.Routes))
+	for name := range r.Routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	write := func(name string, s RouteStats) {
+		if s.Completed == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "BenchmarkLoadgen/%s \t%d\t%d ns/op\t%d p50-ns/op\t%d p99-ns/op\t%d p999-ns/op\t%.1f req/s\n",
+			name, s.Completed,
+			int64(s.MeanMs*float64(time.Millisecond)),
+			int64(s.P50Ms*float64(time.Millisecond)),
+			int64(s.P99Ms*float64(time.Millisecond)),
+			int64(s.P999Ms*float64(time.Millisecond)),
+			s.AchievedRPS)
+	}
+	for _, name := range names {
+		write(name, r.Routes[name])
+	}
+	write("total", r.Total)
+	return b.String()
+}
+
+// WriteBenchFormat writes the benchstat-comparable rendering to path.
+func (r *Report) WriteBenchFormat(path string) error {
+	return os.WriteFile(path, []byte(r.BenchFormat()), 0o644)
+}
+
+// Summary renders a short human-readable digest for run logs.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d users, %d sites, %.1fs, fingerprint %s\n",
+		r.Users, r.Sites, r.DurationSec, r.Fingerprint)
+	names := make([]string, 0, len(r.Routes))
+	for name := range r.Routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.Routes[name]
+		fmt.Fprintf(&b, "  %-16s %8d req %8.1f req/s  p50 %7.2fms  p99 %7.2fms  p999 %7.2fms  max %7.2fms  err %.4f\n",
+			name, s.Requests, s.AchievedRPS, s.P50Ms, s.P99Ms, s.P999Ms, s.MaxMs, s.ErrorRate)
+	}
+	s := r.Total
+	fmt.Fprintf(&b, "  %-16s %8d req %8.1f req/s  p50 %7.2fms  p99 %7.2fms  p999 %7.2fms  max %7.2fms  err %.4f\n",
+		"total", s.Requests, s.AchievedRPS, s.P50Ms, s.P99Ms, s.P999Ms, s.MaxMs, s.ErrorRate)
+	for _, step := range r.Ramp {
+		fmt.Fprintf(&b, "  ramp: %s\n", step.String())
+	}
+	if r.SaturationRPS > 0 {
+		fmt.Fprintf(&b, "  saturation knee at ~%.0f rps\n", r.SaturationRPS)
+	}
+	return b.String()
+}

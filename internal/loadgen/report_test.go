@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMergeReportsExact: merging two step reports must give bit-identical
+// stats to one report built from the combined observations — ramp-mode
+// quantiles are exact, not approximations of approximations.
+func TestMergeReportsExact(t *testing.T) {
+	plan, err := BuildPlan(testPlanConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	combined := newAggs()
+	var parts []*Report
+	for p := 0; p < 3; p++ {
+		aggs := newAggs()
+		for i := 0; i < 5000; i++ {
+			route := Route(rng.Intn(int(numRoutes)))
+			v := time.Duration(rng.Int63n(int64(20 * time.Millisecond)))
+			aggs[route].hist.Record(v)
+			aggs[route].requests++
+			combined[route].hist.Record(v)
+			combined[route].requests++
+		}
+		aggs[RouteBatch].status4xx = int64(p)
+		combined[RouteBatch].status4xx += int64(p)
+		parts = append(parts, buildReport(plan, aggs, time.Second))
+	}
+
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		mergeReports(merged, p)
+	}
+	want := buildReport(plan, combined, 3*time.Second)
+
+	if merged.Total != want.Total {
+		t.Errorf("merged total %+v\nwant %+v", merged.Total, want.Total)
+	}
+	for name, ws := range want.Routes {
+		if ms, ok := merged.Routes[name]; !ok || ms != ws {
+			t.Errorf("route %s: merged %+v, want %+v", name, merged.Routes[name], ws)
+		}
+	}
+	if merged.DurationSec != 3 {
+		t.Errorf("merged duration %v, want 3s", merged.DurationSec)
+	}
+}

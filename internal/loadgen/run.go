@@ -1,0 +1,315 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/services/httpapi"
+	"repro/internal/wire"
+)
+
+// RunConfig parameterizes one load run against a live deployment.
+type RunConfig struct {
+	// Targets are the site base URLs; a client pinned to site i talks to
+	// Targets[i % len(Targets)] (required).
+	Targets []string
+	// Plan is the deterministic schedule (required).
+	Plan *Plan
+	// HTTP overrides the shared transport (default: httpapi.NewHTTPClient
+	// with the per-attempt timeout below).
+	HTTP *http.Client
+	// RequestTimeout caps one request (default 10s).
+	RequestTimeout time.Duration
+}
+
+// routeAgg accumulates one worker's per-route results; workers never share
+// an aggregate, so the hot path takes no locks.
+type routeAgg struct {
+	hist      *Histogram
+	requests  int64
+	status4xx int64
+	status5xx int64
+	transport int64
+}
+
+func newAggs() [numRoutes]*routeAgg {
+	var a [numRoutes]*routeAgg
+	for i := range a {
+		a[i] = &routeAgg{hist: NewHistogram()}
+	}
+	return a
+}
+
+// Run executes the plan against the targets and returns the merged report.
+// Open-loop clients fire each request at its planned offset whether or not
+// earlier requests completed (arrival-driven, so server slowdown shows up as
+// latency, not reduced load); closed-loop clients cycle their stream with
+// one request in flight until the duration elapses.
+func Run(ctx context.Context, cfg RunConfig) (*Report, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("loadgen: no targets")
+	}
+	if cfg.Plan == nil {
+		return nil, errors.New("loadgen: no plan")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	client := cfg.HTTP
+	if client == nil {
+		client = httpapi.NewHTTPClient(cfg.RequestTimeout)
+	}
+
+	plan := cfg.Plan
+	users := plan.Config.Population.Users
+	deadline := plan.Config.Duration
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([][numRoutes]*routeAgg, len(plan.Clients))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := range plan.Clients {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cp := &plan.Clients[ci]
+			target := cfg.Targets[cp.Site%len(cfg.Targets)]
+			aggs := newAggs()
+			w := worker{client: client, target: target, users: users, aggs: &aggs}
+			if cp.Closed {
+				end := start.Add(deadline)
+				for i := 0; time.Now().Before(end); i++ {
+					if runCtx.Err() != nil {
+						break
+					}
+					w.issue(runCtx, &cp.Requests[i%len(cp.Requests)])
+				}
+			} else {
+				for i := range cp.Requests {
+					r := &cp.Requests[i]
+					if d := time.Until(start.Add(r.At)); d > 0 {
+						select {
+						case <-runCtx.Done():
+						case <-time.After(d):
+						}
+					}
+					if runCtx.Err() != nil {
+						break
+					}
+					w.issue(runCtx, r)
+				}
+			}
+			results[ci] = aggs
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	merged := newAggs()
+	for _, aggs := range results {
+		for r := range aggs {
+			if aggs[r] == nil {
+				continue
+			}
+			merged[r].hist.Merge(aggs[r].hist)
+			merged[r].requests += aggs[r].requests
+			merged[r].status4xx += aggs[r].status4xx
+			merged[r].status5xx += aggs[r].status5xx
+			merged[r].transport += aggs[r].transport
+		}
+	}
+	return buildReport(plan, merged, elapsed), nil
+}
+
+// worker issues one client's requests and records the outcomes.
+type worker struct {
+	client *http.Client
+	target string
+	users  []string
+	aggs   *[numRoutes]*routeAgg
+}
+
+func (w *worker) issue(ctx context.Context, r *Request) {
+	agg := w.aggs[r.Route]
+	agg.requests++
+	var (
+		status int
+		err    error
+	)
+	begin := time.Now()
+	switch r.Route {
+	case RouteFairshare:
+		status, err = w.get(ctx, "/fairshare?user="+w.users[r.User])
+	case RouteBatch:
+		req := wire.FairshareBatchRequest{Users: make([]string, len(r.Batch))}
+		for i, u := range r.Batch {
+			req.Users[i] = w.users[u]
+		}
+		status, err = w.post(ctx, "/fairshare/batch", req)
+	case RouteIngest:
+		status, err = w.ingest(ctx, r)
+	}
+	lat := time.Since(begin)
+	if err != nil {
+		agg.transport++
+		return
+	}
+	agg.hist.Record(lat)
+	switch {
+	case status >= 500:
+		agg.status5xx++
+	case status >= 400:
+		agg.status4xx++
+	}
+}
+
+// ingest posts r's job completions: the batch route when the plan carries
+// more than one report per request, the single-report route otherwise. Start
+// times are set so each job completes "now", matching the USS's
+// completion-time attribution.
+func (w *worker) ingest(ctx context.Context, r *Request) (int, error) {
+	now := time.Now()
+	reports := make([]wire.UsageReport, len(r.Batch))
+	for i, u := range r.Batch {
+		d := r.DurSec[i]
+		reports[i] = wire.UsageReport{
+			User:            w.users[u],
+			Start:           now.Add(-time.Duration(d * float64(time.Second))),
+			DurationSeconds: d,
+			Procs:           1,
+		}
+	}
+	if len(reports) == 1 {
+		return w.post(ctx, "/usage", reports[0])
+	}
+	return w.post(ctx, "/usage/batch", wire.UsageBatchRequest{Reports: reports})
+}
+
+func (w *worker) get(ctx context.Context, path string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.target+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	return w.do(req)
+}
+
+func (w *worker) post(ctx context.Context, path string, body interface{}) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.target+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.do(req)
+}
+
+// do performs the request and drains the body so the transport's keep-alive
+// pool reuses the connection — re-dialing per request would measure the
+// dialer, not the serving path.
+func (w *worker) do(req *http.Request) (int, error) {
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// RampConfig parameterizes the saturation search: successive fixed-duration
+// steps at increasing open-loop RPS until the deployment stops keeping up.
+type RampConfig struct {
+	// StartRPS / StepRPS / Steps define the schedule: step i offers
+	// StartRPS + i·StepRPS for StepDuration.
+	StartRPS, StepRPS float64
+	Steps             int
+	StepDuration      time.Duration
+	// KneeFraction declares saturation when achieved throughput falls below
+	// this fraction of the target (default 0.9).
+	KneeFraction float64
+}
+
+// RunRamp executes ramp steps, deriving each step's deterministic plan from
+// the base config (seed offset by the step index), and stops at the first
+// saturated step. The returned report carries the merged route stats plus
+// the per-step trajectory and the knee, if found.
+func RunRamp(ctx context.Context, run RunConfig, base PlanConfig, ramp RampConfig) (*Report, error) {
+	if ramp.Steps <= 0 || ramp.StepDuration <= 0 || ramp.StartRPS <= 0 {
+		return nil, errors.New("loadgen: ramp needs start rps, steps and step duration")
+	}
+	if ramp.StepRPS < 0 {
+		return nil, errors.New("loadgen: negative ramp step")
+	}
+	if ramp.KneeFraction <= 0 || ramp.KneeFraction > 1 {
+		ramp.KneeFraction = 0.9
+	}
+	var (
+		merged  *Report
+		steps   []RampStep
+		kneeRPS float64
+	)
+	for i := 0; i < ramp.Steps; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(i)
+		cfg.RPS = ramp.StartRPS + float64(i)*ramp.StepRPS
+		cfg.Duration = ramp.StepDuration
+		cfg.OpenClients = 0 // re-derive from this step's RPS
+		plan, err := BuildPlan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		stepRun := run
+		stepRun.Plan = plan
+		rep, err := Run(ctx, stepRun)
+		if err != nil {
+			return nil, err
+		}
+		step := RampStep{
+			TargetRPS:   cfg.RPS,
+			AchievedRPS: rep.Total.AchievedRPS,
+			P99Ms:       rep.Total.P99Ms,
+			ErrorRate:   rep.Total.ErrorRate,
+		}
+		step.Saturated = step.AchievedRPS < ramp.KneeFraction*step.TargetRPS
+		steps = append(steps, step)
+		if merged == nil {
+			merged = rep
+		} else {
+			mergeReports(merged, rep)
+		}
+		if step.Saturated {
+			kneeRPS = step.TargetRPS
+			break
+		}
+	}
+	merged.Ramp = steps
+	if kneeRPS > 0 {
+		merged.SaturationRPS = kneeRPS
+	}
+	return merged, nil
+}
+
+// String renders a ramp step for logs.
+func (s RampStep) String() string {
+	sat := ""
+	if s.Saturated {
+		sat = " SATURATED"
+	}
+	return fmt.Sprintf("target %.0f rps → achieved %.0f rps, p99 %.2fms, err %.4f%s",
+		s.TargetRPS, s.AchievedRPS, s.P99Ms, s.ErrorRate, sat)
+}

@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+// deploy stands up a small live federation for the smoke tests.
+func deploy(t *testing.T, users, sites int) (urls []string, cfg PlanConfig) {
+	t.Helper()
+	pop := testPopulation(t, users)
+	dep, err := testbed.DeployLive(testbed.LiveConfig{
+		Sites:            sites,
+		Policy:           pop.PolicyTree(),
+		Seed:             1,
+		ExchangeInterval: 200 * time.Millisecond,
+		RefreshInterval:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := dep.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return dep.URLs(), PlanConfig{
+		Seed:          1,
+		Population:    pop,
+		Sites:         sites,
+		Duration:      2 * time.Second,
+		RPS:           150,
+		ClosedClients: 2,
+	}
+}
+
+// TestRunSmoke is the end-to-end contract: a short run against a real
+// two-site deployment completes requests on every route with zero server
+// errors, and the report carries everything CI gates on.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live deployment smoke test")
+	}
+	urls, planCfg := deploy(t, 200, 2)
+	plan, err := BuildPlan(planCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), RunConfig{Targets: urls, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Total.Completed == 0 {
+		t.Fatal("run completed zero requests")
+	}
+	if rep.Total.Status5xx != 0 || rep.Total.TransportErrors != 0 {
+		t.Fatalf("healthy deployment produced errors: %+v", rep.Total)
+	}
+	if rep.Total.AchievedRPS <= 0 {
+		t.Fatalf("achieved rps = %v", rep.Total.AchievedRPS)
+	}
+	for _, route := range []string{"fairshare", "fairshare_batch", "usage_ingest"} {
+		s, ok := rep.Routes[route]
+		if !ok {
+			t.Fatalf("report missing route %s (have %v)", route, rep.Routes)
+		}
+		if s.Completed == 0 {
+			t.Errorf("route %s completed zero requests", route)
+		}
+		if s.P50Ms <= 0 || s.P99Ms < s.P50Ms || s.P999Ms < s.P99Ms || s.MaxMs < s.P999Ms {
+			t.Errorf("route %s quantiles not ordered: %+v", route, s)
+		}
+	}
+	if want := fmt.Sprintf("%016x", plan.Fingerprint()); rep.Fingerprint != want {
+		t.Errorf("report fingerprint %s does not match plan %s", rep.Fingerprint, want)
+	}
+
+	// Gates: a lenient SLO must pass a healthy run and an absurdly tight
+	// one must fail it — that asymmetry is what CI's exit code rides on.
+	// (The production latency bounds live in DefaultSLO; under the race
+	// detector they would gate the instrumentation, not the server.)
+	generous := 1e3
+	zero := 0.0
+	lenient := SLO{Gates: []Gate{
+		{Route: "*", Metric: "status_5xx", Max: &zero},
+		{Route: "*", Metric: "error_rate", Max: &zero},
+		{Route: "total", Metric: "p99_ms", Max: &generous},
+	}}
+	if v := lenient.Evaluate(rep); len(v) != 0 {
+		t.Errorf("lenient SLO violated on healthy run: %v", v)
+	}
+	tiny := 1e-9
+	tight := SLO{Gates: []Gate{{Route: "fairshare", Metric: "p50_ms", Max: &tiny}}}
+	violations := tight.Evaluate(rep)
+	if len(violations) != 1 {
+		t.Fatalf("tightened SLO produced %d violations, want 1", len(violations))
+	}
+	rep.AttachSLO(violations)
+	if rep.SLO.Passed {
+		t.Error("report marked passed with violations attached")
+	}
+
+	// The JSON artifact round-trips with the fields CI consumes.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_load.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Schema != ReportSchema || decoded.Total.Completed != rep.Total.Completed {
+		t.Errorf("JSON round-trip mismatch: %+v", decoded)
+	}
+	if len(decoded.SLO.Violations) != 1 {
+		t.Errorf("SLO result lost in serialization: %+v", decoded.SLO)
+	}
+
+	bench := rep.BenchFormat()
+	for _, want := range []string{"BenchmarkLoadgen/fairshare ", "BenchmarkLoadgen/total ", "p99-ns/op", "req/s"} {
+		if !strings.Contains(bench, want) {
+			t.Errorf("bench format missing %q:\n%s", want, bench)
+		}
+	}
+}
+
+// TestRunRampSmoke: two quick steps, merged trajectory recorded.
+func TestRunRampSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live deployment smoke test")
+	}
+	urls, planCfg := deploy(t, 100, 1)
+	rep, err := RunRamp(context.Background(), RunConfig{Targets: urls}, planCfg, RampConfig{
+		StartRPS:     50,
+		StepRPS:      50,
+		Steps:        2,
+		StepDuration: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ramp) == 0 || len(rep.Ramp) > 2 {
+		t.Fatalf("ramp recorded %d steps, want 1–2", len(rep.Ramp))
+	}
+	if rep.Total.Completed == 0 {
+		t.Fatal("ramp completed zero requests")
+	}
+	for i, s := range rep.Ramp {
+		if s.TargetRPS != 50+float64(i)*50 {
+			t.Errorf("step %d target %v, want %v", i, s.TargetRPS, 50+float64(i)*50)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), RunConfig{}); err == nil {
+		t.Error("run without targets accepted")
+	}
+	if _, err := Run(context.Background(), RunConfig{Targets: []string{"http://127.0.0.1:1"}}); err == nil {
+		t.Error("run without plan accepted")
+	}
+	_, err := RunRamp(context.Background(), RunConfig{Targets: []string{"x"}}, PlanConfig{}, RampConfig{})
+	if err == nil {
+		t.Error("ramp without schedule accepted")
+	}
+}

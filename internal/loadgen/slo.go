@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Gate is one SLO bound on a route metric. A gate fails when the measured
+// value exceeds Max or falls below Min (whichever bounds are set).
+type Gate struct {
+	// Route selects which stats the gate reads: a route name ("fairshare",
+	// "fairshare_batch", "usage_ingest"), "total" for the aggregate, or
+	// "*" for every measured route plus the total.
+	Route string `json:"route"`
+	// Metric is one of: p50_ms, p99_ms, p999_ms, max_ms, mean_ms,
+	// error_rate, status_5xx, transport_errors, throughput_rps.
+	Metric string `json:"metric"`
+	// Max / Min bound the metric (either or both).
+	Max *float64 `json:"max,omitempty"`
+	Min *float64 `json:"min,omitempty"`
+}
+
+// SLO is a set of gates — the JSON document cmd/loadgen's -slo flag loads.
+type SLO struct {
+	Gates []Gate `json:"gates"`
+}
+
+// Violation is one failed gate.
+type Violation struct {
+	Route   string  `json:"route"`
+	Metric  string  `json:"metric"`
+	Value   float64 `json:"value"`
+	Bound   string  `json:"bound"` // "max" or "min"
+	Limit   float64 `json:"limit"`
+	Message string  `json:"message"`
+}
+
+// DefaultSLO is the baseline production gate set: single priority lookups
+// under 5ms at the 99th percentile, batch resolution under 25ms, and no
+// server-side or transport errors anywhere — peer churn in the background
+// must never surface as a failed serving request.
+func DefaultSLO() SLO {
+	f := func(v float64) *float64 { return &v }
+	return SLO{Gates: []Gate{
+		{Route: "fairshare", Metric: "p99_ms", Max: f(5)},
+		{Route: "fairshare_batch", Metric: "p99_ms", Max: f(25)},
+		{Route: "*", Metric: "status_5xx", Max: f(0)},
+		{Route: "*", Metric: "error_rate", Max: f(0)},
+	}}
+}
+
+// ParseSLO decodes an SLO document, rejecting unknown metrics and unbounded
+// gates up front so a typo fails the run loudly instead of gating nothing.
+func ParseSLO(data []byte) (SLO, error) {
+	var s SLO
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("loadgen: parsing SLO: %w", err)
+	}
+	if len(s.Gates) == 0 {
+		return s, fmt.Errorf("loadgen: SLO has no gates")
+	}
+	for i, g := range s.Gates {
+		if g.Route == "" {
+			return s, fmt.Errorf("loadgen: SLO gate %d has no route", i)
+		}
+		if g.Max == nil && g.Min == nil {
+			return s, fmt.Errorf("loadgen: SLO gate %d (%s %s) has neither max nor min", i, g.Route, g.Metric)
+		}
+		if !validMetric(g.Metric) {
+			return s, fmt.Errorf("loadgen: SLO gate %d has unknown metric %q", i, g.Metric)
+		}
+	}
+	return s, nil
+}
+
+// LoadSLOFile reads and parses an SLO document from disk.
+func LoadSLOFile(path string) (SLO, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SLO{}, err
+	}
+	return ParseSLO(data)
+}
+
+func validMetric(m string) bool {
+	switch m {
+	case "p50_ms", "p99_ms", "p999_ms", "max_ms", "mean_ms",
+		"error_rate", "status_5xx", "transport_errors", "throughput_rps":
+		return true
+	}
+	return false
+}
+
+func metricValue(s RouteStats, metric string) float64 {
+	switch metric {
+	case "p50_ms":
+		return s.P50Ms
+	case "p99_ms":
+		return s.P99Ms
+	case "p999_ms":
+		return s.P999Ms
+	case "max_ms":
+		return s.MaxMs
+	case "mean_ms":
+		return s.MeanMs
+	case "error_rate":
+		return s.ErrorRate
+	case "status_5xx":
+		return float64(s.Status5xx)
+	case "transport_errors":
+		return float64(s.TransportErrors)
+	case "throughput_rps":
+		return s.AchievedRPS
+	}
+	return 0
+}
+
+// Evaluate checks every gate against the report. Gates naming a route the
+// run never exercised are violations too — a gate silently matching nothing
+// would pass a run that measured nothing.
+func (s SLO) Evaluate(r *Report) []Violation {
+	var out []Violation
+	check := func(g Gate, routeName string, stats RouteStats) {
+		v := metricValue(stats, g.Metric)
+		if g.Max != nil && v > *g.Max {
+			out = append(out, Violation{
+				Route: routeName, Metric: g.Metric, Value: v, Bound: "max", Limit: *g.Max,
+				Message: fmt.Sprintf("%s %s = %g exceeds max %g", routeName, g.Metric, v, *g.Max),
+			})
+		}
+		if g.Min != nil && v < *g.Min {
+			out = append(out, Violation{
+				Route: routeName, Metric: g.Metric, Value: v, Bound: "min", Limit: *g.Min,
+				Message: fmt.Sprintf("%s %s = %g below min %g", routeName, g.Metric, v, *g.Min),
+			})
+		}
+	}
+	for _, g := range s.Gates {
+		switch g.Route {
+		case "*":
+			// Deterministic order keeps violation lists stable across runs.
+			names := make([]string, 0, len(r.Routes))
+			for name := range r.Routes {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				check(g, name, r.Routes[name])
+			}
+			check(g, "total", r.Total)
+		case "total":
+			check(g, "total", r.Total)
+		default:
+			stats, ok := r.Routes[g.Route]
+			if !ok {
+				out = append(out, Violation{
+					Route: g.Route, Metric: g.Metric, Bound: "max",
+					Message: fmt.Sprintf("gate on %s %s matched no measured route", g.Route, g.Metric),
+				})
+				continue
+			}
+			check(g, g.Route, stats)
+		}
+	}
+	return out
+}

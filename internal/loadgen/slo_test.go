@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// syntheticReport builds a report without a network: fairshare at a tight
+// 2ms, batch at 10ms, optionally with server errors on the batch route.
+func syntheticReport(t *testing.T, with5xx bool) *Report {
+	t.Helper()
+	plan, err := BuildPlan(testPlanConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := newAggs()
+	fs := aggs[RouteFairshare]
+	for i := 0; i < 1000; i++ {
+		fs.hist.Record(2 * time.Millisecond)
+		fs.requests++
+	}
+	ba := aggs[RouteBatch]
+	for i := 0; i < 100; i++ {
+		ba.hist.Record(10 * time.Millisecond)
+		ba.requests++
+	}
+	if with5xx {
+		ba.status5xx = 3
+	}
+	return buildReport(plan, aggs, 2*time.Second)
+}
+
+func TestSLODefaultGates(t *testing.T) {
+	clean := syntheticReport(t, false)
+	if v := DefaultSLO().Evaluate(clean); len(v) != 0 {
+		t.Errorf("default SLO violated on clean report: %v", v)
+	}
+	dirty := syntheticReport(t, true)
+	v := DefaultSLO().Evaluate(dirty)
+	if len(v) == 0 {
+		t.Fatal("default SLO passed a report with 5xx responses")
+	}
+	// The "*" gates must flag both the offending route and the total.
+	routes := map[string]bool{}
+	for _, viol := range v {
+		routes[viol.Route] = true
+	}
+	if !routes["fairshare_batch"] || !routes["total"] {
+		t.Errorf("5xx violations missed route or total: %v", v)
+	}
+}
+
+func TestSLOMaxAndMinBounds(t *testing.T) {
+	rep := syntheticReport(t, false)
+	f := func(v float64) *float64 { return &v }
+
+	v := SLO{Gates: []Gate{{Route: "fairshare", Metric: "p99_ms", Max: f(1)}}}.Evaluate(rep)
+	if len(v) != 1 || v[0].Bound != "max" || v[0].Limit != 1 || v[0].Value <= 1 {
+		t.Fatalf("max bound violation wrong: %+v", v)
+	}
+	if !strings.Contains(v[0].Message, "fairshare p99_ms") {
+		t.Errorf("violation message unhelpful: %q", v[0].Message)
+	}
+
+	v = SLO{Gates: []Gate{{Route: "total", Metric: "throughput_rps", Min: f(1e9)}}}.Evaluate(rep)
+	if len(v) != 1 || v[0].Bound != "min" {
+		t.Fatalf("min bound violation wrong: %+v", v)
+	}
+
+	// Both bounds satisfiable at once.
+	v = SLO{Gates: []Gate{{Route: "fairshare", Metric: "p99_ms", Min: f(0.001), Max: f(1000)}}}.Evaluate(rep)
+	if len(v) != 0 {
+		t.Errorf("satisfied two-sided gate violated: %v", v)
+	}
+}
+
+func TestSLOUnmatchedRouteIsViolation(t *testing.T) {
+	rep := syntheticReport(t, false)
+	f := func(v float64) *float64 { return &v }
+	v := SLO{Gates: []Gate{{Route: "usage_ingest", Metric: "p99_ms", Max: f(100)}}}.Evaluate(rep)
+	if len(v) != 1 || !strings.Contains(v[0].Message, "matched no measured route") {
+		t.Fatalf("gate on unmeasured route must violate, got %v", v)
+	}
+}
+
+func TestSLOEvaluateDeterministicOrder(t *testing.T) {
+	rep := syntheticReport(t, true)
+	first := DefaultSLO().Evaluate(rep)
+	for i := 0; i < 10; i++ {
+		if again := DefaultSLO().Evaluate(rep); !reflect.DeepEqual(first, again) {
+			t.Fatalf("violation order unstable:\n%v\nvs\n%v", first, again)
+		}
+	}
+}
+
+func TestParseSLOValidation(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"gates": []}`,
+		`{"gates": [{"metric": "p99_ms", "max": 5}]}`,
+		`{"gates": [{"route": "fairshare", "metric": "p99_ms"}]}`,
+		`{"gates": [{"route": "fairshare", "metric": "p98_ms", "max": 5}]}`,
+	}
+	for _, doc := range bad {
+		if _, err := ParseSLO([]byte(doc)); err == nil {
+			t.Errorf("ParseSLO accepted %s", doc)
+		}
+	}
+	good := `{"gates": [
+		{"route": "fairshare", "metric": "p99_ms", "max": 5},
+		{"route": "*", "metric": "status_5xx", "max": 0},
+		{"route": "total", "metric": "throughput_rps", "min": 100}
+	]}`
+	s, err := ParseSLO([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Gates) != 3 {
+		t.Fatalf("parsed %d gates, want 3", len(s.Gates))
+	}
+}

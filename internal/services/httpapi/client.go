@@ -307,6 +307,14 @@ func (c *Client) ReportJobErr(gridUser string, start time.Time, dur time.Duratio
 	}, nil)
 }
 
+// ReportJobBatch reports many completed jobs in one request. Like single
+// reports, batches accumulate and are therefore never retried; the
+// idempotent exchange protocol recovers anything lost in transit.
+func (c *Client) ReportJobBatch(reports []wire.UsageReport) error {
+	return c.doNoRetry(context.Background(), http.MethodPost, "/usage/batch",
+		wire.UsageBatchRequest{Reports: reports}, nil)
+}
+
 // --- USS peer ---
 
 // Site implements uss.Peer.

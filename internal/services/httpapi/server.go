@@ -110,6 +110,7 @@ func NewServerWith(p *pds.Service, u *uss.Service, m *ums.Service, f *fcs.Servic
 	}
 	if u != nil {
 		handle("/usage", s.handleUsageReport)
+		handle("/usage/batch", s.handleUsageBatch)
 		handle("/usage/records", s.handleUsageRecords)
 		handle("/usage/exchange", s.handleUsageExchange)
 	}
@@ -269,6 +270,36 @@ func (s *Server) handleUsageReport(w http.ResponseWriter, r *http.Request) {
 	s.USS.ReportJob(rep.User, rep.Start,
 		time.Duration(rep.DurationSeconds*float64(time.Second)), rep.Procs)
 	wire.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleUsageBatch ingests many job completions in one request. The whole
+// batch is validated before any report lands, so a malformed entry rejects
+// the request instead of half-applying it.
+func (s *Server) handleUsageBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		wire.WriteError(w, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	var req wire.UsageBatchRequest
+	if err := wire.ReadJSON(r.Body, &req); err != nil {
+		wire.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs := make([]uss.JobReport, len(req.Reports))
+	for i, rep := range req.Reports {
+		if rep.User == "" || rep.DurationSeconds < 0 {
+			wire.WriteError(w, http.StatusBadRequest, "invalid usage report at index %d", i)
+			return
+		}
+		jobs[i] = uss.JobReport{
+			User:     rep.User,
+			Start:    rep.Start,
+			Duration: time.Duration(rep.DurationSeconds * float64(time.Second)),
+			Procs:    rep.Procs,
+		}
+	}
+	s.USS.ReportJobBatch(jobs)
+	wire.WriteJSON(w, http.StatusOK, map[string]int{"reports": len(jobs)})
 }
 
 func (s *Server) handleUsageRecords(w http.ResponseWriter, r *http.Request) {

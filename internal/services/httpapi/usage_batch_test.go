@@ -1,0 +1,92 @@
+package httpapi
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/usage"
+	"repro/internal/wire"
+)
+
+// TestUsageBatchIngest drives the batch-ingest route the macro load harness
+// uses: many job completions land in one POST and accumulate exactly like
+// the equivalent sequence of single reports.
+func TestUsageBatchIngest(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	s := newSite(t, "siteA", clock, map[string]float64{"alice": 0.5, "bob": 0.5})
+	c := NewClient(s.server.URL, "siteA")
+
+	// Jobs that completed just before t0 (completion-time attribution puts
+	// them in bins at or before "now").
+	err := c.ReportJobBatch([]wire.UsageReport{
+		{User: "alice", Start: t0.Add(-2 * time.Hour), DurationSeconds: 3600, Procs: 2},
+		{User: "alice", Start: t0.Add(-90 * time.Minute), DurationSeconds: 1800, Procs: 1},
+		{User: "bob", Start: t0.Add(-time.Hour), DurationSeconds: 1800, Procs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock.Advance(time.Minute)
+	totals := s.uss.GlobalTotals(clock.Now(), usage.None{})
+	if got, want := totals["alice"], 2*3600.0+1800.0; got != want {
+		t.Errorf("alice core-seconds = %v, want %v", got, want)
+	}
+	if got, want := totals["bob"], 1800.0; got != want {
+		t.Errorf("bob core-seconds = %v, want %v", got, want)
+	}
+}
+
+// TestUsageBatchRejectsInvalid: one bad report poisons the whole batch with
+// a 400 and nothing is ingested — partial application would make retries
+// (which the client never does for ingest) double-count the good entries.
+func TestUsageBatchRejectsInvalid(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	s := newSite(t, "siteA", clock, map[string]float64{"alice": 1})
+	c := NewClient(s.server.URL, "siteA")
+
+	err := c.ReportJobBatch([]wire.UsageReport{
+		{User: "alice", Start: t0.Add(-time.Hour), DurationSeconds: 3600, Procs: 1},
+		{User: "", Start: t0.Add(-time.Hour), DurationSeconds: 60, Procs: 1},
+	})
+	if err == nil {
+		t.Fatal("batch with empty user accepted")
+	}
+	err = c.ReportJobBatch([]wire.UsageReport{
+		{User: "alice", Start: t0.Add(-time.Hour), DurationSeconds: -5, Procs: 1},
+	})
+	if err == nil {
+		t.Fatal("batch with negative duration accepted")
+	}
+
+	clock.Advance(time.Minute)
+	if totals := s.uss.GlobalTotals(clock.Now(), usage.None{}); len(totals) != 0 {
+		t.Errorf("rejected batches still ingested usage: %v", totals)
+	}
+}
+
+func TestUsageBatchMethodAndBody(t *testing.T) {
+	clock := simclock.NewSim(t0)
+	s := newSite(t, "siteA", clock, map[string]float64{"alice": 1})
+
+	resp, err := http.Get(s.server.URL + "/usage/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /usage/batch = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(s.server.URL+"/usage/batch", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+}

@@ -164,6 +164,42 @@ func (s *Service) ReportJob(user string, start time.Time, dur time.Duration, pro
 	s.local.Add(user, start.Add(dur), dur.Seconds()*float64(procs))
 }
 
+// JobReport is one completed job in a batch ingest.
+type JobReport struct {
+	User     string
+	Start    time.Time
+	Duration time.Duration
+	Procs    int
+}
+
+// ReportJobBatch records many completed jobs with one lock acquisition per
+// touched histogram stripe — the ingest path for batch HTTP reports, with
+// the same completion-time attribution as ReportJob. Invalid entries (empty
+// user, non-positive duration) are skipped.
+func (s *Service) ReportJobBatch(jobs []JobReport) {
+	if len(jobs) == 0 {
+		return
+	}
+	recs := make([]usage.Record, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Duration <= 0 || j.User == "" {
+			continue
+		}
+		procs := j.Procs
+		if procs < 1 {
+			procs = 1
+		}
+		recs = append(recs, usage.Record{
+			User:          j.User,
+			Site:          s.cfg.Site,
+			IntervalStart: j.Start.Add(j.Duration),
+			CoreSeconds:   j.Duration.Seconds() * float64(procs),
+		})
+		s.mReports.Inc()
+	}
+	s.local.IngestBatch(recs)
+}
+
 // RecordsSince serves this site's local records from t on — the compact
 // inter-site exchange format. A non-contributing site serves nothing.
 func (s *Service) RecordsSince(_ context.Context, t time.Time) ([]usage.Record, error) {

@@ -1,0 +1,324 @@
+package testbed
+
+// This file adds the *live* face of the testbed: where Run drives an
+// emulated federation on a simulated clock, DeployLive assembles the same
+// multi-site stack on the real clock behind real HTTP listeners — the
+// deployment the macro load harness (cmd/loadgen) fires traffic at. Each
+// site gets a full core.Site, its own metrics registry, an httpapi server on
+// a loopback listener, full-mesh peering over HTTP clients, and background
+// exchange/refresh tickers; optional fault windows put a deterministic
+// fault injector in front of every site's outgoing peer pulls so exchange
+// churn happens while the serving path is under load.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fairshare"
+	"repro/internal/faultinject"
+	"repro/internal/policy"
+	"repro/internal/resilience"
+	"repro/internal/services/httpapi"
+	"repro/internal/telemetry"
+	"repro/internal/usage"
+	"repro/internal/vector"
+	"repro/internal/wire"
+)
+
+// LiveFault schedules one fault window relative to deployment start,
+// applied to every site's outgoing peer pulls.
+type LiveFault struct {
+	// After is the window's start offset from deployment start; For is its
+	// length (zero = until shutdown).
+	After, For time.Duration
+	// Kind is the injected fault.
+	Kind faultinject.Kind
+	// Rate is the per-call probability for Flap windows.
+	Rate float64
+	// Latency is the injected delay for Latency windows.
+	Latency time.Duration
+}
+
+// LiveConfig parameterizes a live deployment. Zero values get defaults
+// sized for short load runs.
+type LiveConfig struct {
+	// Sites is the number of aequusd-equivalent stacks (default 2).
+	Sites int
+	// Policy is the shared usage policy (required).
+	Policy *policy.Tree
+	// Seed drives the per-site fault injectors.
+	Seed int64
+	// BinWidth is the usage histogram interval (default 1m).
+	BinWidth time.Duration
+	// Decay is the usage decay (default usage.None{}, which keeps UMS
+	// deltas sparse so steady-state refreshes run incrementally — the same
+	// reasoning as aequusd's -half-life 0 mode).
+	Decay usage.Decay
+	// ExchangeInterval / RefreshInterval drive the background tickers
+	// (default 1s each).
+	ExchangeInterval, RefreshInterval time.Duration
+	// PeerTimeout bounds one peer pull (default 2s).
+	PeerTimeout time.Duration
+	// Faults are injected into every site's outgoing peer pulls.
+	Faults []LiveFault
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.Sites <= 0 {
+		c.Sites = 2
+	}
+	if c.BinWidth <= 0 {
+		c.BinWidth = time.Minute
+	}
+	if c.Decay == nil {
+		c.Decay = usage.None{}
+	}
+	if c.ExchangeInterval <= 0 {
+		c.ExchangeInterval = time.Second
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = time.Second
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// LiveSite is one running site of a live deployment.
+type LiveSite struct {
+	// Site is the full service stack.
+	Site *core.Site
+	// URL is the site's HTTP base URL, e.g. "http://127.0.0.1:40001".
+	URL string
+	// Registry holds the site's metrics.
+	Registry *telemetry.Registry
+	// Injector governs the site's outgoing peer pulls (always present;
+	// idle without fault windows).
+	Injector *faultinject.Injector
+
+	server   *http.Server
+	listener net.Listener
+}
+
+// LiveDeployment is a set of live sites plus their background machinery.
+type LiveDeployment struct {
+	Sites []*LiveSite
+	// StartedAt anchors the fault windows.
+	StartedAt time.Time
+
+	cfg  LiveConfig
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// DeployLive builds, wires and starts cfg.Sites full Aequus stacks on
+// loopback HTTP with full-mesh peering, runs one synchronous refresh per
+// site so /readyz and /fairshare work immediately, and starts the
+// exchange/refresh tickers. Callers must Close the deployment.
+func DeployLive(cfg LiveConfig) (*LiveDeployment, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("testbed: live deployment requires a policy")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+
+	d := &LiveDeployment{cfg: cfg, stop: make(chan struct{}), StartedAt: time.Now()}
+	ok := false
+	defer func() {
+		if !ok {
+			d.Close()
+		}
+	}()
+
+	// Listeners first: peer URLs must exist before the sites are wired.
+	for i := 0; i < cfg.Sites; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("testbed: listen for %s: %w", siteName(i), err)
+		}
+		windows := make([]faultinject.Window, 0, len(cfg.Faults))
+		for _, f := range cfg.Faults {
+			w := faultinject.Window{
+				From:    d.StartedAt.Add(f.After),
+				Kind:    f.Kind,
+				Rate:    f.Rate,
+				Latency: f.Latency,
+			}
+			if f.For > 0 {
+				w.Until = d.StartedAt.Add(f.After + f.For)
+			}
+			windows = append(windows, w)
+		}
+		ls := &LiveSite{
+			URL:      "http://" + l.Addr().String(),
+			Registry: telemetry.NewRegistry(),
+			Injector: faultinject.New(nil, cfg.Seed+int64(i), windows...),
+			listener: l,
+		}
+		ls.Injector.WithMetrics(ls.Registry)
+		d.Sites = append(d.Sites, ls)
+	}
+
+	for i, ls := range d.Sites {
+		site, err := core.NewSite(core.SiteConfig{
+			Name:        siteName(i),
+			Policy:      cfg.Policy,
+			BinWidth:    cfg.BinWidth,
+			Decay:       cfg.Decay,
+			Contribute:  true,
+			UseGlobal:   true,
+			Projection:  vector.Percental{},
+			Fairshare:   fairshare.Config{DistanceWeight: 0.5, Resolution: 10000},
+			UMSCacheTTL: cfg.RefreshInterval,
+			FCSCacheTTL: cfg.RefreshInterval,
+			LibCacheTTL: cfg.RefreshInterval,
+			Metrics:     ls.Registry,
+			PeerTimeout: cfg.PeerTimeout,
+			PeerBreaker: resilience.BreakerConfig{
+				Threshold: 5,
+				Cooldown:  2 * cfg.ExchangeInterval,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		ls.Site = site
+	}
+
+	// Full-mesh peering over HTTP, each pull subject to the pulling site's
+	// fault injector — the churn happens on the wire, like a real partition.
+	for i, ls := range d.Sites {
+		for j, peer := range d.Sites {
+			if i == j {
+				continue
+			}
+			hc := httpapi.NewHTTPClient(cfg.PeerTimeout)
+			hc.Transport = &faultinject.RoundTripper{Base: hc.Transport, Injector: ls.Injector}
+			ls.Site.ConnectPeer(httpapi.NewClientWith(peer.URL, siteName(j), httpapi.ClientOptions{
+				HTTP:    hc,
+				Metrics: ls.Registry,
+			}))
+		}
+	}
+
+	for i, ls := range d.Sites {
+		srv := httpapi.NewServerWith(ls.Site.PDS, ls.Site.USS, ls.Site.UMS, ls.Site.FCS, ls.Site.IRS,
+			httpapi.ServerOptions{
+				Registry:      ls.Registry,
+				ReadyMaxStale: 5 * cfg.RefreshInterval,
+			})
+		ls.server = &http.Server{Handler: srv}
+		l := ls.listener
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			_ = ls.server.Serve(l)
+		}()
+		// Prime the pre-computation so the first load-generated request hits
+		// a published snapshot instead of a cold-start refresh.
+		if err := ls.Site.Refresh(); err != nil {
+			return nil, fmt.Errorf("testbed: priming %s: %w", siteName(i), err)
+		}
+	}
+
+	for _, ls := range d.Sites {
+		site := ls.Site
+		d.every(cfg.ExchangeInterval, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*cfg.PeerTimeout)
+			defer cancel()
+			// Errors are expected during fault windows; partial rounds are
+			// the behaviour under test, not a deployment failure.
+			_ = site.ExchangeContext(ctx)
+		})
+		d.every(cfg.RefreshInterval, func() { _ = site.Refresh() })
+	}
+
+	ok = true
+	return d, nil
+}
+
+// every runs fn on a ticker until the deployment stops.
+func (d *LiveDeployment) every(interval time.Duration, fn func()) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// URLs returns the sites' base URLs in site order.
+func (d *LiveDeployment) URLs() []string {
+	out := make([]string, len(d.Sites))
+	for i, ls := range d.Sites {
+		out[i] = ls.URL
+	}
+	return out
+}
+
+// WaitReady polls every site's /readyz until all report ready or ctx ends.
+func (d *LiveDeployment) WaitReady(ctx context.Context) error {
+	for _, ls := range d.Sites {
+		client := httpapi.NewClient(ls.URL, "")
+		for {
+			resp, err := client.Ready(ctx)
+			if err == nil && resp.Ready {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				if err == nil {
+					err = fmt.Errorf("not ready: %+v", readyReasons(resp))
+				}
+				return fmt.Errorf("testbed: %s never became ready: %w", ls.URL, err)
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+	return nil
+}
+
+func readyReasons(r wire.ReadyResponse) map[string]string {
+	out := map[string]string{}
+	for name, c := range r.Components {
+		if !c.Ready {
+			out[name] = c.Reason
+		}
+	}
+	return out
+}
+
+// Close stops the tickers and shuts the HTTP servers down.
+func (d *LiveDeployment) Close() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	for _, ls := range d.Sites {
+		if ls.server != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = ls.server.Shutdown(ctx)
+			cancel()
+		} else if ls.listener != nil {
+			_ = ls.listener.Close()
+		}
+	}
+	d.wg.Wait()
+}

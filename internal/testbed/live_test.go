@@ -1,0 +1,117 @@
+package testbed
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/policy"
+	"repro/internal/services/httpapi"
+	"repro/internal/wire"
+)
+
+func livePolicy(t *testing.T) *policy.Tree {
+	t.Helper()
+	pol, err := policy.FromShares(map[string]float64{"alice": 0.5, "bob": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+func deployLive(t *testing.T, cfg LiveConfig) *LiveDeployment {
+	t.Helper()
+	dep, err := DeployLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := dep.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+// TestDeployLiveUsagePropagates: usage reported to one site flows through
+// the background exchange and refresh tickers and shifts the *other* site's
+// served priorities — the full wire path the load harness depends on.
+func TestDeployLiveUsagePropagates(t *testing.T) {
+	dep := deployLive(t, LiveConfig{
+		Sites:            2,
+		Policy:           livePolicy(t),
+		Seed:             1,
+		ExchangeInterval: 100 * time.Millisecond,
+		RefreshInterval:  100 * time.Millisecond,
+	})
+	if len(dep.URLs()) != 2 {
+		t.Fatalf("URLs() = %v, want 2 entries", dep.URLs())
+	}
+
+	c0 := httpapi.NewClient(dep.Sites[0].URL, "")
+	c1 := httpapi.NewClient(dep.Sites[1].URL, "")
+
+	// alice burns two hours on site 0.
+	err := c0.ReportJobBatch([]wire.UsageReport{
+		{User: "alice", Start: time.Now().Add(-2 * time.Hour), DurationSeconds: 7200, Procs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Equal shares, only alice has usage: once site 1 has exchanged and
+	// refreshed, it must prioritize bob over alice.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		a, errA := c1.Priority("alice")
+		b, errB := c1.Priority("bob")
+		if errA == nil && errB == nil && b.Value > a.Value {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("site 1 never saw site 0's usage: alice %+v (%v), bob %+v (%v)",
+				a, errA, b, errB)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestDeployLiveServesThroughFaultWindow: with every peer pull failing from
+// the first tick, readiness and the serving path must stay healthy — peer
+// churn is an exchange-layer problem, never a client-visible one.
+func TestDeployLiveServesThroughFaultWindow(t *testing.T) {
+	dep := deployLive(t, LiveConfig{
+		Sites:            2,
+		Policy:           livePolicy(t),
+		Seed:             7,
+		ExchangeInterval: 50 * time.Millisecond,
+		RefreshInterval:  50 * time.Millisecond,
+		PeerTimeout:      500 * time.Millisecond,
+		Faults: []LiveFault{
+			{After: 0, For: 0, Kind: faultinject.Flap, Rate: 1},
+		},
+	})
+
+	c := httpapi.NewClient(dep.Sites[0].URL, "")
+	for i := 0; i < 20; i++ {
+		if _, err := c.Priority("alice"); err != nil {
+			t.Fatalf("lookup %d failed during total peer outage: %v", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := c.Ready(ctx)
+	if err != nil || !resp.Ready {
+		t.Fatalf("site not ready under peer outage: %+v, %v", resp, err)
+	}
+}
+
+func TestDeployLiveRequiresPolicy(t *testing.T) {
+	if _, err := DeployLive(LiveConfig{Sites: 1}); err == nil {
+		t.Fatal("deployment without a policy accepted")
+	}
+}

@@ -65,6 +65,13 @@ type UsageReport struct {
 	Procs int `json:"procs"`
 }
 
+// UsageBatchRequest carries many job completions in one request — the
+// high-throughput ingest path: one HTTP exchange, one JSON decode, one
+// striped-batch histogram ingest.
+type UsageBatchRequest struct {
+	Reports []UsageReport `json:"reports"`
+}
+
 // RecordsResponse carries compact usage records between USS instances.
 type RecordsResponse struct {
 	Records []usage.Record `json:"records"`

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/policy"
+)
+
+// This file scales the paper's four-group user mix to arbitrary user counts.
+// The 2012 trace has four dominant user *identities*; a production-scale
+// deployment has hundreds of thousands. A Population expands each group into
+// a block of synthetic users that collectively keep the group's job and
+// usage fractions, so macro load runs (cmd/loadgen) and scale tests exercise
+// the serving path with realistic mix skew at any cardinality.
+
+// PopulationGroup is one workload group expanded to Count users occupying
+// the contiguous range [Start, Start+Count) of Population.Users.
+type PopulationGroup struct {
+	// Name is the source group, e.g. "u65".
+	Name string
+	// JobFraction / UsageFraction are the group's collective fractions,
+	// copied from the model.
+	JobFraction, UsageFraction float64
+	// Start / Count locate the group's users in Population.Users.
+	Start, Count int
+	// Duration models individual job durations for the group's users.
+	Duration dist.Dist
+}
+
+// Population is a workload model expanded to n concrete users.
+type Population struct {
+	// Users are the synthetic user names, grouped contiguously.
+	Users []string
+	// Shares are the per-user policy target shares, aligned with Users.
+	// Users within a group split the group's UsageFraction evenly, so the
+	// shares of all users sum to ~1.
+	Shares []float64
+	// Groups partition Users.
+	Groups []PopulationGroup
+}
+
+// Population expands the model to n users. Each group receives a user count
+// proportional to its JobFraction (minimum 1, largest group absorbs
+// rounding), which makes "sample a group by JobFraction, then a user
+// uniformly inside it" equivalent to the model's per-job user mix.
+func (m Model) Population(n int) (*Population, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if n < len(m.Users) {
+		return nil, fmt.Errorf("workload: population of %d cannot cover %d groups", n, len(m.Users))
+	}
+	counts := make([]int, len(m.Users))
+	assigned := 0
+	largest := 0
+	for i, u := range m.Users {
+		counts[i] = int(float64(n)*u.JobFraction + 0.5)
+		if counts[i] < 1 {
+			counts[i] = 1
+		}
+		assigned += counts[i]
+		if u.JobFraction > m.Users[largest].JobFraction {
+			largest = i
+		}
+	}
+	counts[largest] += n - assigned
+	if counts[largest] < 1 {
+		return nil, errors.New("workload: population apportionment failed")
+	}
+
+	p := &Population{
+		Users:  make([]string, 0, n),
+		Shares: make([]float64, 0, n),
+		Groups: make([]PopulationGroup, 0, len(m.Users)),
+	}
+	for i, u := range m.Users {
+		g := PopulationGroup{
+			Name:          u.Name,
+			JobFraction:   u.JobFraction,
+			UsageFraction: u.UsageFraction,
+			Start:         len(p.Users),
+			Count:         counts[i],
+			Duration:      u.Duration,
+		}
+		share := u.UsageFraction / float64(counts[i])
+		for k := 0; k < counts[i]; k++ {
+			p.Users = append(p.Users, fmt.Sprintf("%s_%06d", u.Name, k))
+			p.Shares = append(p.Shares, share)
+		}
+		p.Groups = append(p.Groups, g)
+	}
+	return p, nil
+}
+
+// Len returns the number of users.
+func (p *Population) Len() int { return len(p.Users) }
+
+// PolicyTree builds the two-level policy for the population: one node per
+// group carrying the group's UsageFraction, with the group's users as
+// equal-share leaves. Nodes are constructed directly because Tree.Add's
+// duplicate-sibling scan is quadratic and would dominate at 1M users.
+func (p *Population) PolicyTree() *policy.Tree {
+	root := &policy.Node{Name: "", Share: 1}
+	root.Children = make([]*policy.Node, 0, len(p.Groups))
+	for _, g := range p.Groups {
+		gn := &policy.Node{Name: g.Name, Share: g.UsageFraction}
+		gn.Children = make([]*policy.Node, 0, g.Count)
+		for k := 0; k < g.Count; k++ {
+			gn.Children = append(gn.Children, &policy.Node{
+				Name:  p.Users[g.Start+k],
+				Share: 1,
+			})
+		}
+		root.Children = append(root.Children, gn)
+	}
+	return &policy.Tree{Root: root}
+}

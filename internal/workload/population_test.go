@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPopulationPartition(t *testing.T) {
+	m := NationalGrid2012(time.Hour)
+	for _, n := range []int{4, 100, 10000} {
+		pop, err := m.Population(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if pop.Len() != n {
+			t.Fatalf("n=%d: got %d users", n, pop.Len())
+		}
+		if len(pop.Groups) != len(m.Users) {
+			t.Fatalf("n=%d: %d groups, want %d", n, len(pop.Groups), len(m.Users))
+		}
+		var shareSum float64
+		for _, s := range pop.Shares {
+			shareSum += s
+		}
+		if math.Abs(shareSum-1) > 1e-6 {
+			t.Errorf("n=%d: shares sum to %v, want 1", n, shareSum)
+		}
+		covered := 0
+		for _, g := range pop.Groups {
+			if g.Count < 1 {
+				t.Errorf("n=%d: group %s empty", n, g.Name)
+			}
+			for k := 0; k < g.Count; k++ {
+				if !strings.HasPrefix(pop.Users[g.Start+k], g.Name+"_") {
+					t.Fatalf("user %q not in group %s's range", pop.Users[g.Start+k], g.Name)
+				}
+			}
+			covered += g.Count
+		}
+		if covered != n {
+			t.Errorf("n=%d: groups cover %d users", n, covered)
+		}
+	}
+	if _, err := m.Population(2); err == nil {
+		t.Error("population smaller than group count not rejected")
+	}
+}
+
+// TestPopulationJobFractionProportion: at scale, group sizes track job
+// fractions, so uniform user sampling inside a job-fraction-weighted group
+// pick reproduces the model's per-job user mix.
+func TestPopulationJobFractionProportion(t *testing.T) {
+	m := NationalGrid2012(time.Hour)
+	pop, err := m.Population(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range pop.Groups {
+		got := float64(g.Count) / float64(pop.Len())
+		if math.Abs(got-g.JobFraction) > 0.001 {
+			t.Errorf("group %s: %d users = %.4f of population, want ~%.4f",
+				g.Name, g.Count, got, g.JobFraction)
+		}
+	}
+}
+
+func TestPopulationPolicyTree(t *testing.T) {
+	m := NationalGrid2012(time.Hour)
+	pop, err := m.Population(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := pop.PolicyTree()
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("policy tree invalid: %v", err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 1000 {
+		t.Fatalf("policy has %d leaves, want 1000", len(leaves))
+	}
+	if _, ok := tree.FindUser(pop.Users[0]); !ok {
+		t.Fatalf("user %q not findable in policy", pop.Users[0])
+	}
+	if _, ok := tree.FindUser(pop.Users[len(pop.Users)-1]); !ok {
+		t.Fatal("last user not findable in policy")
+	}
+}
