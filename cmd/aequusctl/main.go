@@ -329,6 +329,12 @@ func cmdFcs(c *httpapi.Client) error {
 	fmt.Fprintf(tw, "last refresh mode\t%s\n", mode)
 	fmt.Fprintf(tw, "dirty users\t%d\n", s.FCSDirtyUsers)
 	fmt.Fprintf(tw, "refresh duration\t%.3fms\n", s.FCSRefreshSeconds*1000)
+	if s.FCSRefreshMode == "incremental" {
+		fmt.Fprintf(tw, "  fold/rescore/materialize\t%.3f / %.3f / %.3fms\n",
+			s.FCSFoldSeconds*1000, s.FCSRescoreSeconds*1000, s.FCSMaterializeSeconds*1000)
+		fmt.Fprintf(tw, "  segments rebuilt/shared\t%d / %d\n",
+			s.FCSMaterializedSegments, s.FCSSharedSegments)
+	}
 	fmt.Fprintf(tw, "snapshot computed\t%s\n", s.FCSComputedAt.Format(time.RFC3339))
 	fmt.Fprintf(tw, "drift max/mean\t%.4f / %.4f\n", s.DriftMax, s.DriftMean)
 	if s.FCSLastRefreshError != "" {

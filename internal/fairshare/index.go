@@ -4,17 +4,43 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vector"
 )
 
 // IndexEntry is one user's fully resolved serving record: the projection
 // entry (vector, per-level target and usage shares) plus the raw leaf
-// priority. Entries are composed on the fly from the index's flat arenas;
-// the embedded slices alias those immutable arenas, so they can be handed
-// out without copying but must not be mutated.
+// priority. Entries are composed on the fly from the index's arenas; the
+// embedded slices alias immutable index storage, so they can be handed out
+// without copying but must not be mutated.
 type IndexEntry struct {
 	vector.Entry
+	// LeafPriority is the raw (unprojected) priority of the user's leaf.
+	LeafPriority float64
+}
+
+// EntryView is the composition-free view of one entry, split along the
+// segment seam: the level-0 vector/usage values are interned once per
+// top-level subtree (head), the deeper levels live in the segment's tail
+// arenas. Folding head then tail left-to-right reproduces the exact float
+// sequence of the flat full-depth arena (the values are bit-identical, only
+// the storage is factored), so pointwise projections and drift sums can run
+// off a View without ever materializing the composed per-entry slices.
+type EntryView struct {
+	// User is the leaf name.
+	User string
+	// HeadVec/HeadUsage are the entry's level-0 vector element and usage
+	// share — shared by every leaf of the same top-level subtree.
+	HeadVec   float64
+	HeadUsage float64
+	// PathShares is the full per-level target-share slice (identity data,
+	// stable across refreshes).
+	PathShares []float64
+	// TailVec/TailUsage are levels 1..depth-1 of the vector and usage path.
+	// Empty for leaves hanging directly off the root.
+	TailVec   []float64
+	TailUsage []float64
 	// LeafPriority is the raw (unprojected) priority of the user's leaf.
 	LeafPriority float64
 }
@@ -25,43 +51,92 @@ type IndexEntry struct {
 // rehash pauses) bounded at the 1M-user scale.
 const indexStripes = 16
 
+// segMeta is one segment's contiguous leaf range [lo, hi) in entry-position
+// order. Segment s covers exactly the leaves of the root's s-th child, so
+// segment ids double as top-level child indexes.
+type segMeta struct {
+	lo, hi int32
+}
+
+// segTail holds one segment's per-snapshot suffix values: for every leaf of
+// the segment in DFS order, the vector and usage-share elements BELOW the
+// interned level-0 head (levels 1..depth-1, flattened back to back), plus
+// the raw leaf priorities. A tail is immutable once published; incremental
+// rebuilds share untouched segments' tails by pointer.
+type segTail struct {
+	vec      []float64
+	usage    []float64
+	leafPrio []float64
+}
+
+// composedSeg is the lazily materialized full-depth (head ⊕ tail) arena pair
+// for one segment, built on first At() access and cached for the life of the
+// snapshot. done uses acquire/release semantics: it is stored only after vec
+// and usage are fully written, so lock-free readers that observe done==true
+// see complete arenas. Never copy a composedSeg (it embeds a Mutex); access
+// elements of Index.comp by pointer only.
+type composedSeg struct {
+	done atomic.Bool
+	mu   sync.Mutex
+	vec  []float64
+	// usage is the composed per-level usage-share arena.
+	usage []float64
+}
+
 // Index is an immutable O(1) lookup table over a fairshare tree's leaves.
 // It is what lets the FCS serve `Priority()` without walking the tree: "no
 // real-time calculations need to take place when new jobs arrive". An Index
-// is safe for concurrent use by any number of readers because nothing
-// mutates it after construction (the lazy projection view is built under a
-// sync.Once).
+// is safe for concurrent use by any number of readers because construction
+// publishes only immutable state (the lazy composed-segment and projection
+// views are built under their own synchronization).
 //
 // Storage is split in two along the incremental-recalc seam:
 //
 //   - The identity half — user names, per-entry arena offsets, target
-//     shares, the sharded user→position maps and the duplicate table —
-//     depends only on the policy topology, so incremental rebuilds (see
-//     Recalc) share it wholesale with the previous index.
-//   - The value half — the flattened vector, usage-share and leaf-priority
-//     arenas — is what a usage delta changes. It lives in plain []float64
-//     arenas with no interior pointers, so replacing it per refresh costs
-//     three allocations that the garbage collector never has to scan.
+//     shares, the segment table, the sharded user→position maps and the
+//     duplicate table — depends only on the policy topology, so incremental
+//     rebuilds (see Recalc) share it wholesale with the previous index.
+//   - The value half — what a usage delta changes — is segmented along
+//     top-level subtrees: each segment interns its single level-0
+//     (vector, usage) prefix in headVec/headUsage and keeps only the deeper
+//     levels in a per-segment tail. A refresh that leaves a subtree's
+//     leaves untouched re-publishes that segment as one pointer copy plus
+//     two interned floats instead of re-writing depth floats per leaf —
+//     the mechanism that takes phase 5 of an incremental recalc from
+//     O(users·depth) to O(dirty + segments).
 //
-// The user→position map is sharded into indexStripes stripes by name hash
-// so full rebuilds parallelize across cores.
+// Every leaf under one top-level child shares that child's scored values as
+// its level-0 prefix (walkSubtree starts its path stacks at the child), so
+// interning loses nothing: composing head ⊕ tail yields bit-identical floats
+// to the flat arenas the index used to hold.
 type Index struct {
 	// users[i] is the leaf name at entry position i (DFS order).
 	users []string
-	// offs[i] is the start of entry i's per-level values in the flat
-	// arenas; entry i spans [offs[i], offs[i+1]) and its depth is the
-	// difference. len(offs) == len(users)+1.
+	// offs[i] is the start of entry i's per-level values in full-depth
+	// arena coordinates (level 0 included); entry i spans
+	// [offs[i], offs[i+1]) and its depth is the difference.
+	// len(offs) == len(users)+1. Tail arenas use the same coordinates minus
+	// one slot per leaf — see tailSpan.
 	offs []int32
 	// shares holds every entry's normalized target shares, flattened per
 	// offs. Target shares change only with the policy, never with usage.
 	shares []float64
+	// segs[s] is segment s's leaf range; segOf[i] is the segment of entry i.
+	segs  []segMeta
+	segOf []int32
 
-	// vec, pathUsage and leafPrio are the per-snapshot value arenas: the
-	// fairshare vector and usage share at each level (flattened per offs)
-	// and the raw leaf priority per position.
-	vec       []float64
-	pathUsage []float64
-	leafPrio  []float64
+	// headVec/headUsage intern each segment's level-0 vector element and
+	// usage share (the root child's scored Value/UsageShare); tails hold the
+	// deeper levels. Together they are the per-snapshot value half.
+	headVec   []float64
+	headUsage []float64
+	tails     []*segTail
+
+	// comp caches per-segment composed full-depth arenas for At(). Built
+	// lazily so refresh-path consumers (View-based projections, drift) never
+	// pay for composition; serving-path Table/At callers build each segment
+	// at most once per snapshot.
+	comp []composedSeg
 
 	// stripes[hash(user)%indexStripes] maps a user name to its first entry
 	// position in DFS order (matching Tree.Vector / Tree.LeafPriority, which
@@ -93,35 +168,93 @@ func stripeOf(name string) uint32 {
 	return uint32(h % indexStripes)
 }
 
-// NewIndex builds the index for a computed tree. Small trees use a single
-// depth-first walk; large trees split the root's subtrees into contiguous
-// leaf ranges (the per-node leaf counts cached at build time give exact
-// offsets) and build entries plus per-range stripe maps in parallel, merging
-// the stripe maps deterministically afterwards.
+// NewIndex builds the segmented index for a computed tree. Small trees walk
+// the root's subtrees serially; large trees split them into contiguous
+// chunks of roughly equal leaf count (the per-node leaf counts cached at
+// build time give exact offsets) and build arena sections plus per-chunk
+// stripe maps in parallel, merging the stripe maps deterministically
+// afterwards. Either way the layout is identical: one segment per top-level
+// child, with the child's scored values interned as the segment head.
 func NewIndex(t *Tree) *Index {
+	root := t.Root
+	n := leafCount(root)
 	ix := &Index{}
-	n := leafCount(t.Root)
-	if n >= parallelComputeThreshold && len(t.Root.Children) > 1 {
-		ix.buildParallel(t.Root, n)
+	bases := ix.initLayout(root, n)
+	if n >= parallelComputeThreshold && len(root.Children) > 1 {
+		ix.buildParallel(root, n, bases)
 		return ix
 	}
-	ix.users = make([]string, 0, n)
-	ix.offs = append(make([]int32, 0, n+1), 0)
-	ix.leafPrio = make([]float64, 0, n)
 	for s := range ix.stripes {
 		ix.stripes[s] = make(map[string]int32)
 	}
-	walkLeaves(t.Root, func(nd *Node, vec vector.Vector, shares, usages []float64) {
-		pos := int32(len(ix.users))
-		ix.users = append(ix.users, nd.Name)
-		ix.vec = append(ix.vec, vec...)
-		ix.shares = append(ix.shares, shares...)
-		ix.pathUsage = append(ix.pathUsage, usages...)
-		ix.leafPrio = append(ix.leafPrio, nd.Priority)
-		ix.offs = append(ix.offs, int32(len(ix.vec)))
-		ix.addPos(nd.Name, pos)
-	})
+	for s, c := range root.Children {
+		ix.fillSegment(s, c, bases, ix.addPos)
+	}
 	return ix
+}
+
+// initLayout sizes the identity and value halves from an integer-only
+// pre-pass over the root's children: segment boundaries, arena extents and
+// head/tail allocations, everything except the values themselves. It
+// returns each segment's full-depth arena base (len S+1, last element the
+// total arena size) — passed around explicitly rather than read back out of
+// offs, so parallel segment fills never read a boundary offset another
+// goroutine is writing.
+func (ix *Index) initLayout(root *Node, n int) []int32 {
+	S := len(root.Children)
+	ix.users = make([]string, n)
+	ix.offs = make([]int32, n+1)
+	ix.segOf = make([]int32, n)
+	ix.segs = make([]segMeta, S)
+	ix.headVec = make([]float64, S)
+	ix.headUsage = make([]float64, S)
+	ix.tails = make([]*segTail, S)
+	ix.comp = make([]composedSeg, S)
+	bases := make([]int32, S+1)
+	lo := int32(0)
+	for s, c := range root.Children {
+		bases[s+1] = bases[s] + int32(subtreeDepthSum(c, 1))
+		ix.segs[s] = segMeta{lo: lo, hi: lo + c.leaves}
+		lo += c.leaves
+	}
+	ix.shares = make([]float64, bases[S])
+	return bases
+}
+
+// fillSegment walks one top-level subtree and writes segment s's slice of
+// the identity arenas (users, offs, shares, segOf) plus its head and a
+// freshly allocated tail. addPos receives each (name, position) in DFS
+// order — the serial build passes ix.addPos, the parallel build a
+// chunk-local recorder.
+func (ix *Index) fillSegment(s int, c *Node, bases []int32, addPos func(name string, pos int32)) {
+	m := ix.segs[s]
+	nLeaves := int(m.hi - m.lo)
+	ai := int(bases[s]) // full-depth arena cursor
+	full := int(bases[s+1] - bases[s])
+	tail := &segTail{
+		vec:      make([]float64, full-nLeaves),
+		usage:    make([]float64, full-nLeaves),
+		leafPrio: make([]float64, nLeaves),
+	}
+	ix.tails[s] = tail
+	ix.headVec[s] = c.Value
+	ix.headUsage[s] = c.UsageShare
+	pos := int(m.lo)
+	ti := 0
+	walkSubtree(c, func(nd *Node, vec vector.Vector, shares, usages []float64) {
+		d := len(vec)
+		copy(ix.shares[ai:ai+d], shares)
+		copy(tail.vec[ti:ti+d-1], vec[1:])
+		copy(tail.usage[ti:ti+d-1], usages[1:])
+		ti += d - 1
+		ai += d
+		ix.users[pos] = nd.Name
+		tail.leafPrio[pos-int(m.lo)] = nd.Priority
+		ix.offs[pos+1] = int32(ai)
+		ix.segOf[pos] = int32(s)
+		addPos(nd.Name, int32(pos))
+		pos++
+	})
 }
 
 // addPos records a leaf position for a name: first occurrence wins the
@@ -156,26 +289,11 @@ func subtreeDepthSum(n *Node, level int) int {
 }
 
 // buildParallel partitions the root's children into contiguous chunks of
-// roughly equal leaf count, builds each chunk's arena section and local
-// stripe maps concurrently, then merges the stripe maps. Entry order,
-// first-wins positions and duplicate tables are bitwise identical to the
-// serial walk.
-func (ix *Index) buildParallel(root *Node, n int) {
-	// Arena extents per top-level child (integer-only pre-pass) give each
-	// chunk its exact leaf position and arena offset.
-	depthSums := make([]int, len(root.Children))
-	total := 0
-	for i, c := range root.Children {
-		depthSums[i] = subtreeDepthSum(c, 1)
-		total += depthSums[i]
-	}
-	ix.users = make([]string, n)
-	ix.offs = make([]int32, n+1)
-	ix.shares = make([]float64, total)
-	ix.vec = make([]float64, total)
-	ix.pathUsage = make([]float64, total)
-	ix.leafPrio = make([]float64, n)
-
+// roughly equal leaf count, fills each chunk's segments and local stripe
+// maps concurrently, then merges the stripe maps. Entry order, segment
+// layout, first-wins positions and duplicate tables are bitwise identical
+// to the serial build. Requires initLayout to have run.
+func (ix *Index) buildParallel(root *Node, n int, bases []int32) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(root.Children) {
 		workers = len(root.Children)
@@ -183,20 +301,15 @@ func (ix *Index) buildParallel(root *Node, n int) {
 	// Chunk boundaries: greedy fill to ~n/workers leaves per chunk.
 	type chunk struct {
 		firstChild, lastChild int // child index range [first, last)
-		offset                int // global position of the chunk's first leaf
-		arenaOff              int // global arena offset of the chunk's first value
 	}
 	var chunks []chunk
 	target := (n + workers - 1) / workers
-	off, aoff, acc, aacc, first := 0, 0, 0, 0, 0
+	acc, first := 0, 0
 	for i, c := range root.Children {
 		acc += int(c.leaves)
-		aacc += depthSums[i]
 		if acc >= target || i == len(root.Children)-1 {
-			chunks = append(chunks, chunk{firstChild: first, lastChild: i + 1, offset: off, arenaOff: aoff})
-			off += acc
-			aoff += aacc
-			acc, aacc = 0, 0
+			chunks = append(chunks, chunk{firstChild: first, lastChild: i + 1})
+			acc = 0
 			first = i + 1
 		}
 	}
@@ -217,25 +330,14 @@ func (ix *Index) buildParallel(root *Node, n int) {
 			for s := range lc.stripes {
 				lc.stripes[s] = make(map[string]int32)
 			}
-			pos := int32(ck.offset)
-			ai := ck.arenaOff
 			for child := ck.firstChild; child < ck.lastChild; child++ {
-				walkSubtree(root.Children[child], func(nd *Node, vec vector.Vector, shares, usages []float64) {
-					d := len(vec)
-					copy(ix.vec[ai:ai+d], vec)
-					copy(ix.shares[ai:ai+d], shares)
-					copy(ix.pathUsage[ai:ai+d], usages)
-					ai += d
-					ix.users[pos] = nd.Name
-					ix.leafPrio[pos] = nd.Priority
-					ix.offs[pos+1] = int32(ai)
-					m := lc.stripes[stripeOf(nd.Name)]
-					if _, dup := m[nd.Name]; dup {
+				ix.fillSegment(child, root.Children[child], bases, func(name string, pos int32) {
+					m := lc.stripes[stripeOf(name)]
+					if _, dup := m[name]; dup {
 						lc.extra = append(lc.extra, pos)
 					} else {
-						m[nd.Name] = pos
+						m[name] = pos
 					}
-					pos++
 				})
 			}
 		}(i)
@@ -292,7 +394,7 @@ func leafCount(root *Node) int {
 
 // walkSubtree visits every leaf of a top-level subtree in DFS order with the
 // same path-state semantics as walkLeaves (the stacks start at c's level).
-// Used to walk contiguous leaf ranges in parallel.
+// Used to fill segments, in parallel for large trees.
 func walkSubtree(c *Node, fn func(leaf *Node, vec vector.Vector, shares, usages []float64)) {
 	vec := vector.Vector{c.Value}
 	shares := []float64{c.Share}
@@ -334,21 +436,94 @@ func (ix *Index) Pos(user string) (int, bool) {
 	return int(p), ok
 }
 
-// At returns the entry at position i, composed from the index's flat
-// arenas. The entry's slices alias immutable arena storage; callers must
-// not mutate them.
+// composed returns segment s's full-depth arenas, materializing them on
+// first use. The double-checked atomic keeps the hot path allocation- and
+// lock-free once a segment is built.
+func (ix *Index) composed(s int32) *composedSeg {
+	c := &ix.comp[s]
+	if c.done.Load() {
+		return c
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done.Load() {
+		return c
+	}
+	m := ix.segs[s]
+	t := ix.tails[s]
+	base := int(ix.offs[m.lo])
+	size := int(ix.offs[m.hi]) - base
+	vec := make([]float64, size)
+	pu := make([]float64, size)
+	hv, hu := ix.headVec[s], ix.headUsage[s]
+	ti := 0
+	for i := int(m.lo); i < int(m.hi); i++ {
+		off := int(ix.offs[i]) - base
+		d := int(ix.offs[i+1] - ix.offs[i])
+		vec[off], pu[off] = hv, hu
+		copy(vec[off+1:off+d], t.vec[ti:ti+d-1])
+		copy(pu[off+1:off+d], t.usage[ti:ti+d-1])
+		ti += d - 1
+	}
+	c.vec, c.usage = vec, pu
+	c.done.Store(true)
+	return c
+}
+
+// tailSpan returns entry i's offset and length within its segment's tail
+// arenas: full-depth coordinates rebased to the segment, minus the one
+// interned level-0 slot per preceding leaf.
+func (ix *Index) tailSpan(i int, m segMeta) (off, length int) {
+	off = int(ix.offs[i]) - int(ix.offs[m.lo]) - (i - int(m.lo))
+	length = int(ix.offs[i+1]-ix.offs[i]) - 1
+	return off, length
+}
+
+// At returns the entry at position i, composed from the index's arenas.
+// The entry's slices alias immutable per-snapshot storage (the segment's
+// lazily built composed arenas); callers must not mutate them.
 func (ix *Index) At(i int) IndexEntry {
-	off, end := ix.offs[i], ix.offs[i+1]
+	s := ix.segOf[i]
+	c := ix.composed(s)
+	base := ix.offs[ix.segs[s].lo]
+	off, end := ix.offs[i]-base, ix.offs[i+1]-base
+	goff, gend := ix.offs[i], ix.offs[i+1]
 	return IndexEntry{
 		Entry: vector.Entry{
 			User:       ix.users[i],
-			Vec:        vector.Vector(ix.vec[off:end:end]),
-			PathShares: ix.shares[off:end:end],
-			PathUsage:  ix.pathUsage[off:end:end],
+			Vec:        vector.Vector(c.vec[off:end:end]),
+			PathShares: ix.shares[goff:gend:gend],
+			PathUsage:  c.usage[off:end:end],
 		},
-		LeafPriority: ix.leafPrio[i],
+		LeafPriority: ix.tails[s].leafPrio[int(i)-int(ix.segs[s].lo)],
 	}
 }
+
+// View returns the entry at position i factored along the segment seam,
+// without touching (or building) the composed arenas. Refresh-path
+// consumers that fold over per-level values should prefer this to At: it
+// costs a few slice headers regardless of how many segments the snapshot
+// has materialized.
+func (ix *Index) View(i int) EntryView {
+	s := ix.segOf[i]
+	m := ix.segs[s]
+	t := ix.tails[s]
+	goff, gend := ix.offs[i], ix.offs[i+1]
+	to, tl := ix.tailSpan(i, m)
+	return EntryView{
+		User:         ix.users[i],
+		HeadVec:      ix.headVec[s],
+		HeadUsage:    ix.headUsage[s],
+		PathShares:   ix.shares[goff:gend:gend],
+		TailVec:      t.vec[to : to+tl : to+tl],
+		TailUsage:    t.usage[to : to+tl : to+tl],
+		LeafPriority: t.leafPrio[i-int(m.lo)],
+	}
+}
+
+// Segments returns the number of top-level-subtree segments the value half
+// is partitioned into.
+func (ix *Index) Segments() int { return len(ix.segs) }
 
 // Lookup returns the serving record for a user. The returned entry shares
 // the index's immutable arenas; callers must not mutate its slices.

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // recalcGen issues process-unique clone-generation numbers, so nodes cloned
@@ -20,25 +23,30 @@ var recalcGen atomic.Uint64
 //
 // The produced snapshots are immutable and structurally share everything a
 // delta does not touch: nodes off the dirty paths, the index's stripe maps
-// and duplicate tables, and every entry's name and target-share slice. Only
-// the dirty root-to-leaf spines are cloned (copy-on-write), and only sibling
-// groups containing a dirty node are rescored — with the subtlety that any
-// delta changes the root group's usage denominator, so every top-level
-// sibling's scored fields (and therefore the first element of every entry's
-// vector) must be re-materialized even though the arithmetic below the dirty
-// paths is skipped. Per-entry values live in the index's flat pointer-free
-// arenas, so that re-materialization is a flat copy plus sparse prefix
-// overwrites — no per-entry allocations and nothing new for the garbage
-// collector to scan.
+// and duplicate tables, every entry's name and target-share slice, and —
+// through the index's segmented value half — the entire suffix arenas of
+// top-level subtrees with no dirty leaf. Only the dirty root-to-leaf spines
+// are cloned (copy-on-write), and only sibling groups containing a dirty
+// node are rescored. Any delta still shifts the root group's usage
+// denominator, changing every top-level sibling's scored fields — but those
+// values are interned once per segment head, so absorbing the shift costs
+// two floats per segment instead of a per-leaf prefix rewrite. Segment
+// tails of dirty subtrees are re-materialized (flat copy plus sparse
+// overwrites, fanned across a bounded worker pool when the dirty population
+// is large); clean subtrees re-publish as pointer copies. That takes the
+// per-refresh materialization floor from O(users·depth) to
+// O(dirty·depth + segments).
 //
 // All outputs are bit-identical to a from-scratch Compute+NewIndex over the
 // merged usage map: usage sums are re-folded left-to-right in the exact
 // child order of the full build (never adjusted by ±delta, which would
-// change float rounding), and scoring reuses the same expressions.
+// change float rounding), scoring reuses the same expressions, and interned
+// heads hold the very same floats the flat arenas used to.
 //
 // A Recalc is NOT safe for concurrent use; the FCS drives it under its
 // refresh mutex. Published snapshots remain safe for lock-free readers:
-// Apply only ever writes to freshly cloned nodes.
+// Apply only ever writes to freshly cloned nodes and freshly allocated
+// segment tails.
 type Recalc struct {
 	tree  *Tree
 	index *Index
@@ -50,9 +58,6 @@ type Recalc struct {
 	// child index to descend at that level.
 	pathOff []int32
 	pathIdx []int32
-	// vecLen is the summed depth of all leaves — the arena size for one
-	// rebuild of every entry's vector (and usage-share path).
-	vecLen int
 	// nodes is the total node count of the tree (for stats and gauges).
 	nodes int
 	// gen is the clone-generation number of the current Apply pass: a node
@@ -60,6 +65,28 @@ type Recalc struct {
 	gen uint64
 	// posBuf is scratch for single-position lookups.
 	posBuf [1]int32
+	// dirtyBuf/spineBuf are scratch slices reused across Apply calls so
+	// steady-state refreshes don't reallocate them.
+	dirtyBuf []dirtyLeaf
+	spineBuf []spineNode
+	// segMark/dirtySegBuf track which segments this pass dirtied: a segment
+	// s with segMark[s] == gen needs its tail re-materialized. Generation
+	// tags make clearing free.
+	segMark     []uint64
+	dirtySegBuf []int32
+}
+
+// dirtyLeaf is one resolved delta: the leaf position and its new usage.
+type dirtyLeaf struct {
+	pos int32
+	val float64
+}
+
+// spineNode is one cloned internal node and its depth (root = 0), used to
+// order the bottom-up usage re-fold.
+type spineNode struct {
+	n     *Node
+	depth int32
 }
 
 // RecalcStats describes what one Apply did.
@@ -75,6 +102,18 @@ type RecalcStats struct {
 	SharedNodes int
 	// TotalLeaves is the leaf population of the tree.
 	TotalLeaves int
+	// MaterializedSegments is the number of top-level-subtree segments whose
+	// tail arenas were rebuilt; SharedSegments were re-published as pointer
+	// copies.
+	MaterializedSegments int
+	SharedSegments       int
+	// Per-phase wall time: FoldDuration covers delta resolution, spine
+	// cloning and the bottom-up usage re-fold (phases 1–3); RescoreDuration
+	// covers sibling-group rescoring (phase 4); MaterializeDuration covers
+	// segment re-materialization and index assembly (phase 5).
+	FoldDuration        time.Duration
+	RescoreDuration     time.Duration
+	MaterializeDuration time.Duration
 }
 
 // NewRecalc creates an engine over a freshly built tree/index pair. The pair
@@ -107,7 +146,6 @@ func (r *Recalc) Reset(t *Tree, ix *Index) {
 	r.leafUsage = make([]float64, 0, n)
 	r.pathOff = make([]int32, 0, n+1)
 	r.pathIdx = r.pathIdx[:0]
-	r.vecLen = 0
 	r.nodes = 0
 	var idxStack []int32
 	var walk func(n *Node)
@@ -118,7 +156,6 @@ func (r *Recalc) Reset(t *Tree, ix *Index) {
 				r.pathOff = append(r.pathOff, int32(len(r.pathIdx)))
 				r.pathIdx = append(r.pathIdx, idxStack...)
 				r.leafUsage = append(r.leafUsage, n.Usage)
-				r.vecLen += len(idxStack)
 			}
 			return
 		}
@@ -132,6 +169,11 @@ func (r *Recalc) Reset(t *Tree, ix *Index) {
 	r.pathOff = append(r.pathOff, int32(len(r.pathIdx)))
 }
 
+// materializeParallelThreshold is the dirty-leaf population (summed over
+// dirty segments) above which segment tails rebuild on a worker pool.
+// Below it the goroutine fan-out costs more than the copies it spreads.
+const materializeParallelThreshold = 4096
+
 // Apply merges a usage delta set (absolute new totals per user; users absent
 // from the policy are ignored, matching Compute's treatment of unknown usage
 // keys) into the engine's state and returns the new immutable Tree and Index.
@@ -143,6 +185,7 @@ func (r *Recalc) Reset(t *Tree, ix *Index) {
 // valid immutable snapshots. On error the engine is unchanged and the caller
 // should fall back to a full rebuild.
 func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, error) {
+	start := time.Now()
 	st := RecalcStats{TotalLeaves: len(r.leafUsage)}
 	if r.tree == nil || r.index == nil {
 		return nil, nil, st, errors.New("fairshare: Recalc not initialized")
@@ -155,11 +198,7 @@ func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, e
 	// Phase 1: resolve dirty leaf positions, dropping bitwise no-ops and
 	// users the policy does not know. Map iteration order does not matter:
 	// every later phase re-derives values from canonical child order.
-	type dirtyLeaf struct {
-		pos int32
-		val float64
-	}
-	var dirty []dirtyLeaf
+	dirty := r.dirtyBuf[:0]
 	for user, val := range deltas {
 		for _, p := range r.index.positions(user, r.posBuf[:0]) {
 			if sameBits(r.leafUsage[p], val) {
@@ -168,6 +207,7 @@ func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, e
 			dirty = append(dirty, dirtyLeaf{pos: p, val: val})
 		}
 	}
+	r.dirtyBuf = dirty
 	if len(dirty) == 0 {
 		return r.tree, r.index, st, nil
 	}
@@ -186,11 +226,7 @@ func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, e
 	newRoot.Children = append([]*Node(nil), oldRoot.Children...)
 	newRoot.gen = r.gen
 	st.ClonedNodes = 1
-	type spineNode struct {
-		n     *Node
-		depth int32
-	}
-	spine := []spineNode{{newRoot, 0}}
+	spine := append(r.spineBuf[:0], spineNode{newRoot, 0})
 	for _, d := range dirty {
 		n := newRoot
 		off, end := r.pathOff[d.pos], r.pathOff[d.pos+1]
@@ -214,13 +250,14 @@ func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, e
 		// n is the cloned dirty leaf.
 		n.Usage = d.val
 	}
+	r.spineBuf = spine
 
 	// Phase 3: re-sum cloned internals' subtree usage bottom-up, folding
 	// children left-to-right exactly like the full build (adding deltas to
 	// the old sums would change float rounding and break bit-identity).
 	// Deeper spines first so parents always fold final child values; nodes
-	// at equal depth are independent.
-	sort.Slice(spine, func(i, j int) bool { return spine[i].depth > spine[j].depth })
+	// at equal depth are independent, so the unstable sort is fine.
+	slices.SortFunc(spine, func(a, b spineNode) int { return int(b.depth) - int(a.depth) })
 	for _, sn := range spine {
 		var u float64
 		for _, c := range sn.n.Children {
@@ -228,6 +265,7 @@ func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, e
 		}
 		sn.n.Usage = u
 	}
+	foldDone := time.Now()
 
 	// Phase 4: rescore exactly the sibling groups that contain a dirty
 	// node. Off-path siblings whose scored fields change (they share the
@@ -237,85 +275,116 @@ func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, e
 		r.scoreGroupCOW(sn.n, cfg, &st)
 	}
 	st.SharedNodes = r.nodes - st.ClonedNodes
+	rescoreDone := time.Now()
 
-	// Phase 5: re-materialize the index's value arenas. Every entry's vector
-	// starts at the top-level group whose values all shifted with the root
-	// usage denominator, so all vectors get new per-level prefixes — but the
-	// identity half of the index (names, offsets, target shares, stripe and
-	// duplicate maps) is shared wholesale with the previous snapshot, and the
-	// new values live in three pointer-free float64/flat arenas the garbage
-	// collector never scans. The arenas start as flat copies of the previous
-	// snapshot's (shared suffixes come along for free); the walk then
-	// overwrites only what changed, pruning at shared subtrees: their
-	// contiguous leaf ranges get just the changed ancestor prefix written,
-	// never touching the subtree's nodes — and nothing at all when the
-	// subtree hangs directly off the root.
+	// Phase 5: re-materialize the value half of the index along the segment
+	// seam. Every snapshot gets fresh interned heads (the root usage
+	// denominator shifted, so every top-level child's scored values may have
+	// changed — two floats per segment absorb that). Tail arenas rebuild
+	// only for segments containing a dirty leaf, fanned across a worker pool
+	// when the dirty population is large; every other segment's tail is
+	// re-published as a pointer copy, with no per-leaf work at all.
 	old := r.index
-	n := old.Len()
-	vec := make([]float64, len(old.vec))
-	copy(vec, old.vec)
-	pu := make([]float64, len(old.pathUsage))
-	copy(pu, old.pathUsage)
-	lp := make([]float64, n)
-	copy(lp, old.leafPrio)
-	pos := 0
-	ok := true
-	var vecStack, usageStack []float64
-	var down func(nd *Node)
-	down = func(nd *Node) {
-		if len(nd.Children) == 0 {
-			// A cloned leaf: rewrite its whole per-level range.
-			d := len(vecStack)
-			if pos >= n || int(old.offs[pos+1]-old.offs[pos]) != d {
-				ok = false
-				return
-			}
-			off := int(old.offs[pos])
-			copy(vec[off:off+d], vecStack)
-			copy(pu[off:off+d], usageStack)
-			lp[pos] = nd.Priority
-			pos++
-			return
+	S := len(old.segs)
+	if len(newRoot.Children) != S {
+		return nil, nil, st, fmt.Errorf("fairshare: tree has %d top-level subtrees, index has %d segments",
+			len(newRoot.Children), S)
+	}
+	if len(r.segMark) != S {
+		r.segMark = make([]uint64, S)
+	}
+	dirtySegs := r.dirtySegBuf[:0]
+	work := 0 // dirty-segment leaf population, for the parallelism gate
+	for _, d := range dirty {
+		s := old.segOf[d.pos]
+		if r.segMark[s] != r.gen {
+			r.segMark[s] = r.gen
+			dirtySegs = append(dirtySegs, s)
+			work += int(old.segs[s].hi - old.segs[s].lo)
 		}
-		for _, c := range nd.Children {
-			if c.gen == r.gen {
-				vecStack = append(vecStack, c.Value)
-				usageStack = append(usageStack, c.UsageShare)
-				down(c)
-				vecStack = vecStack[:len(vecStack)-1]
-				usageStack = usageStack[:len(usageStack)-1]
-				continue
-			}
-			// Shared subtree: its entries keep their old per-level values
-			// from this depth down (already in place from the flat copy);
-			// only the changed ancestor prefix needs writing.
-			j := len(vecStack)
-			cnt := int(c.leaves)
-			if pos+cnt > n {
-				ok = false
-				return
-			}
-			if j > 0 {
-				for i := pos; i < pos+cnt; i++ {
-					off := int(old.offs[i])
-					copy(vec[off:off+j], vecStack)
-					copy(pu[off:off+j], usageStack)
+	}
+	// A leaf hanging directly off the root keeps its raw priority in its
+	// segment's tail, and the root rescore may have changed it even when the
+	// leaf's own usage did not — re-materialize such segments too.
+	for s, c := range newRoot.Children {
+		if len(c.Children) == 0 && c.gen == r.gen && r.segMark[s] != r.gen {
+			r.segMark[s] = r.gen
+			dirtySegs = append(dirtySegs, int32(s))
+			work++
+		}
+	}
+	r.dirtySegBuf = dirtySegs
+
+	headVec := make([]float64, S)
+	headUsage := make([]float64, S)
+	tails := make([]*segTail, S)
+	copy(tails, old.tails)
+	for s, c := range newRoot.Children {
+		headVec[s] = c.Value
+		headUsage[s] = c.UsageShare
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirtySegs) {
+		workers = len(dirtySegs)
+	}
+	var rebuildErr error
+	if workers > 1 && work >= materializeParallelThreshold {
+		var next atomic.Int64
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(dirtySegs) {
+						return
+					}
+					s := dirtySegs[k]
+					nt, err := r.rebuildSeg(s, newRoot.Children[s])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					tails[s] = nt
 				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				rebuildErr = err
+				break
 			}
-			pos += cnt
+		}
+	} else {
+		for _, s := range dirtySegs {
+			nt, err := r.rebuildSeg(s, newRoot.Children[s])
+			if err != nil {
+				rebuildErr = err
+				break
+			}
+			tails[s] = nt
 		}
 	}
-	down(newRoot)
-	if !ok || pos != n {
-		return nil, nil, st, fmt.Errorf("fairshare: incremental walk produced %d entries, index has %d", pos, n)
+	if rebuildErr != nil {
+		return nil, nil, st, rebuildErr
 	}
+	st.MaterializedSegments = len(dirtySegs)
+	st.SharedSegments = S - len(dirtySegs)
+
 	newIndex := &Index{
 		users:     old.users,
 		offs:      old.offs,
 		shares:    old.shares,
-		vec:       vec,
-		pathUsage: pu,
-		leafPrio:  lp,
+		segs:      old.segs,
+		segOf:     old.segOf,
+		headVec:   headVec,
+		headUsage: headUsage,
+		tails:     tails,
+		comp:      make([]composedSeg, S),
 		stripes:   old.stripes,
 		dups:      old.dups,
 	}
@@ -327,7 +396,98 @@ func (r *Recalc) Apply(deltas map[string]float64) (*Tree, *Index, RecalcStats, e
 		r.leafUsage[d.pos] = d.val
 	}
 	r.tree, r.index = newTree, newIndex
+	st.FoldDuration = foldDone.Sub(start)
+	st.RescoreDuration = rescoreDone.Sub(foldDone)
+	st.MaterializeDuration = time.Since(rescoreDone)
 	return newTree, newIndex, st, nil
+}
+
+// rebuildSeg re-materializes one dirty segment's tail: a flat copy of the
+// previous tail (shared suffixes come along for free) followed by a walk of
+// the segment's subtree that overwrites only what changed, pruning at shared
+// (un-cloned) subtrees — their contiguous leaf ranges get just the changed
+// ancestor prefix written. Safe to call from several goroutines for
+// different segments: it reads only immutable engine state and writes only
+// the fresh tail.
+func (r *Recalc) rebuildSeg(s int32, c *Node) (*segTail, error) {
+	old := r.index
+	m := old.segs[s]
+	lo, hi := int(m.lo), int(m.hi)
+	ot := old.tails[s]
+	nt := &segTail{
+		vec:      make([]float64, len(ot.vec)),
+		usage:    make([]float64, len(ot.usage)),
+		leafPrio: make([]float64, len(ot.leafPrio)),
+	}
+	copy(nt.vec, ot.vec)
+	copy(nt.usage, ot.usage)
+	copy(nt.leafPrio, ot.leafPrio)
+	if len(c.Children) == 0 {
+		// The top-level child is itself a leaf: the segment has no tail
+		// levels, only the raw priority.
+		if hi-lo != 1 {
+			return nil, fmt.Errorf("fairshare: incremental walk found a leaf segment spanning %d entries", hi-lo)
+		}
+		nt.leafPrio[0] = c.Priority
+		return nt, nil
+	}
+	base := int(old.offs[lo])
+	pos := lo
+	ok := true
+	var vecStack, usageStack []float64
+	var down func(nd *Node)
+	down = func(nd *Node) {
+		if !ok {
+			return
+		}
+		if len(nd.Children) == 0 {
+			// A cloned leaf: rewrite its whole tail range. The stacks hold
+			// levels 1..depth-1 (the walk starts below the interned head).
+			d := len(vecStack)
+			if pos >= hi || int(old.offs[pos+1]-old.offs[pos])-1 != d {
+				ok = false
+				return
+			}
+			to := int(old.offs[pos]) - base - (pos - lo)
+			copy(nt.vec[to:to+d], vecStack)
+			copy(nt.usage[to:to+d], usageStack)
+			nt.leafPrio[pos-lo] = nd.Priority
+			pos++
+			return
+		}
+		for _, ch := range nd.Children {
+			if ch.gen == r.gen {
+				vecStack = append(vecStack, ch.Value)
+				usageStack = append(usageStack, ch.UsageShare)
+				down(ch)
+				vecStack = vecStack[:len(vecStack)-1]
+				usageStack = usageStack[:len(usageStack)-1]
+				continue
+			}
+			// Shared subtree: its entries keep their old tail values from
+			// this depth down (already in place from the flat copy); only
+			// the changed ancestor prefix needs writing.
+			j := len(vecStack)
+			cnt := int(ch.leaves)
+			if pos+cnt > hi {
+				ok = false
+				return
+			}
+			if j > 0 {
+				for i := pos; i < pos+cnt; i++ {
+					to := int(old.offs[i]) - base - (i - lo)
+					copy(nt.vec[to:to+j], vecStack)
+					copy(nt.usage[to:to+j], usageStack)
+				}
+			}
+			pos += cnt
+		}
+	}
+	down(c)
+	if !ok || pos != hi {
+		return nil, fmt.Errorf("fairshare: incremental walk produced %d entries, segment has %d", pos-lo, hi-lo)
+	}
+	return nt, nil
 }
 
 // scoreGroupCOW rescores one sibling group with scoreGroup's exact

@@ -69,6 +69,10 @@ func (h driftHeap) better(it driftItem) bool {
 // max and mean cover every user, while only the K worst offenders are
 // materialized (via a size-K min-heap, O(n + m·log K) instead of the full
 // O(n·log n) sort a per-publish table used to cost). k < 0 retains everyone.
+// Entries are read through the index's composition-free View — folding the
+// interned head then the tail multiplies the exact float sequence the flat
+// per-entry slices held (1·x is exact), so the summary stays bit-identical
+// while never forcing composed-arena materialization on the refresh path.
 func computeDrift(ix *fairshare.Index, k int) ([]DriftEntry, float64, float64) {
 	n := ix.Len()
 	if k < 0 || k > n {
@@ -77,12 +81,13 @@ func computeDrift(ix *fairshare.Index, k int) ([]DriftEntry, float64, float64) {
 	h := make(driftHeap, 0, k)
 	var sum, max float64
 	for i := 0; i < n; i++ {
-		e := ix.At(i)
-		target, actual := 1.0, 1.0
+		e := ix.View(i)
+		target := 1.0
 		for _, s := range e.PathShares {
 			target *= s
 		}
-		for _, u := range e.PathUsage {
+		actual := 1.0 * e.HeadUsage
+		for _, u := range e.TailUsage {
 			actual *= u
 		}
 		it := driftItem{

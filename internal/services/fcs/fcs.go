@@ -165,6 +165,18 @@ type RefreshInfo struct {
 	DirtyUsers int
 	// Duration is the wall-clock cost of the refresh.
 	Duration time.Duration
+	// FoldDuration/RescoreDuration/MaterializeDuration break an incremental
+	// refresh's engine cost into its recalc phases (zero on a full refresh):
+	// delta resolution + spine cloning + usage re-folds, sibling-group
+	// rescoring, and segment/arena re-materialization.
+	FoldDuration        time.Duration
+	RescoreDuration     time.Duration
+	MaterializeDuration time.Duration
+	// MaterializedSegments/SharedSegments report how many top-level-subtree
+	// segments the incremental engine rebuilt vs re-published as pointer
+	// copies (zero on a full refresh).
+	MaterializedSegments int
+	SharedSegments       int
 	// At is when the refreshed snapshot was published (service clock).
 	At time.Time
 }
@@ -208,6 +220,7 @@ type Service struct {
 	mIncr        *telemetry.Counter
 	mFull        *telemetry.Counter
 	mRecalcDur   *telemetry.Histogram
+	mPhaseDur    *telemetry.HistogramVec
 	mDirty       *telemetry.Gauge
 	mTreeNodes   *telemetry.Gauge
 	mTreeUsers   *telemetry.Gauge
@@ -254,6 +267,9 @@ func New(cfg Config, pds PolicySource, ums UsageSource) *Service {
 		mRecalcDur: reg.Histogram("aequus_fcs_recalc_duration_seconds",
 			"Wall-clock duration of one fairshare tree pre-calculation.",
 			telemetry.DefBuckets()),
+		mPhaseDur: reg.HistogramVec("aequus_fcs_recalc_phase_seconds",
+			"Wall-clock duration of one incremental-recalc phase (fold, rescore, materialize).",
+			telemetry.DefBuckets(), "phase"),
 		mDirty: reg.Gauge("aequus_fcs_dirty_users",
 			"Leaves recomputed by the last refresh (whole population on a full refresh)."),
 		mTreeNodes: reg.Gauge("aequus_fcs_tree_nodes",
@@ -396,16 +412,22 @@ func (s *Service) rebuildLocked() error {
 	dirty := 0
 	var tree *fairshare.Tree
 	var ix *fairshare.Index
+	var stats fairshare.RecalcStats
 
 	_, comp := span.Start(ctx, "fcs.compute")
 	if incremental {
-		t2, i2, stats, aerr := s.engine.Apply(ds.Changed)
+		t2, i2, ast, aerr := s.engine.Apply(ds.Changed)
 		if aerr == nil {
-			tree, ix = t2, i2
+			tree, ix, stats = t2, i2, ast
 			dirty = stats.DirtyLeaves
 			comp.SetAttrInt("dirty_leaves", int64(stats.DirtyLeaves))
 			comp.SetAttrInt("cloned_nodes", int64(stats.ClonedNodes))
 			comp.SetAttrInt("shared_nodes", int64(stats.SharedNodes))
+			comp.SetAttrInt("materialized_segments", int64(stats.MaterializedSegments))
+			comp.SetAttrInt("shared_segments", int64(stats.SharedSegments))
+			comp.SetAttrInt("fold_us", stats.FoldDuration.Microseconds())
+			comp.SetAttrInt("rescore_us", stats.RescoreDuration.Microseconds())
+			comp.SetAttrInt("materialize_us", stats.MaterializeDuration.Microseconds())
 		} else {
 			// The engine refused the delta (anchor mismatch); refetch the
 			// complete totals and rebuild from scratch.
@@ -466,11 +488,21 @@ func (s *Service) rebuildLocked() error {
 	root.SetAttr("mode", mode)
 	root.SetAttrInt("dirty_users", int64(dirty))
 	dur := time.Since(started)
-	s.lastRefresh.Store(&RefreshInfo{Mode: mode, DirtyUsers: dirty, Duration: dur, At: now})
+	s.lastRefresh.Store(&RefreshInfo{
+		Mode: mode, DirtyUsers: dirty, Duration: dur, At: now,
+		FoldDuration:         stats.FoldDuration,
+		RescoreDuration:      stats.RescoreDuration,
+		MaterializeDuration:  stats.MaterializeDuration,
+		MaterializedSegments: stats.MaterializedSegments,
+		SharedSegments:       stats.SharedSegments,
+	})
 	s.lastErr.Store(&refreshOutcome{nil})
 	s.mRecalcs.Inc()
 	if incremental {
 		s.mIncr.Inc()
+		s.mPhaseDur.With("fold").Observe(stats.FoldDuration.Seconds())
+		s.mPhaseDur.With("rescore").Observe(stats.RescoreDuration.Seconds())
+		s.mPhaseDur.With("materialize").Observe(stats.MaterializeDuration.Seconds())
 	} else {
 		s.mFull.Inc()
 	}
@@ -526,14 +558,32 @@ const projectParallelThreshold = 4096
 
 // projectPointwise fills out[i] with the projection of entry i, in parallel
 // for large populations — pointwise projections are embarrassingly parallel
-// and need no intermediate map.
+// and need no intermediate map. Entries are read through the index's
+// composition-free View and reconstituted into scratch buffers (reused per
+// worker), so the refresh path never forces the index to materialize its
+// composed per-segment arenas; the scratch holds the very same floats, so
+// projections stay bit-identical to the At()-based entries.
 func projectPointwise(p vector.PointwiseProjection, ix *fairshare.Index, out []float64, resolution float64) {
 	n := len(out)
+	project := func(lo, hi int) {
+		var vbuf, ubuf []float64
+		for i := lo; i < hi; i++ {
+			v := ix.View(i)
+			vbuf = append(vbuf[:0], v.HeadVec)
+			vbuf = append(vbuf, v.TailVec...)
+			ubuf = append(ubuf[:0], v.HeadUsage)
+			ubuf = append(ubuf, v.TailUsage...)
+			out[i] = p.ProjectEntry(vector.Entry{
+				User:       v.User,
+				Vec:        vector.Vector(vbuf),
+				PathShares: v.PathShares,
+				PathUsage:  ubuf,
+			}, resolution)
+		}
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if n < projectParallelThreshold || workers < 2 {
-		for i := 0; i < n; i++ {
-			out[i] = p.ProjectEntry(ix.At(i).Entry, resolution)
-		}
+		project(0, n)
 		return
 	}
 	chunk := (n + workers - 1) / workers
@@ -546,9 +596,7 @@ func projectPointwise(p vector.PointwiseProjection, ix *fairshare.Index, out []f
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = p.ProjectEntry(ix.At(i).Entry, resolution)
-			}
+			project(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,0 +1,96 @@
+package fcs
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+// TestEngineErrorFallsBackToFullRecompute is the service-level phase-5
+// walk-failure regression test: when the incremental engine rejects a delta
+// (here because its tree shape was corrupted behind its back), the refresh
+// must not publish the torn result — it falls back to refetching complete
+// totals, rebuilds from scratch, re-anchors the engine, and the published
+// snapshot verifies against its full-recompute twin.
+func TestEngineErrorFallsBackToFullRecompute(t *testing.T) {
+	p := policy.NewTree()
+	for _, g := range []struct {
+		name  string
+		share float64
+		users []string
+	}{
+		{"g0", 2, []string{"a", "b"}},
+		{"g1", 3, []string{"c", "d"}},
+	} {
+		if _, err := p.Add("", g.name, g.share); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range g.users {
+			if _, err := p.Add("/"+g.name, u, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pds := newVersionedPDS(p)
+	ums := newDeltaUMS(map[string]float64{"a": 10, "b": 20, "c": 30, "d": 40})
+	reg := telemetry.NewRegistry()
+	svc := New(Config{Clock: simclock.NewSim(t0), CacheTTL: -1,
+		SynchronousRefresh: true, Metrics: reg}, pds, ums)
+
+	// Anchor with a full refresh, then prove the incremental chain works.
+	if err := svc.Refresh(); err != nil {
+		t.Fatalf("anchor refresh: %v", err)
+	}
+	ums.apply(map[string]float64{"a": 15})
+	if err := svc.Refresh(); err != nil {
+		t.Fatalf("incremental refresh: %v", err)
+	}
+	if mode := svc.LastRefresh().Mode; mode != RefreshIncremental {
+		t.Fatalf("pre-corruption refresh mode = %q, want incremental", mode)
+	}
+	// One dirty user in one of the two top-level groups: the engine rebuilt
+	// that group's segment and re-published the other by pointer.
+	if ri := svc.LastRefresh(); ri.MaterializedSegments != 1 || ri.SharedSegments != 1 {
+		t.Fatalf("segments materialized/shared = %d/%d, want 1/1",
+			ri.MaterializedSegments, ri.SharedSegments)
+	}
+
+	// Corrupt the engine's tree shape behind its back: drop leaf "b" from
+	// g0, so the next Apply's phase-5 walk produces too few entries.
+	root := svc.engine.Tree().Root
+	g0 := root.Children[0]
+	g0.Children = g0.Children[:1]
+
+	ums.apply(map[string]float64{"a": 25})
+	if err := svc.Refresh(); err != nil {
+		t.Fatalf("refresh with corrupted engine: %v (want silent full fallback)", err)
+	}
+	ri := svc.LastRefresh()
+	if ri.Mode != RefreshFull {
+		t.Fatalf("post-corruption refresh mode = %q, want full fallback", ri.Mode)
+	}
+	if err := svc.LastRefreshError(); err != nil {
+		t.Fatalf("fallback left a refresh error: %v", err)
+	}
+	if err := svc.VerifySnapshot(); err != nil {
+		t.Fatalf("published snapshot does not match its full-recompute twin: %v", err)
+	}
+	// The dropped-then-rebuilt user serves again from the fresh snapshot.
+	if _, err := svc.Priority("b"); err != nil {
+		t.Fatalf("Priority(b) after fallback: %v", err)
+	}
+
+	// The fallback re-anchored the engine: the chain resumes incrementally.
+	ums.apply(map[string]float64{"b": 99})
+	if err := svc.Refresh(); err != nil {
+		t.Fatalf("refresh after re-anchor: %v", err)
+	}
+	if mode := svc.LastRefresh().Mode; mode != RefreshIncremental {
+		t.Fatalf("post-re-anchor refresh mode = %q, want incremental", mode)
+	}
+	if err := svc.VerifySnapshot(); err != nil {
+		t.Fatalf("post-re-anchor snapshot: %v", err)
+	}
+}

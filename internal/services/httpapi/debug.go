@@ -61,6 +61,11 @@ func (s *Server) handleDebugSummary(w http.ResponseWriter, r *http.Request) {
 		out.FCSRefreshMode = ri.Mode
 		out.FCSDirtyUsers = ri.DirtyUsers
 		out.FCSRefreshSeconds = ri.Duration.Seconds()
+		out.FCSFoldSeconds = ri.FoldDuration.Seconds()
+		out.FCSRescoreSeconds = ri.RescoreDuration.Seconds()
+		out.FCSMaterializeSeconds = ri.MaterializeDuration.Seconds()
+		out.FCSMaterializedSegments = ri.MaterializedSegments
+		out.FCSSharedSegments = ri.SharedSegments
 		d := s.FCS.Drift()
 		out.DriftMax, out.DriftMean = d.MaxError, d.MeanError
 	}

@@ -69,8 +69,19 @@ type DebugSummary struct {
 	// (the whole population on a full rebuild).
 	FCSDirtyUsers int `json:"fcs_dirty_users"`
 	// FCSRefreshSeconds is the duration of the last refresh.
-	FCSRefreshSeconds float64      `json:"fcs_refresh_seconds"`
-	DriftMax          float64      `json:"drift_max"`
-	DriftMean         float64      `json:"drift_mean"`
-	Peers             []PeerStatus `json:"peers,omitempty"`
+	FCSRefreshSeconds float64 `json:"fcs_refresh_seconds"`
+	// FCSFoldSeconds/FCSRescoreSeconds/FCSMaterializeSeconds break an
+	// incremental refresh's engine cost into its recalc phases (zero on a
+	// full refresh).
+	FCSFoldSeconds        float64 `json:"fcs_fold_seconds"`
+	FCSRescoreSeconds     float64 `json:"fcs_rescore_seconds"`
+	FCSMaterializeSeconds float64 `json:"fcs_materialize_seconds"`
+	// FCSMaterializedSegments/FCSSharedSegments report how many
+	// top-level-subtree segments the last incremental refresh rebuilt vs
+	// re-published as pointer copies.
+	FCSMaterializedSegments int          `json:"fcs_materialized_segments"`
+	FCSSharedSegments       int          `json:"fcs_shared_segments"`
+	DriftMax                float64      `json:"drift_max"`
+	DriftMean               float64      `json:"drift_mean"`
+	Peers                   []PeerStatus `json:"peers,omitempty"`
 }
