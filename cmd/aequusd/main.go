@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durability"
 	"repro/internal/fairshare"
 	"repro/internal/policy"
 	"repro/internal/resilience"
@@ -56,6 +57,10 @@ func main() {
 		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		readyStale    = flag.Duration("ready-max-stale", 0, "max pre-computation age before /readyz reports 503 (default 3x refresh-interval)")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
+		dataDir      = flag.String("data-dir", "", "directory for the usage WAL and snapshots (empty = in-memory only; state is lost on restart)")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always (one fsync per commit, one per batch) | none (page cache only)")
+		snapInterval = flag.Duration("snapshot-interval", 15*time.Minute, "how often to compact the WAL into a snapshot (0 disables periodic snapshots)")
 
 		retryMax      = flag.Int("retry-max", 3, "max attempts for idempotent remote calls (1 disables retries)")
 		retryBase     = flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff delay")
@@ -120,6 +125,29 @@ func main() {
 	if *halfLife <= 0 {
 		decay = usage.None{}
 	}
+
+	var durable *durability.Log
+	if *dataDir != "" {
+		syncPolicy, err := durability.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatal("parsing -wal-sync", err)
+		}
+		durable, err = durability.Open(durability.Options{
+			Dir:   *dataDir,
+			Sync:  syncPolicy,
+			Spans: spans,
+		})
+		if err != nil {
+			fatal("opening durable state", err)
+		}
+		defer durable.Close()
+		_, total := durable.ReplayProgress()
+		logger.Info("durable state opened",
+			slog.String("dir", *dataDir),
+			slog.String("wal_sync", *walSync),
+			slog.Int64("wal_tail_records", total))
+	}
+
 	s, err := core.NewSite(core.SiteConfig{
 		Name:          *site,
 		Policy:        pol,
@@ -142,9 +170,33 @@ func main() {
 		LibStaleIfError: *staleFallback,
 		FCSSourceRetry:  retry,
 		Spans:           spans,
+		Durable:         durable,
 	})
 	if err != nil {
 		fatal("assembling site", err)
+	}
+	if durable != nil {
+		// Replay the WAL tail in the background: the HTTP server comes up
+		// immediately and serves the recovered snapshot (peers see the
+		// pre-crash watermark), while /readyz reports "recovering" until
+		// the tail is applied and the first post-replay fairshare
+		// pre-calculation has published.
+		go func() {
+			t0 := time.Now()
+			if err := s.Recover(); err != nil {
+				fatal("replaying WAL", err)
+			}
+			if err := s.Refresh(); err != nil {
+				logger.Warn("post-recovery refresh failed", "err", err)
+			}
+			durable.MarkReady()
+			logger.Info("recovery complete", slog.Duration("took", time.Since(t0)))
+		}()
+		go periodic(*snapInterval, func() {
+			if err := s.SnapshotDurable(); err != nil {
+				logger.Warn("snapshot failed", "err", err)
+			}
+		})
 	}
 	for _, name := range []string{"pds", "uss", "ums", "fcs", "irs"} {
 		logger.Info("service started", slog.String("service", name))
@@ -193,6 +245,7 @@ func main() {
 		Log:           logger,
 		ReadyMaxStale: maxStale,
 		Spans:         spans,
+		Durability:    durable,
 	})
 	logger.Info("serving",
 		slog.String("listen", *listen),

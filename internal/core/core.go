@@ -8,8 +8,10 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
+	"repro/internal/durability"
 	"repro/internal/fairshare"
 	"repro/internal/libaequus"
 	"repro/internal/policy"
@@ -83,6 +85,13 @@ type SiteConfig struct {
 	// disables tracing). Share one recorder per process — or per simulated
 	// federation — so cross-service traces land in one buffer.
 	Spans *span.Recorder
+	// Durable, when set, makes usage state survive restarts: every usage
+	// mutation and policy edit is write-ahead-logged before applying, and
+	// the site adopts the log's recovered snapshot at construction. The
+	// owner must call Recover once after NewSite to replay the WAL tail
+	// (commits block until then), then MarkReady on the log after the
+	// first fairshare refresh.
+	Durable *durability.Log
 }
 
 // Site is a complete Aequus installation.
@@ -96,6 +105,8 @@ type Site struct {
 	// Lib is a libaequus client wired to this site's services, ready for a
 	// co-located resource manager.
 	Lib *libaequus.Client
+	// Durable is the site's write-ahead log (nil when durability is off).
+	Durable *durability.Log
 }
 
 // NewSite builds and wires a site.
@@ -114,6 +125,32 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	}
 
 	p := pds.New(cfg.Policy, cfg.PolicyFetcher)
+	if d := cfg.Durable; d != nil {
+		// Adopt the durably stored policy before installing the change
+		// hook, so the adoption itself is not re-committed. The config
+		// policy only seeds a site with no durable policy history.
+		if st := d.Recovered(); st != nil && len(st.Policy) > 0 {
+			t, err := policy.FromJSON(st.Policy)
+			if err != nil {
+				return nil, fmt.Errorf("core: recovered policy: %w", err)
+			}
+			if err := p.SetPolicy(t); err != nil {
+				return nil, fmt.Errorf("core: recovered policy: %w", err)
+			}
+		}
+		p.OnChange(func(t *policy.Tree) {
+			if d.Replaying() {
+				// This SetPolicy IS a replayed WAL record; re-committing
+				// it would deadlock on the commit lock Replay holds.
+				return
+			}
+			data, err := policy.ToJSON(t)
+			if err != nil {
+				return
+			}
+			_ = d.Commit(&usage.Mutation{Kind: usage.MutPolicy, Blob: data}, nil)
+		})
+	}
 	u := uss.New(uss.Config{
 		Site:        cfg.Name,
 		BinWidth:    cfg.BinWidth,
@@ -123,6 +160,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		PeerTimeout: cfg.PeerTimeout,
 		Breaker:     cfg.PeerBreaker,
 		Spans:       cfg.Spans,
+		Durable:     cfg.Durable,
 	})
 
 	source := ums.SourceFunc(func(now time.Time, d usage.Decay) (map[string]float64, error) {
@@ -165,7 +203,45 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		Spans:        cfg.Spans,
 	}, f, irsAdapter{i}, ussAdapter{u})
 
-	return &Site{Name: cfg.Name, PDS: p, USS: u, UMS: m, FCS: f, IRS: i, Lib: lib}, nil
+	return &Site{Name: cfg.Name, PDS: p, USS: u, UMS: m, FCS: f, IRS: i, Lib: lib, Durable: cfg.Durable}, nil
+}
+
+// Recover replays the durable log's WAL tail into the site's services —
+// usage mutations through the USS, policy edits through the PDS — in the
+// exact order they were committed before the crash. Until it returns, new
+// commits block and exchange serving answers from the frozen pre-crash
+// snapshot. No-op without durability.
+func (s *Site) Recover() error {
+	if s.Durable == nil {
+		return nil
+	}
+	return s.Durable.Replay(func(m *usage.Mutation) error {
+		if m.Kind == usage.MutPolicy {
+			t, err := policy.FromJSON(m.Blob)
+			if err != nil {
+				return fmt.Errorf("core: replayed policy: %w", err)
+			}
+			return s.PDS.SetPolicy(t)
+		}
+		return s.USS.ApplyMutation(m)
+	})
+}
+
+// SnapshotDurable rotates the WAL and writes a compacted snapshot of the
+// site's usage state and policy. No-op without durability.
+func (s *Site) SnapshotDurable() error {
+	if s.Durable == nil {
+		return nil
+	}
+	return s.Durable.Snapshot(func() (*durability.SnapshotState, error) {
+		st := s.USS.CaptureState()
+		data, err := policy.ToJSON(s.PDS.Policy())
+		if err != nil {
+			return nil, err
+		}
+		st.Policy = data
+		return st, nil
+	})
 }
 
 // irsAdapter exposes the IRS as a libaequus.IdentitySource.

@@ -1,0 +1,335 @@
+package durability
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/usage"
+)
+
+func randState(rng *rand.Rand) *SnapshotState {
+	mkRecs := func(site string, n int) []usage.Record {
+		recs := make([]usage.Record, n)
+		for i := range recs {
+			recs[i] = usage.Record{
+				User:          "u" + string(rune('a'+rng.Intn(26))),
+				Site:          site,
+				IntervalStart: time.Unix(int64(rng.Intn(1<<20))*3600, 0).UTC(),
+				CoreSeconds:   rng.NormFloat64() * 1e6,
+			}
+		}
+		return recs
+	}
+	st := &SnapshotState{
+		BinWidth: time.Duration(1+rng.Intn(48)) * time.Hour,
+		Site:     "self",
+		Local:    mkRecs("self", rng.Intn(50)),
+		Remote:   map[string][]usage.Record{},
+		Watermark: map[string]time.Time{
+			"p1": time.Unix(0, rng.Int63()).UTC(),
+		},
+	}
+	if rng.Intn(2) == 0 {
+		st.Policy = []byte(`{"root":{}}`)
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		peer := "peer" + string(rune('0'+i))
+		st.Remote[peer] = mkRecs(peer, rng.Intn(30))
+		st.Watermark[peer] = time.Unix(0, rng.Int63()).UTC()
+	}
+	return st
+}
+
+// TestSnapshotEncodeDecodeRoundTrip: random states survive the binary
+// encoding bit-exactly (reflect.DeepEqual covers the float64 values since
+// the generator never produces NaN).
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		st := randState(rng)
+		dec, err := decodeSnapshot(encodeSnapshot(st))
+		if err != nil {
+			t.Fatalf("state %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(st, dec) {
+			t.Fatalf("state %d: round trip differs:\n got %+v\nwant %+v", i, dec, st)
+		}
+	}
+}
+
+func TestSnapshotDecodeRejectsDamage(t *testing.T) {
+	st := randState(rand.New(rand.NewSource(4)))
+	enc := encodeSnapshot(st)
+	for _, cut := range []int{0, 4, len(enc) / 2, len(enc) - 1} {
+		if _, err := decodeSnapshot(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := decodeSnapshot(bad); err == nil {
+		t.Fatal("bit flip accepted")
+	}
+}
+
+// TestSnapshotCompactsAndPrunes: after a snapshot, recovery starts from the
+// snapshot image plus only the post-rotation WAL tail, and superseded
+// segments/snapshots are removed from disk.
+func TestSnapshotCompactsAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, SyncAlways)
+	replayAll(t, d)
+	commitN(t, d, 10, 0)
+
+	captured := &SnapshotState{
+		BinWidth: time.Hour,
+		Site:     "s00",
+		Local: []usage.Record{{
+			User: "alice", Site: "s00",
+			IntervalStart: time.Unix(3600, 0).UTC(),
+			CoreSeconds:   12.5,
+		}},
+		Remote:    map[string][]usage.Record{},
+		Watermark: map[string]time.Time{},
+	}
+	if err := d.Snapshot(func() (*SnapshotState, error) { return captured, nil }); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	commitN(t, d, 4, 100)
+	// Second snapshot cycle to exercise pruning of snapshot 1.
+	if err := d.Snapshot(func() (*SnapshotState, error) { return captured, nil }); err != nil {
+		t.Fatalf("Snapshot 2: %v", err)
+	}
+	commitN(t, d, 3, 200)
+	d.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, segmentName(0))); !os.IsNotExist(err) {
+		t.Fatalf("segment 0 not pruned: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName(1))); !os.IsNotExist(err) {
+		t.Fatalf("snapshot 1 not pruned: %v", err)
+	}
+
+	d2 := openTest(t, dir, SyncAlways)
+	if got := d2.Recovered(); got == nil || !reflect.DeepEqual(got, captured) {
+		t.Fatalf("recovered state differs: %+v", got)
+	}
+	got := replayAll(t, d2)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d tail records, want 3 (post-snapshot only)", len(got))
+	}
+	if !mutationsEqual(got[0], testMutation(200)) {
+		t.Fatal("tail does not start at the post-snapshot commit")
+	}
+}
+
+// TestCommitBlocksUntilReplay: a commit racing recovery waits for the tail
+// to be applied instead of interleaving with it.
+func TestCommitBlocksUntilReplay(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, SyncAlways)
+	replayAll(t, d)
+	commitN(t, d, 5, 0)
+	d.Close()
+
+	d2 := openTest(t, dir, SyncAlways)
+	applied := make(chan struct{})
+	go func() {
+		if err := d2.Commit(testMutation(50), func() { close(applied) }); err != nil {
+			t.Errorf("blocked commit failed: %v", err)
+		}
+	}()
+	select {
+	case <-applied:
+		t.Fatal("commit applied before replay finished")
+	case <-time.After(50 * time.Millisecond):
+	}
+	replayed := replayAll(t, d2)
+	select {
+	case <-applied:
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit still blocked after replay")
+	}
+	if len(replayed) != 5 {
+		t.Fatalf("replay saw %d records, want 5 — the blocked commit leaked into the tail", len(replayed))
+	}
+}
+
+// TestFrozenRecordsServedDuringRecovery: between Open and the end of
+// Replay, FrozenRecordsSince serves the snapshot's local records; after
+// replay it defers to the live path.
+func TestFrozenRecordsServedDuringRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, SyncAlways)
+	replayAll(t, d)
+	st := &SnapshotState{
+		BinWidth: time.Hour,
+		Site:     "s00",
+		Local: []usage.Record{
+			{User: "a", Site: "s00", IntervalStart: time.Unix(3600, 0).UTC(), CoreSeconds: 1},
+			{User: "a", Site: "s00", IntervalStart: time.Unix(7200, 0).UTC(), CoreSeconds: 2},
+			{User: "b", Site: "s00", IntervalStart: time.Unix(7200, 0).UTC(), CoreSeconds: 3},
+		},
+		Remote:    map[string][]usage.Record{},
+		Watermark: map[string]time.Time{},
+	}
+	if err := d.Snapshot(func() (*SnapshotState, error) { return st, nil }); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	commitN(t, d, 2, 0)
+	d.Close()
+
+	d2 := openTest(t, dir, SyncAlways)
+	recs, ok := d2.FrozenRecordsSince("s00", time.Unix(7200, 0))
+	if !ok {
+		t.Fatal("frozen serving unavailable while recovering")
+	}
+	if len(recs) != 2 {
+		t.Fatalf("frozen since filter returned %d records, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.IntervalStart.Before(time.Unix(7200, 0)) {
+			t.Fatalf("frozen record before the since bound: %+v", r)
+		}
+	}
+	replayAll(t, d2)
+	if _, ok := d2.FrozenRecordsSince("s00", time.Time{}); ok {
+		t.Fatal("frozen serving still active after replay")
+	}
+}
+
+// TestOneFsyncPerCommit is the group-commit contract at the log layer: one
+// Commit — whatever the mutation's size — costs exactly one fsync under
+// SyncAlways, and zero under SyncNone.
+func TestOneFsyncPerCommit(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, SyncAlways)
+	replayAll(t, d)
+
+	big := &usage.Mutation{Kind: usage.MutLocalBatch}
+	for i := 0; i < 1000; i++ {
+		big.Ops = append(big.Ops, usage.BinOp{User: "u", Start: int64(i) * 3600, Value: 1})
+	}
+	before := d.Stats()
+	if err := d.Commit(big, nil); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	after := d.Stats()
+	if got := after.Fsyncs - before.Fsyncs; got != 1 {
+		t.Fatalf("1000-op batch commit cost %d fsyncs, want exactly 1", got)
+	}
+	if after.Records-before.Records != 1 {
+		t.Fatalf("batch counted as %d records, want 1", after.Records-before.Records)
+	}
+
+	dn := openTest(t, t.TempDir(), SyncNone)
+	replayAll(t, dn)
+	if err := dn.Commit(big, nil); err != nil {
+		t.Fatalf("SyncNone commit: %v", err)
+	}
+	if s := dn.Stats(); s.Fsyncs != 0 {
+		t.Fatalf("SyncNone performed %d fsyncs", s.Fsyncs)
+	}
+}
+
+func TestReadyLifecycle(t *testing.T) {
+	d := openTest(t, t.TempDir(), SyncNone)
+	if d.Ready() {
+		t.Fatal("ready before replay")
+	}
+	if !d.Recovering() {
+		t.Fatal("fresh log should start recovering (empty tail)")
+	}
+	replayAll(t, d)
+	if d.Recovering() {
+		t.Fatal("recovering after replay")
+	}
+	if d.Ready() {
+		t.Fatal("ready before MarkReady")
+	}
+	d.MarkReady()
+	if !d.Ready() {
+		t.Fatal("not ready after MarkReady")
+	}
+}
+
+func TestReplayProgress(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, SyncNone)
+	replayAll(t, d)
+	commitN(t, d, 7, 0)
+	d.Close()
+
+	d2 := openTest(t, dir, SyncNone)
+	if done, total := d2.ReplayProgress(); done != 0 || total != 7 {
+		t.Fatalf("pre-replay progress %d/%d, want 0/7", done, total)
+	}
+	seen := 0
+	if err := d2.Replay(func(m *usage.Mutation) error {
+		seen++
+		if done, _ := d2.ReplayProgress(); done != int64(seen-1) {
+			t.Fatalf("progress %d while applying record %d", done, seen)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if done, total := d2.ReplayProgress(); done != 7 || total != 7 {
+		t.Fatalf("post-replay progress %d/%d, want 7/7", done, total)
+	}
+}
+
+func TestSnapshotWhileRecoveringRefused(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, SyncNone)
+	replayAll(t, d)
+	commitN(t, d, 1, 0)
+	d.Close()
+	d2 := openTest(t, dir, SyncNone)
+	err := d2.Snapshot(func() (*SnapshotState, error) {
+		return &SnapshotState{BinWidth: time.Hour}, nil
+	})
+	if err == nil {
+		t.Fatal("snapshot accepted while recovering")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	if p, err := ParseSyncPolicy("always"); err != nil || p != SyncAlways {
+		t.Fatalf("always: %v %v", p, err)
+	}
+	if p, err := ParseSyncPolicy("none"); err != nil || p != SyncNone {
+		t.Fatalf("none: %v %v", p, err)
+	}
+	if _, err := ParseSyncPolicy("maybe"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestFloatFidelityThroughSnapshot: awkward float64 values survive the
+// snapshot encoding bit-for-bit.
+func TestFloatFidelityThroughSnapshot(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), math.MaxFloat64, math.SmallestNonzeroFloat64, 1.0 / 3.0, 0.1 + 0.2}
+	st := &SnapshotState{BinWidth: time.Hour, Site: "s", Remote: map[string][]usage.Record{}, Watermark: map[string]time.Time{}}
+	for i, v := range vals {
+		st.Local = append(st.Local, usage.Record{
+			User: "u", Site: "s",
+			IntervalStart: time.Unix(int64(i)*3600, 0).UTC(),
+			CoreSeconds:   v,
+		})
+	}
+	dec, err := decodeSnapshot(encodeSnapshot(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float64bits(dec.Local[i].CoreSeconds) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d (%g) lost bits", i, vals[i])
+		}
+	}
+}

@@ -251,3 +251,17 @@ func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, f.Err
 	}
 }
+
+// CloseIdleConnections forwards to Base so http.Client.CloseIdleConnections
+// still reaches the real transport through the injector — without this, a
+// wrapped client can never drain its keep-alive connections (and their
+// per-connection goroutines) on shutdown.
+func (rt *RoundTripper) CloseIdleConnections() {
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if c, ok := base.(interface{ CloseIdleConnections() }); ok {
+		c.CloseIdleConnections()
+	}
+}

@@ -1,15 +1,19 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"hash"
 	"hash/fnv"
+	"math"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/durability"
 	"repro/internal/eventsim"
 	"repro/internal/fairshare"
 	"repro/internal/faultinject"
@@ -21,6 +25,7 @@ import (
 	"repro/internal/services/irs"
 	"repro/internal/services/uss"
 	"repro/internal/slurm"
+	"repro/internal/telemetry"
 	"repro/internal/telemetry/span"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -115,6 +120,58 @@ type Harness struct {
 	lastNow    time.Time
 	dropArmed  bool
 	digest     hash.Hash64
+
+	// initialPol is the never-edited policy of Start — what a rebuilt site
+	// boots from before the WAL replays any MutPolicy edits.
+	initialPol *policy.Tree
+	// durables holds the per-site durable logs (nil for sites that never
+	// restart and so run memory-only, like the default aequusd mode).
+	durables []*durability.Log
+	// dataDirs holds the WAL directories of durable sites ("" otherwise).
+	dataDirs []string
+	// peers holds each site's outgoing peer handles (late-binding proxies,
+	// fault injectors already spliced in), so a rebuilt site reconnects to
+	// exactly the mesh it had.
+	peers [][]uss.Peer
+}
+
+// sitePeer is a late-binding peer handle: it resolves the target site's USS
+// at call time, so a service stack rebuilt by a restart event is immediately
+// what its peers talk to. A captured *uss.Service would go stale the moment
+// its site restarts.
+type sitePeer struct {
+	h *Harness
+	j int
+}
+
+func (p sitePeer) Site() string { return p.h.Sites[p.j].USS.Site() }
+
+func (p sitePeer) RecordsSince(ctx context.Context, t time.Time) ([]usage.Record, error) {
+	return p.h.Sites[p.j].USS.RecordsSince(ctx, t)
+}
+
+// siteFairshare and siteJobComp are the same late binding for the RM
+// plug-ins: the resource manager outlives a site restart (it is a separate
+// process from aequusd), so its call-outs must reach whatever service stack
+// currently backs the site.
+type siteFairshare struct {
+	h *Harness
+	i int
+}
+
+func (siteFairshare) Name() string { return "aequus" }
+
+func (f siteFairshare) Fairshare(localUser string) (float64, error) {
+	return slurm.AequusFairshare{Lib: f.h.Sites[f.i].Lib}.Fairshare(localUser)
+}
+
+type siteJobComp struct {
+	h *Harness
+	i int
+}
+
+func (c siteJobComp) JobCompleted(j *sched.Job) {
+	slurm.AequusJobComp{Lib: c.h.Sites[c.i].Lib}.JobCompleted(j)
 }
 
 // Policy returns the current (possibly edited) policy tree; checkers must
@@ -202,40 +259,61 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("scenario: initial policy: %w", err)
 	}
 	h.pol = pol
+	h.initialPol = pol
 
 	end := Start.Add(spec.Duration)
 	done := func() bool { return kernel.Now().After(end) }
 
+	// Durable logs for the sites a restart will kill: their usage state
+	// must survive into the rebuilt stack. SyncNone matches the scenario's
+	// failure model — the process dies but the machine does not, so writes
+	// that reached the page cache survive without paying an fsync per
+	// simulated commit.
+	h.durables = make([]*durability.Log, spec.Sites)
+	h.dataDirs = make([]string, spec.Sites)
+	defer func() {
+		for _, d := range h.durables {
+			if d != nil {
+				d.Close()
+			}
+		}
+		for _, dir := range h.dataDirs {
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+		}
+	}()
+	for _, r := range spec.Restarts {
+		if r.Site < 0 || r.Site >= spec.Sites {
+			return nil, fmt.Errorf("scenario: restart of unknown site %d", r.Site)
+		}
+		if h.dataDirs[r.Site] != "" {
+			continue
+		}
+		dir, err := os.MkdirTemp("", "aequus-scenario-wal-")
+		if err != nil {
+			return nil, err
+		}
+		h.dataDirs[r.Site] = dir
+		if h.durables[r.Site], err = h.openLog(r.Site); err != nil {
+			return nil, err
+		}
+	}
+
 	// Assemble one full Aequus stack + cluster + RM per site.
 	for i := 0; i < spec.Sites; i++ {
 		i := i
-		prefix := localPrefix(i)
-		site, err := core.NewSite(core.SiteConfig{
-			Name:        fmt.Sprintf("site%02d", i),
-			Policy:      pol,
-			Clock:       kernel.Clock(),
-			BinWidth:    spec.BinWidth,
-			Decay:       h.Decay,
-			Contribute:  true,
-			UseGlobal:   true,
-			Fairshare:   fairshare.Config{DistanceWeight: spec.DistanceWeight, Resolution: 10000},
-			UMSCacheTTL: spec.RefreshInterval,
-			FCSCacheTTL: spec.RefreshInterval,
-			// Synchronous refresh keeps every recomputation on the event
-			// thread — asynchronous stale-while-revalidate would make runs
-			// nondeterministic.
-			FCSSynchronousRefresh: true,
-			LibCacheTTL:           spec.LibTTL,
-			ResolveEndpoint: irs.EndpointFunc(func(_, local string) (string, error) {
-				if !strings.HasPrefix(local, prefix) {
-					return "", fmt.Errorf("scenario: %q does not follow the %q mapping", local, prefix)
-				}
-				return strings.TrimPrefix(local, prefix), nil
-			}),
-			Spans: h.Spans,
-		})
+		site, err := h.buildSite(i)
 		if err != nil {
 			return nil, err
+		}
+		if h.durables[i] != nil {
+			// A fresh log opens in the recovering state: the trivial empty
+			// replay unblocks commits.
+			if err := site.Recover(); err != nil {
+				return nil, err
+			}
+			h.durables[i].MarkReady()
 		}
 		h.Sites = append(h.Sites, site)
 
@@ -258,23 +336,24 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 			h.RMs = append(h.RMs, slurm.New(slurm.Config{
 				Cluster: cl,
 				Priority: &slurm.Multifactor{
-					FS:      slurm.AequusFairshare{Lib: site.Lib},
+					FS:      siteFairshare{h: h, i: i},
 					Weights: sched.FairshareOnly(),
 				},
-				JobComp:              []slurm.JobCompHandler{slurm.AequusJobComp{Lib: site.Lib}},
+				JobComp:              []slurm.JobCompHandler{siteJobComp{h: h, i: i}},
 				ReprioritizeInterval: spec.ReprioInterval,
 				StrictOrder:          spec.StrictOrder,
 				OnStart:              onStart,
 			}))
 		case testbed.RMMaui:
-			lib := site.Lib
 			h.RMs = append(h.RMs, maui.New(maui.Config{
 				Cluster: cl,
 				Weights: maui.Weights{Fairshare: 1},
 				Callouts: maui.Callouts{
-					FairsharePriority: lib.PriorityForLocalUser,
+					FairsharePriority: func(localUser string) (float64, error) {
+						return h.Sites[i].Lib.PriorityForLocalUser(localUser)
+					},
 					JobCompleted: func(j *sched.Job) {
-						_ = lib.JobComplete(j.LocalUser, j.Start, j.End.Sub(j.Start), j.Procs)
+						_ = h.Sites[i].Lib.JobComplete(j.LocalUser, j.Start, j.End.Sub(j.Start), j.Procs)
 					},
 				},
 				OnStart: onStart,
@@ -307,15 +386,17 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 	for key, inj := range injectors {
 		inj.SetWindows(windows[key]...)
 	}
+	h.peers = make([][]uss.Peer, spec.Sites)
 	for i := 0; i < spec.Sites; i++ {
 		for j := 0; j < spec.Sites; j++ {
 			if i == j {
 				continue
 			}
-			var peer uss.Peer = h.Sites[j].USS
+			var peer uss.Peer = sitePeer{h: h, j: j}
 			if inj := injectors[[2]int{i, j}]; inj != nil {
-				peer = &testbed.FaultyPeer{Peer: h.Sites[j].USS, Inj: inj}
+				peer = &testbed.FaultyPeer{Peer: peer, Inj: inj}
 			}
+			h.peers[i] = append(h.peers[i], peer)
 			h.Sites[i].ConnectPeer(peer)
 		}
 	}
@@ -372,12 +453,30 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 		kernel.At(Start.Add(spec.Duration/2), func(time.Time) { h.dropArmed = true })
 	}
 
+	// Crash-and-restart events, plus periodic WAL compaction for the sites
+	// that carry a durable log (so some restarts recover from snapshot +
+	// tail and others from a pure WAL replay, depending on timing).
+	for i := range h.durables {
+		if h.durables[i] == nil {
+			continue
+		}
+		i := i
+		period := spec.Duration / 4
+		scheduleEvery(kernel, Start.Add(period), period,
+			func(time.Time) { _ = h.Sites[i].SnapshotDurable() }, done)
+	}
+	for _, r := range spec.Restarts {
+		r := r
+		kernel.At(Start.Add(r.At), func(now time.Time) { h.restartSite(r.Site, now) })
+	}
+
 	// Periodic machinery: per-site skewed exchange, refresh, RM passes,
-	// invariant checks.
-	for i, site := range h.Sites {
-		site := site
+	// invariant checks. The exchange closures index h.Sites at tick time so
+	// they follow a site across restarts.
+	for i := range h.Sites {
+		i := i
 		scheduleEvery(kernel, Start.Add(spec.ExchangeSkew[i]).Add(spec.ExchangeInterval), spec.ExchangeInterval,
-			func(time.Time) { _ = site.Exchange() }, done)
+			func(time.Time) { _ = h.Sites[i].Exchange() }, done)
 	}
 	kernel.Every(spec.RefreshInterval, func(time.Time) {
 		for _, s := range h.Sites {
@@ -476,6 +575,177 @@ func Run(spec *Spec, opts Options) (*Result, error) {
 	}
 	h.finishFingerprint(res)
 	return res, nil
+}
+
+// openLog opens (or reopens, after a kill) site i's durable log.
+func (h *Harness) openLog(i int) (*durability.Log, error) {
+	return durability.Open(durability.Options{
+		Dir:  h.dataDirs[i],
+		Sync: durability.SyncNone,
+		// Metrics are diagnostic here; a private registry per open keeps
+		// repeated runs in one process from sharing instrument state.
+		Metrics: telemetry.NewRegistry(),
+		Spans:   h.Spans,
+	})
+}
+
+// buildSite assembles site i's full Aequus service stack. Called once per
+// site at run start and again by every restart event; a rebuilt site boots
+// from the never-edited initial policy and recovers subsequent share edits
+// from the WAL's MutPolicy records.
+func (h *Harness) buildSite(i int) (*core.Site, error) {
+	prefix := localPrefix(i)
+	return core.NewSite(core.SiteConfig{
+		Name:        fmt.Sprintf("site%02d", i),
+		Policy:      h.initialPol,
+		Clock:       h.Kernel.Clock(),
+		BinWidth:    h.Spec.BinWidth,
+		Decay:       h.Decay,
+		Contribute:  true,
+		UseGlobal:   true,
+		Fairshare:   fairshare.Config{DistanceWeight: h.Spec.DistanceWeight, Resolution: 10000},
+		UMSCacheTTL: h.Spec.RefreshInterval,
+		FCSCacheTTL: h.Spec.RefreshInterval,
+		// Synchronous refresh keeps every recomputation on the event
+		// thread — asynchronous stale-while-revalidate would make runs
+		// nondeterministic.
+		FCSSynchronousRefresh: true,
+		LibCacheTTL:           h.Spec.LibTTL,
+		ResolveEndpoint: irs.EndpointFunc(func(_, local string) (string, error) {
+			if !strings.HasPrefix(local, prefix) {
+				return "", fmt.Errorf("scenario: %q does not follow the %q mapping", local, prefix)
+			}
+			return strings.TrimPrefix(local, prefix), nil
+		}),
+		Spans:   h.Spans,
+		Durable: h.durables[i],
+	})
+}
+
+// restartSite kills site i's service stack and rebuilds it from the durable
+// log, then proves recovery bit-exact against the pre-kill twin: local
+// records, remote mirrors, peer watermarks and the published fairshare
+// priorities must all match down to the float bits. (Restarts are only
+// scheduled under NoDecay, where that identity is exact — an exponential
+// decay tracker rebuilt from records differs from an evolved one in the
+// last ulps.)
+func (h *Harness) restartSite(i int, now time.Time) {
+	fmt.Fprintf(h.digest, "R|%d|%d\n", i, now.Unix())
+	d := h.durables[i]
+	if d == nil {
+		h.addViolation("restart-recovery", "site %d has no durable log", i)
+		return
+	}
+	old := h.Sites[i]
+	// Publish the doomed site's priorities from this instant's usage, so
+	// both twins compute their tables from the same cut at the same
+	// simulated time.
+	_ = old.Refresh()
+	wantLocal := old.USS.LocalRecords()
+	wantRemote := old.USS.RemoteRecords()
+	wantWM := old.USS.Watermarks()
+	wantTable, wantTableErr := old.FCS.Table()
+
+	// Process death. Closing the handle loses nothing: the scenario's
+	// failure model is a dead process, not a dead machine, so writes that
+	// reached the page cache survive.
+	if err := d.Close(); err != nil {
+		h.addViolation("restart-recovery", "site %d: close log: %v", i, err)
+		return
+	}
+	nd, err := h.openLog(i)
+	if err != nil {
+		h.addViolation("restart-recovery", "site %d: reopen log: %v", i, err)
+		return
+	}
+	h.durables[i] = nd
+	site, err := h.buildSite(i)
+	if err != nil {
+		h.addViolation("restart-recovery", "site %d: rebuild: %v", i, err)
+		return
+	}
+	// Expose the new stack and its peer mesh before replay — peers pulling
+	// mid-recovery would be served the frozen snapshot image through it.
+	h.Sites[i] = site
+	for _, p := range h.peers[i] {
+		site.ConnectPeer(p)
+	}
+	if err := site.Recover(); err != nil {
+		h.addViolation("restart-recovery", "site %d: replay: %v", i, err)
+		return
+	}
+	_ = site.Refresh()
+	nd.MarkReady()
+
+	h.compareRecords(i, "local", wantLocal, site.USS.LocalRecords())
+	gotRemote := site.USS.RemoteRecords()
+	if len(gotRemote) != len(wantRemote) {
+		h.addViolation("restart-recovery", "site %d: recovered %d remote mirrors, want %d",
+			i, len(gotRemote), len(wantRemote))
+	} else {
+		for peerSite, want := range wantRemote {
+			h.compareRecords(i, "remote/"+peerSite, want, gotRemote[peerSite])
+		}
+	}
+	gotWM := site.USS.Watermarks()
+	for peerSite, want := range wantWM {
+		if !gotWM[peerSite].Equal(want) {
+			h.addViolation("restart-recovery", "site %d: watermark[%s] recovered as %s, want %s",
+				i, peerSite, gotWM[peerSite], want)
+		}
+	}
+
+	gotTable, gotTableErr := site.FCS.Table()
+	switch {
+	case (wantTableErr == nil) != (gotTableErr == nil):
+		h.addViolation("restart-recovery", "site %d: table availability diverged: %v vs %v",
+			i, wantTableErr, gotTableErr)
+	case wantTableErr == nil:
+		// The incremental-vs-rebuilt index orders may differ; priorities are
+		// compared per user, bit for bit.
+		want := map[string]float64{}
+		for _, e := range wantTable.Entries {
+			want[e.User] = e.Value
+		}
+		if len(gotTable.Entries) != len(want) {
+			h.addViolation("restart-recovery", "site %d: recovered table has %d users, want %d",
+				i, len(gotTable.Entries), len(want))
+			break
+		}
+		for _, e := range gotTable.Entries {
+			w, ok := want[e.User]
+			if !ok {
+				h.addViolation("restart-recovery", "site %d: recovered table has unknown user %q", i, e.User)
+				continue
+			}
+			if math.Float64bits(e.Value) != math.Float64bits(w) {
+				h.addViolation("restart-recovery", "site %d: priority[%s] recovered as %x, want %x",
+					i, e.User, math.Float64bits(e.Value), math.Float64bits(w))
+			}
+		}
+	}
+	if err := site.FCS.VerifySnapshot(); err != nil {
+		h.addViolation("restart-recovery", "site %d: post-recovery snapshot twin: %v", i, err)
+	}
+}
+
+// compareRecords asserts two canonical record streams are bit-identical,
+// recording at most one violation per stream.
+func (h *Harness) compareRecords(i int, what string, want, got []usage.Record) {
+	if len(got) != len(want) {
+		h.addViolation("restart-recovery", "site %d: %s recovered %d records, want %d",
+			i, what, len(got), len(want))
+		return
+	}
+	for k := range want {
+		w, g := want[k], got[k]
+		if w.User != g.User || !w.IntervalStart.Equal(g.IntervalStart) ||
+			math.Float64bits(w.CoreSeconds) != math.Float64bits(g.CoreSeconds) {
+			h.addViolation("restart-recovery", "site %d: %s record %d recovered as %+v, want %+v",
+				i, what, k, g, w)
+			return
+		}
+	}
 }
 
 // step executes one kernel event with clock-sanity accounting.

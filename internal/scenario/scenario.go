@@ -16,6 +16,7 @@ package scenario
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/faultinject"
@@ -74,6 +75,18 @@ type FaultSpec struct {
 	Kind faultinject.Kind
 	// Rate is the Flap probability.
 	Rate float64
+}
+
+// RestartSpec schedules one kill-and-recover of a site's Aequus service
+// stack mid-run. The cluster and its resource manager keep running (they are
+// separate processes from aequusd); the site's services are torn down and
+// rebuilt from the durable WAL and snapshots, and recovery must reproduce
+// the pre-kill usage state and published priorities bit-identically.
+type RestartSpec struct {
+	// Site is the restarted site index.
+	Site int
+	// At is the offset from Start of the kill.
+	At time.Duration
 }
 
 // SabotageKind deliberately corrupts the system mid-run so tests can prove
@@ -139,6 +152,16 @@ type Spec struct {
 	// the FCS's incremental recalc path is actually exercised.
 	NoDecay bool
 
+	// Restarts kill and recover individual sites' service stacks mid-run.
+	// Only generated for NoDecay scenarios: under exponential decay a
+	// freshly rebuilt tracker and one that evolved through the run differ
+	// in the last ulps, so bit-identical recovery is only a meaningful
+	// target without decay.
+	Restarts []RestartSpec
+	// Crash marks a spec produced by GenerateCrash, so replay tooling
+	// regenerates it through the same generator (AEQUUS_CRASH=1).
+	Crash bool
+
 	// Sabotage corrupts the run on purpose (tests only; Generate never
 	// sets it).
 	Sabotage SabotageKind
@@ -148,7 +171,7 @@ type Spec struct {
 // meaningful for this scenario: demand is calibrated to the policy shares
 // and nothing perturbs the system mid-run (no faults, edits or churn).
 func (s *Spec) ConvergenceEligible() bool {
-	if len(s.Faults) > 0 || len(s.Edits) > 0 || s.Sabotage != SabotageNone {
+	if len(s.Faults) > 0 || len(s.Edits) > 0 || len(s.Restarts) > 0 || s.Sabotage != SabotageNone {
 		return false
 	}
 	for _, u := range s.Users {
@@ -308,6 +331,37 @@ func Generate(seed int64) *Spec {
 	// incremental refresh path (and its snapshot-twin invariant) gets
 	// continuous fuzz coverage too.
 	s.NoDecay = rng.Intn(4) == 0
+
+	// Half of the NoDecay scenarios also get one organic crash-and-restart,
+	// so durable recovery is continuously fuzzed alongside everything else.
+	// (This draw must stay the last one: it is conditional, and anything
+	// added after it would shift across seeds depending on NoDecay.)
+	if s.NoDecay && rng.Intn(2) == 0 {
+		s.Restarts = append(s.Restarts, RestartSpec{
+			Site: rng.Intn(s.Sites),
+			At:   time.Duration(float64(s.Duration) * (0.3 + 0.5*rng.Float64())),
+		})
+	}
+	return s
+}
+
+// GenerateCrash materializes the crash-gauntlet variant of a seed: the
+// scenario Generate yields, forced to NoDecay, with its organic restart
+// draw replaced by 1–3 seed-deterministic kill-and-restart events drawn
+// from a derived source. GenerateCrash(seed) is a pure function of seed.
+func GenerateCrash(seed int64) *Spec {
+	s := Generate(seed)
+	s.NoDecay = true
+	s.Crash = true
+	s.Restarts = nil
+	rng := rand.New(rand.NewSource(seed ^ 0x0c4a54))
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		s.Restarts = append(s.Restarts, RestartSpec{
+			Site: rng.Intn(s.Sites),
+			At:   time.Duration(float64(s.Duration) * (0.25 + 0.6*rng.Float64())),
+		})
+	}
+	sort.Slice(s.Restarts, func(i, j int) bool { return s.Restarts[i].At < s.Restarts[j].At })
 	return s
 }
 

@@ -91,10 +91,12 @@ func TestScenarioFuzz(t *testing.T) {
 // TestScenarioReplay replays one scenario from the environment — the
 // reproduction entry point the fuzzer and the harness print:
 //
-//	AEQUUS_SEED=7 [AEQUUS_EVENTS=123] [AEQUUS_SABOTAGE=1] go test ./internal/scenario -run TestScenarioReplay
+//	AEQUUS_SEED=7 [AEQUUS_EVENTS=123] [AEQUUS_CRASH=1] [AEQUUS_SABOTAGE=1] go test ./internal/scenario -run TestScenarioReplay
 //
-// It runs the scenario twice and fails with full details if any invariant
-// is violated, additionally proving the two runs are bit-identical.
+// AEQUUS_CRASH=1 regenerates the spec through GenerateCrash (the crash
+// gauntlet's generator) instead of Generate. It runs the scenario twice and
+// fails with full details if any invariant is violated, additionally
+// proving the two runs are bit-identical.
 func TestScenarioReplay(t *testing.T) {
 	sv := os.Getenv("AEQUUS_SEED")
 	if sv == "" {
@@ -111,7 +113,11 @@ func TestScenarioReplay(t *testing.T) {
 			t.Fatalf("bad AEQUUS_EVENTS %q: %v", ev, err)
 		}
 	}
-	spec := Generate(seed)
+	generate := Generate
+	if os.Getenv("AEQUUS_CRASH") == "1" {
+		generate = GenerateCrash
+	}
+	spec := generate(seed)
 	if sb := os.Getenv("AEQUUS_SABOTAGE"); sb != "" {
 		k, err := strconv.Atoi(sb)
 		if err != nil {
@@ -123,7 +129,7 @@ func TestScenarioReplay(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run error: %v", err)
 	}
-	second, err := Run(Generate(seed).withSabotage(spec.Sabotage), opts)
+	second, err := Run(generate(seed).withSabotage(spec.Sabotage), opts)
 	if err != nil {
 		t.Fatalf("replay error: %v", err)
 	}

@@ -53,6 +53,9 @@ func ReproCommand(spec *Spec, events int) string {
 	if events > 0 {
 		cmd += fmt.Sprintf(" AEQUUS_EVENTS=%d", events)
 	}
+	if spec.Crash {
+		cmd += " AEQUUS_CRASH=1"
+	}
 	if spec.Sabotage != SabotageNone {
 		cmd += fmt.Sprintf(" AEQUUS_SABOTAGE=%d", spec.Sabotage)
 	}

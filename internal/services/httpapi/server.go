@@ -7,11 +7,13 @@ package httpapi
 
 import (
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
+	"repro/internal/durability"
 	"repro/internal/identity"
 	"repro/internal/policy"
 	"repro/internal/services/fcs"
@@ -49,6 +51,13 @@ type ServerOptions struct {
 	// "http.server" span (linked to a remote parent via span.ParentHeader),
 	// and the recorder is served at /debug/aequus. Nil disables both.
 	Spans *span.Recorder
+	// Durability, when set, adds a "durability" component to /readyz: not
+	// ready while the WAL tail is replaying ("recovering", with progress)
+	// and until the owner marks the first post-replay fairshare publish
+	// done — a restarted site keeps answering data requests from the
+	// recovered snapshot but is not advertised to load balancers until its
+	// published priorities reflect the replayed state.
+	Durability *durability.Log
 }
 
 // Server serves a site's Aequus services over HTTP. Every route is
@@ -67,6 +76,7 @@ type Server struct {
 	readyMaxStale time.Duration
 	clock         simclock.Clock
 	spans         *span.Recorder
+	durable       *durability.Log
 	mux           *http.ServeMux
 }
 
@@ -94,6 +104,7 @@ func NewServerWith(p *pds.Service, u *uss.Service, m *ums.Service, f *fcs.Servic
 		readyMaxStale: o.ReadyMaxStale,
 		clock:         o.Clock,
 		spans:         o.Spans,
+		durable:       o.Durability,
 		mux:           http.NewServeMux(),
 	}
 	httpm := telemetry.NewHTTPMetrics(s.registry, s.log)
@@ -469,6 +480,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Components["fcs"] = c
 	}
+	if s.durable != nil {
+		resp.Components["durability"] = s.durabilityStatus()
+	}
 	for _, c := range resp.Components {
 		if !c.Ready {
 			resp.Ready = false
@@ -479,6 +493,27 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	wire.WriteJSON(w, code, resp)
+}
+
+// durabilityStatus reports crash-recovery progress. The component is not
+// ready while the WAL tail replays, and stays not ready after replay until
+// the owner calls MarkReady following the first post-replay fairshare
+// publish — between those points the site serves recovered data but its
+// published priorities may still predate the crash.
+func (s *Server) durabilityStatus() wire.ReadyComponent {
+	d := s.durable
+	if d.Recovering() {
+		done, total := d.ReplayProgress()
+		return wire.ReadyComponent{
+			Reason: fmt.Sprintf("recovering: replaying WAL (%d/%d records)", done, total),
+		}
+	}
+	if !d.Ready() {
+		return wire.ReadyComponent{
+			Reason: "recovered: awaiting first fairshare publish",
+		}
+	}
+	return wire.ReadyComponent{Ready: true}
 }
 
 // ussStatus reports the USS component with per-peer exchange health. A

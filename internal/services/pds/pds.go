@@ -27,6 +27,13 @@ type Service struct {
 	// clone — and to keep incremental fairshare recomputation valid only
 	// while the tree is unchanged.
 	version uint64
+	// onChange, when set, is invoked after every successful SetPolicy with
+	// a clone of the new tree. It runs OUTSIDE s.mu: the durability hook it
+	// carries takes the WAL commit lock, which is also held while a
+	// snapshot capture reads Policy() — invoking under s.mu would close a
+	// lock cycle. Mount mutations do not fire it (mounted subtrees are
+	// re-fetched from their origins, not replayed).
+	onChange func(*policy.Tree)
 }
 
 // New creates a PDS with the given initial policy (nil for an empty tree).
@@ -57,11 +64,27 @@ func (s *Service) SetPolicy(t *policy.Tree) error {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.tree = t.Clone()
 	s.mounts = map[string]string{}
 	s.version++
+	hook := s.onChange
+	var snap *policy.Tree
+	if hook != nil {
+		snap = s.tree.Clone()
+	}
+	s.mu.Unlock()
+	if hook != nil {
+		hook(snap)
+	}
 	return nil
+}
+
+// OnChange installs the post-SetPolicy hook (see the field comment for its
+// locking contract). Installing replaces any previous hook.
+func (s *Service) OnChange(fn func(*policy.Tree)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onChange = fn
 }
 
 // Subtree returns a copy of the node at path (for serving to other PDSs).

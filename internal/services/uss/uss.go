@@ -8,10 +8,12 @@ package uss
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/durability"
 	"repro/internal/resilience"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
@@ -58,6 +60,12 @@ type Config struct {
 	// HTTP server middleware — takes precedence, so spans of a triggered
 	// exchange land in the trace of the request that triggered it.
 	Spans *span.Recorder
+	// Durable, when set, write-ahead-logs every usage mutation before it is
+	// applied: job reports, batch ingests (one group-committed record and
+	// thus one fsync per batch), and peer-exchange bin replacements. New
+	// adopts the log's recovered snapshot into the in-memory histograms;
+	// the owner replays the WAL tail through ApplyMutation.
+	Durable *durability.Log
 }
 
 // Service is a Usage Statistics Service instance.
@@ -81,6 +89,7 @@ type Service struct {
 	breakers *resilience.BreakerSet
 
 	mReports        *telemetry.Counter
+	mDurableErrs    *telemetry.Counter
 	mExchanges      *telemetry.Counter
 	mExchangeBatch  *telemetry.Histogram
 	mExchangeRecs   *telemetry.CounterVec
@@ -110,7 +119,7 @@ func New(cfg Config) *Service {
 		cfg.Breaker.Clock = cfg.Clock
 	}
 	reg := telemetry.OrDefault(cfg.Metrics)
-	return &Service{
+	s := &Service{
 		cfg:       cfg,
 		local:     usage.NewHistogram(cfg.BinWidth),
 		remote:    map[string]*usage.Histogram{},
@@ -119,6 +128,8 @@ func New(cfg Config) *Service {
 		breakers:  resilience.NewBreakerSet(cfg.Breaker, reg),
 		mReports: reg.Counter("aequus_uss_usage_reports_total",
 			"Job-completion usage reports ingested by the local USS."),
+		mDurableErrs: reg.Counter("aequus_uss_durability_errors_total",
+			"Usage mutations dropped because the WAL commit failed."),
 		mExchanges: reg.Counter("aequus_uss_exchanges_total",
 			"Inter-site usage exchange rounds performed."),
 		mExchangeBatch: reg.Histogram("aequus_uss_exchange_batch_records",
@@ -137,6 +148,25 @@ func New(cfg Config) *Service {
 		mConvergeLag: reg.GaugeVec("aequus_uss_peer_convergence_lag_seconds",
 			"At the last successful pull, how far the peer's newest interval lagged behind now (-1 = no successful pull yet).", "peer"),
 	}
+	if cfg.Durable != nil {
+		if st := cfg.Durable.Recovered(); st != nil {
+			// Adopt the snapshot image before any mutation can land. Bin
+			// values restore through SetRecords, which writes the stored
+			// float bits verbatim — the restored histograms are bitwise
+			// equal to the captured ones. (If BinWidth changed across the
+			// restart, records re-bin at the new width.)
+			s.local.SetRecords(st.Local)
+			for peer, recs := range st.Remote {
+				h := usage.NewHistogram(cfg.BinWidth)
+				h.SetRecords(recs)
+				s.remote[peer] = h
+			}
+			for peer, wm := range st.Watermark {
+				s.watermark[peer] = wm
+			}
+		}
+	}
+	return s
 }
 
 // Site returns this instance's site name.
@@ -160,8 +190,25 @@ func (s *Service) ReportJob(user string, start time.Time, dur time.Duration, pro
 	if procs < 1 {
 		procs = 1
 	}
-	s.mReports.Inc()
-	s.local.Add(user, start.Add(dur), dur.Seconds()*float64(procs))
+	at := start.Add(dur)
+	v := dur.Seconds() * float64(procs)
+	apply := func() {
+		s.mReports.Inc()
+		s.local.Add(user, at, v)
+	}
+	if s.cfg.Durable == nil {
+		apply()
+		return
+	}
+	mut := &usage.Mutation{
+		Kind: usage.MutLocalAdd,
+		Ops:  []usage.BinOp{{User: user, Start: s.local.AlignStart(at), Value: v}},
+	}
+	if err := s.cfg.Durable.Commit(mut, apply); err != nil {
+		// Applying an uncommitted mutation would put memory ahead of the
+		// WAL and diverge the next recovery; drop it and count the loss.
+		s.mDurableErrs.Inc()
+	}
 }
 
 // JobReport is one completed job in a batch ingest.
@@ -180,7 +227,12 @@ func (s *Service) ReportJobBatch(jobs []JobReport) {
 	if len(jobs) == 0 {
 		return
 	}
+	durable := s.cfg.Durable != nil
 	recs := make([]usage.Record, 0, len(jobs))
+	var ops []usage.BinOp
+	if durable {
+		ops = make([]usage.BinOp, 0, len(jobs))
+	}
 	for _, j := range jobs {
 		if j.Duration <= 0 || j.User == "" {
 			continue
@@ -189,22 +241,49 @@ func (s *Service) ReportJobBatch(jobs []JobReport) {
 		if procs < 1 {
 			procs = 1
 		}
+		end := j.Start.Add(j.Duration)
+		v := j.Duration.Seconds() * float64(procs)
 		recs = append(recs, usage.Record{
 			User:          j.User,
 			Site:          s.cfg.Site,
-			IntervalStart: j.Start.Add(j.Duration),
-			CoreSeconds:   j.Duration.Seconds() * float64(procs),
+			IntervalStart: end,
+			CoreSeconds:   v,
 		})
-		s.mReports.Inc()
+		if durable {
+			ops = append(ops, usage.BinOp{User: j.User, Start: s.local.AlignStart(end), Value: v})
+		}
 	}
-	s.local.IngestBatch(recs)
+	apply := func() {
+		s.mReports.Add(float64(len(recs)))
+		s.local.IngestBatch(recs)
+	}
+	if !durable {
+		apply()
+		return
+	}
+	// The whole batch is one WAL record — the group-commit point. One
+	// Commit means one fsync regardless of batch size.
+	if err := s.cfg.Durable.Commit(&usage.Mutation{Kind: usage.MutLocalBatch, Ops: ops}, apply); err != nil {
+		s.mDurableErrs.Inc()
+	}
 }
 
 // RecordsSince serves this site's local records from t on — the compact
 // inter-site exchange format. A non-contributing site serves nothing.
+// While the durable log is still replaying its WAL tail, peers are served
+// the frozen pre-crash snapshot instead of the half-rebuilt live histogram:
+// they see the pre-crash watermark, never partial state, and their next
+// pull re-fetches from one bin before that watermark, which covers every
+// bin the replayed tail can touch (completion-time attribution only ever
+// adds at or past the snapshot cut).
 func (s *Service) RecordsSince(_ context.Context, t time.Time) ([]usage.Record, error) {
 	if !s.cfg.Contribute {
 		return nil, nil
+	}
+	if d := s.cfg.Durable; d != nil {
+		if recs, ok := d.FrozenRecordsSince(s.cfg.Site, t); ok {
+			return recs, nil
+		}
 	}
 	return s.local.RecordsSince(s.cfg.Site, t), nil
 }
@@ -325,18 +404,35 @@ func (s *Service) pullPeer(ctx context.Context, p Peer) (int, error) {
 	}
 	newest := s.watermark[site]
 	s.mu.Unlock()
-	// Batch replacement: one lock acquisition per histogram stripe instead
-	// of one per record, and all of a user's re-fetched bins land atomically
-	// with respect to GlobalTotals readers.
-	hist.SetRecords(recs)
 	for _, r := range recs {
 		if r.IntervalStart.After(newest) {
 			newest = r.IntervalStart
 		}
 	}
-	s.mu.Lock()
-	s.watermark[site] = newest
-	s.mu.Unlock()
+	// Batch replacement: one lock acquisition per histogram stripe instead
+	// of one per record, and all of a user's re-fetched bins land atomically
+	// with respect to GlobalTotals readers.
+	apply := func() {
+		hist.SetRecords(recs)
+		s.mu.Lock()
+		s.watermark[site] = newest
+		s.mu.Unlock()
+	}
+	if d := s.cfg.Durable; d != nil {
+		ops := make([]usage.BinOp, len(recs))
+		for i, r := range recs {
+			ops[i] = usage.BinOp{User: r.User, Start: hist.AlignStart(r.IntervalStart), Value: r.CoreSeconds}
+		}
+		mut := &usage.Mutation{Kind: usage.MutRemoteSet, Site: site, Ops: ops, Watermark: newest.UnixNano()}
+		if err := d.Commit(mut, apply); err != nil {
+			s.mDurableErrs.Inc()
+			s.updateWatermarkAge(site)
+			sp.SetErr(err)
+			return 0, err
+		}
+	} else {
+		apply()
+	}
 	s.updateWatermarkAge(site)
 	s.mConvergeLag.With(site).Set(s.cfg.Clock.Now().Sub(newest).Seconds())
 	return len(recs), nil
@@ -473,3 +569,110 @@ func (s *Service) GlobalTotals(now time.Time, d usage.Decay) map[string]float64 
 
 // LocalHistogram exposes a copy of the local histogram (for the UMS).
 func (s *Service) LocalHistogram() *usage.Histogram { return s.local.Clone() }
+
+// ApplyMutation applies one replayed WAL mutation — the crash-recovery
+// applier handed to durability.Log.Replay. The histogram primitives it uses
+// (IngestBatch, SetRecords) perform the same float operations, in the same
+// per-stripe order, as the live paths that committed the mutation, so a
+// replayed histogram is bitwise equal to the pre-crash one.
+func (s *Service) ApplyMutation(m *usage.Mutation) error {
+	switch m.Kind {
+	case usage.MutLocalAdd, usage.MutLocalBatch:
+		s.local.IngestBatch(m.Records(s.cfg.Site))
+	case usage.MutRemoteSet:
+		s.mu.Lock()
+		hist := s.remote[m.Site]
+		if hist == nil {
+			hist = usage.NewHistogram(s.cfg.BinWidth)
+			s.remote[m.Site] = hist
+		}
+		s.mu.Unlock()
+		hist.SetRecords(m.Records(m.Site))
+		s.mu.Lock()
+		s.watermark[m.Site] = time.Unix(0, m.Watermark).UTC()
+		s.mu.Unlock()
+	default:
+		return fmt.Errorf("uss: cannot apply mutation kind %d", m.Kind)
+	}
+	return nil
+}
+
+// CaptureState exports the full durable image of this USS for a snapshot.
+// It is designed to run as a durability.Log.Snapshot capture callback:
+// commits are blocked by the caller (the cut is consistent with the WAL
+// rotation), and the local histogram is read stripe-at-a-time so
+// whole-histogram readers (GlobalTotals, exchange serving) never stall
+// behind the export.
+func (s *Service) CaptureState() *durability.SnapshotState {
+	st := &durability.SnapshotState{
+		BinWidth: s.cfg.BinWidth,
+		Site:     s.cfg.Site,
+	}
+	for i := 0; i < s.local.NumStripes(); i++ {
+		st.Local = append(st.Local, s.local.StripeRecords(s.cfg.Site, i)...)
+	}
+	sortRecords(st.Local)
+	s.mu.Lock()
+	remotes := make(map[string]*usage.Histogram, len(s.remote))
+	for peer, h := range s.remote {
+		remotes[peer] = h
+	}
+	st.Watermark = make(map[string]time.Time, len(s.watermark))
+	for peer, wm := range s.watermark {
+		st.Watermark[peer] = wm
+	}
+	s.mu.Unlock()
+	st.Remote = make(map[string][]usage.Record, len(remotes))
+	for peer, h := range remotes {
+		var recs []usage.Record
+		for i := 0; i < h.NumStripes(); i++ {
+			recs = append(recs, h.StripeRecords(peer, i)...)
+		}
+		sortRecords(recs)
+		st.Remote[peer] = recs
+	}
+	return st
+}
+
+// LocalRecords exports the local histogram sorted by user then interval —
+// the scenario harness's restart-twin comparison surface.
+func (s *Service) LocalRecords() []usage.Record {
+	return s.local.Records(s.cfg.Site)
+}
+
+// RemoteRecords exports every peer's mirrored bins, keyed by peer site.
+func (s *Service) RemoteRecords() map[string][]usage.Record {
+	s.mu.Lock()
+	remotes := make(map[string]*usage.Histogram, len(s.remote))
+	for peer, h := range s.remote {
+		remotes[peer] = h
+	}
+	s.mu.Unlock()
+	out := make(map[string][]usage.Record, len(remotes))
+	for peer, h := range remotes {
+		out[peer] = h.Records(peer)
+	}
+	return out
+}
+
+// Watermarks returns a copy of the per-peer exchange watermarks.
+func (s *Service) Watermarks() map[string]time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]time.Time, len(s.watermark))
+	for peer, wm := range s.watermark {
+		out[peer] = wm
+	}
+	return out
+}
+
+// sortRecords orders records by user then interval start — the canonical
+// export order shared with Histogram.Records.
+func sortRecords(recs []usage.Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].User != recs[j].User {
+			return recs[i].User < recs[j].User
+		}
+		return recs[i].IntervalStart.Before(recs[j].IntervalStart)
+	})
+}

@@ -115,6 +115,21 @@ type LiveDeployment struct {
 	cfg  LiveConfig
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// clients are the HTTP clients this deployment created (peer mesh). Close
+	// drains their idle keep-alive connections; otherwise each surviving
+	// connection parks two transport goroutines for up to IdleConnTimeout
+	// after the deployment is gone.
+	mu      sync.Mutex
+	clients []*http.Client
+}
+
+// trackClient registers an HTTP client whose idle connections Close must
+// drain.
+func (d *LiveDeployment) trackClient(hc *http.Client) {
+	d.mu.Lock()
+	d.clients = append(d.clients, hc)
+	d.mu.Unlock()
 }
 
 // DeployLive builds, wires and starts cfg.Sites full Aequus stacks on
@@ -202,6 +217,7 @@ func DeployLive(cfg LiveConfig) (*LiveDeployment, error) {
 			}
 			hc := httpapi.NewHTTPClient(cfg.PeerTimeout)
 			hc.Transport = &faultinject.RoundTripper{Base: hc.Transport, Injector: ls.Injector}
+			d.trackClient(hc)
 			ls.Site.ConnectPeer(httpapi.NewClientWith(peer.URL, siteName(j), httpapi.ClientOptions{
 				HTTP:    hc,
 				Metrics: ls.Registry,
@@ -273,9 +289,15 @@ func (d *LiveDeployment) URLs() []string {
 }
 
 // WaitReady polls every site's /readyz until all report ready or ctx ends.
+// The polling client is scoped to this call: its connections are drained
+// before returning on every path, so a failed wait (the caller typically
+// abandons the deployment) does not strand transport goroutines behind the
+// 90-second idle timeout.
 func (d *LiveDeployment) WaitReady(ctx context.Context) error {
+	hc := httpapi.NewHTTPClient(0)
+	defer hc.CloseIdleConnections()
 	for _, ls := range d.Sites {
-		client := httpapi.NewClient(ls.URL, "")
+		client := httpapi.NewClientWith(ls.URL, "", httpapi.ClientOptions{HTTP: hc})
 		for {
 			resp, err := client.Ready(ctx)
 			if err == nil && resp.Ready {
@@ -304,7 +326,11 @@ func readyReasons(r wire.ReadyResponse) map[string]string {
 	return out
 }
 
-// Close stops the tickers and shuts the HTTP servers down.
+// Close stops the tickers, shuts the HTTP servers down, and drains the idle
+// connections of every client the deployment created. The drain runs after
+// the tickers have exited, when all peer connections are back in the idle
+// pools — closing them there releases the per-connection transport
+// goroutines immediately instead of after IdleConnTimeout.
 func (d *LiveDeployment) Close() {
 	select {
 	case <-d.stop:
@@ -321,4 +347,10 @@ func (d *LiveDeployment) Close() {
 		}
 	}
 	d.wg.Wait()
+	d.mu.Lock()
+	clients := append([]*http.Client(nil), d.clients...)
+	d.mu.Unlock()
+	for _, hc := range clients {
+		hc.CloseIdleConnections()
+	}
 }

@@ -1,0 +1,75 @@
+package testbed
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// TestDeployLiveNoGoroutineLeak pins the deployment's full goroutine
+// lifecycle, including the failure path that used to leak: a WaitReady that
+// fails (here: cancelled context) leaves the caller abandoning the
+// deployment, and the polling client plus the peer-mesh transports must not
+// strand keep-alive connection goroutines behind the 90-second idle timeout
+// once Close returns.
+func TestDeployLiveNoGoroutineLeak(t *testing.T) {
+	pol, err := policy.FromShares(map[string]float64{"alice": 0.5, "bob": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	d, err := DeployLive(LiveConfig{
+		Sites:            3,
+		Policy:           pol,
+		ExchangeInterval: 20 * time.Millisecond,
+		RefreshInterval:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A successful wait first: the polling client really dials every site,
+	// so its per-call connections exist and must be drained by WaitReady
+	// itself (the deployment keeps running after a successful wait).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := d.WaitReady(ctx); err != nil {
+		cancel()
+		t.Fatalf("WaitReady: %v", err)
+	}
+	cancel()
+
+	// Let the exchange tickers run a few rounds so the peer-mesh transports
+	// hold live keep-alive connections when Close runs.
+	time.Sleep(100 * time.Millisecond)
+
+	// The failure path: a dead context makes WaitReady fail the way a
+	// timed-out deployment does, and the caller tears the deployment down.
+	dead, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	if err := d.WaitReady(dead); err == nil {
+		t.Fatal("WaitReady with a cancelled context reported ready")
+	}
+	d.Close()
+
+	// Transport goroutines exit asynchronously after their connections
+	// close; poll briefly instead of asserting an instant count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			var buf bytes.Buffer
+			_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			t.Fatalf("goroutines: %d before deploy, %d five seconds after Close\n%s",
+				before, runtime.NumGoroutine(), buf.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

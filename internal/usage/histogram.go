@@ -119,6 +119,13 @@ func (h *Histogram) binStart(at time.Time) int64 {
 	return q * w
 }
 
+// AlignStart floors at to the containing bin's start, in unix seconds —
+// the same alignment Add/SetBin apply internally. Durable mutation records
+// store pre-aligned starts so replay lands each op in the identical bin.
+func (h *Histogram) AlignStart(at time.Time) int64 {
+	return h.binStart(at)
+}
+
 // midTime returns the midpoint of the bin starting at start — decay ages
 // are measured from bin midpoints so freshly written bins are not over- or
 // under-weighted.
@@ -580,6 +587,43 @@ func (h *Histogram) Records(site string) []Record {
 			users = append(users, uref{name, u})
 			total += len(u.bins)
 		}
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].name < users[j].name })
+	out := make([]Record, 0, total)
+	for _, ur := range users {
+		for _, b := range ur.u.bins {
+			out = append(out, Record{
+				User:          ur.name,
+				Site:          site,
+				IntervalStart: time.Unix(b.start, 0).UTC(),
+				CoreSeconds:   b.v,
+			})
+		}
+	}
+	return out
+}
+
+// NumStripes reports the lock-striping factor — the valid range of
+// StripeRecords indices.
+func (h *Histogram) NumStripes() int { return numStripes }
+
+// StripeRecords exports one stripe's bins as exchange records, sorted by
+// user then interval, holding only that stripe's lock. Snapshot writers
+// iterate stripes one at a time so whole-histogram readers never stall
+// behind the export.
+func (h *Histogram) StripeRecords(site string, i int) []Record {
+	st := &h.stripes[i]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	type uref struct {
+		name string
+		u    *userBins
+	}
+	users := make([]uref, 0, len(st.users))
+	total := 0
+	for name, u := range st.users {
+		users = append(users, uref{name, u})
+		total += len(u.bins)
 	}
 	sort.Slice(users, func(i, j int) bool { return users[i].name < users[j].name })
 	out := make([]Record, 0, total)
